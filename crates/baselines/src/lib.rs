@@ -1,0 +1,27 @@
+//! Prior-work FaaS load-generation baselines (paper §2.3.1, Fig. 1).
+//!
+//! FaaSRail's motivation rests on showing that the common practices violate
+//! one or more of the traces' critical statistical properties. This crate
+//! implements those practices faithfully so the motivation figures can be
+//! regenerated and so researchers can compare against them:
+//!
+//! * [`poisson_emulation`] — constant-rate Poisson arrivals over vanilla
+//!   FunctionBench, uniform function choice;
+//! * [`random_sampling`] — uniform trace sampling + nearest-workload
+//!   mapping + proportional downscaling;
+//! * [`busy_loops`] — fabricated spin functions following the runtime CDF;
+//! * [`skew_synthetic`] — the hand-crafted 98/2 popularity split;
+//! * [`invitro_sampling`] — In-Vitro-style stratified representative
+//!   sampling (the strongest prior approach, paper §5).
+
+pub mod busy_loops;
+pub mod invitro_sampling;
+pub mod poisson_emulation;
+pub mod random_sampling;
+pub mod skew_synthetic;
+
+pub use busy_loops::{fabricate, BusyLoopFunction};
+pub use invitro_sampling::{InVitroConfig, InVitroSample};
+pub use poisson_emulation::PoissonEmulationConfig;
+pub use random_sampling::RandomSamplingConfig;
+pub use skew_synthetic::SkewSyntheticConfig;

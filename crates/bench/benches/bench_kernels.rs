@@ -1,0 +1,45 @@
+//! Warm execution time of each workload kernel — the calibration primitive
+//! (paper §3.1.1's "register the Workloads execution times").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faasrail_workloads::kernels::execute;
+use faasrail_workloads::{WorkloadInput, WorkloadKind};
+
+fn small_input(kind: WorkloadKind) -> WorkloadInput {
+    match kind {
+        WorkloadKind::Chameleon => WorkloadInput::Chameleon { rows: 200, cols: 8 },
+        WorkloadKind::CnnServing => WorkloadInput::CnnServing { image_size: 32, filters: 8 },
+        WorkloadKind::ImageProcessing => WorkloadInput::ImageProcessing { size: 128 },
+        WorkloadKind::JsonSerdes => WorkloadInput::JsonSerdes { records: 500 },
+        WorkloadKind::Matmul => WorkloadInput::Matmul { n: 64 },
+        WorkloadKind::LrServing => WorkloadInput::LrServing { samples: 2_000, features: 64 },
+        WorkloadKind::LrTraining => {
+            WorkloadInput::LrTraining { epochs: 3, samples: 500, features: 32 }
+        }
+        WorkloadKind::Pyaes => WorkloadInput::Pyaes { bytes: 64 * 1024 },
+        WorkloadKind::RnnServing => WorkloadInput::RnnServing { seq_len: 50, hidden: 64 },
+        WorkloadKind::VideoProcessing => WorkloadInput::VideoProcessing { frames: 4, size: 128 },
+        WorkloadKind::Compression => WorkloadInput::Compression { bytes: 64 * 1024 },
+        WorkloadKind::GraphBfs => WorkloadInput::GraphBfs { vertices: 20_000, degree: 8 },
+        WorkloadKind::PageRank => WorkloadInput::PageRank { vertices: 5_000, iters: 4 },
+        WorkloadKind::SortData => WorkloadInput::SortData { elements: 50_000 },
+        WorkloadKind::TextSearch => {
+            WorkloadInput::TextSearch { haystack_bytes: 256 * 1024, patterns: 4 }
+        }
+        WorkloadKind::WordCount => WorkloadInput::WordCount { bytes: 128 * 1024 },
+    }
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    for kind in WorkloadKind::ALL_SUITES {
+        let input = small_input(kind);
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| execute(&input));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

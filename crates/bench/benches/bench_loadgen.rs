@@ -1,0 +1,33 @@
+//! Load-generator dispatch throughput against a no-op backend.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faasrail_core::{Request, RequestTrace};
+use faasrail_loadgen::{replay, NoopBackend, Pacing, ReplayConfig};
+use faasrail_workloads::{CostModel, WorkloadId, WorkloadPool};
+
+fn trace_of(n: u64) -> RequestTrace {
+    RequestTrace {
+        duration_minutes: 1,
+        requests: (0..n)
+            .map(|i| Request { at_ms: 0, workload: WorkloadId((i % 10) as u32), function_index: 0 })
+            .collect(),
+    }
+}
+
+fn bench_loadgen(c: &mut Criterion) {
+    let pool = WorkloadPool::vanilla(&CostModel::default_calibration());
+    let mut group = c.benchmark_group("loadgen/unpaced_dispatch");
+    group.sample_size(20);
+    for workers in [1usize, 4, 8] {
+        let trace = trace_of(20_000);
+        group.throughput(criterion::Throughput::Elements(trace.requests.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            let cfg = ReplayConfig { pacing: Pacing::Unpaced, workers: w };
+            b.iter(|| replay(&trace, &pool, &NoopBackend, &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_loadgen);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Mapping-algorithm performance + threshold/strategy ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faasrail_core::aggregate::{aggregate, DurationResolution};
+use faasrail_core::mapping::{map_functions, BalanceStrategy, MappingConfig};
+use faasrail_trace::azure::{generate, AzureTraceConfig};
+use faasrail_workloads::{CostModel, WorkloadPool};
+
+fn bench_mapping(c: &mut Criterion) {
+    let trace = generate(&AzureTraceConfig::small(1));
+    let agg = aggregate(&trace, DurationResolution::Millisecond);
+    let pool = WorkloadPool::build_modelled(&CostModel::default_calibration());
+
+    let mut group = c.benchmark_group("mapping");
+    group.throughput(criterion::Throughput::Elements(agg.len() as u64));
+
+    for threshold in [0.01, 0.05, 0.10, 0.25, 0.50] {
+        group.bench_with_input(
+            BenchmarkId::new("threshold", format!("{threshold:.2}")),
+            &threshold,
+            |b, &t| {
+                let cfg = MappingConfig { error_threshold: t, ..Default::default() };
+                b.iter(|| map_functions(&agg, &pool, &cfg));
+            },
+        );
+    }
+    for (name, strategy) in [
+        ("by_invocations", BalanceStrategy::ByInvocations),
+        ("by_count", BalanceStrategy::ByFunctionCount),
+        ("nearest_only", BalanceStrategy::NearestOnly),
+    ] {
+        group.bench_function(BenchmarkId::new("strategy", name), |b| {
+            let cfg = MappingConfig { balance: strategy, ..Default::default() };
+            b.iter(|| map_functions(&agg, &pool, &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Spec → timestamped request-stream expansion throughput, per IAT model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faasrail_core::{generate_requests, shrink, IatModel, ShrinkRayConfig};
+use faasrail_trace::azure::{generate, AzureTraceConfig};
+use faasrail_workloads::{CostModel, WorkloadPool};
+
+fn bench_request_gen(c: &mut Criterion) {
+    let trace = generate(&AzureTraceConfig::small(1));
+    let pool = WorkloadPool::build_modelled(&CostModel::default_calibration());
+    let (base_spec, _) = shrink(&trace, &pool, &ShrinkRayConfig::new(120, 20.0)).unwrap();
+
+    let mut group = c.benchmark_group("request_gen");
+    group.throughput(criterion::Throughput::Elements(base_spec.total_requests()));
+    for (name, iat) in [
+        ("poisson", IatModel::Poisson),
+        ("uniform", IatModel::UniformRandom),
+        ("equidistant", IatModel::Equidistant),
+    ] {
+        let mut spec = base_spec.clone();
+        spec.iat = iat;
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| generate_requests(&spec, 9));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_request_gen);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Discrete-event simulator event throughput, plus a keep-alive ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faasrail_core::{Request, RequestTrace};
+use faasrail_faas_sim::{
+    simulate, ClusterConfig, FixedTtl, GreedyDual, KeepAlivePolicy, LeastLoaded, LruPolicy,
+    SimOptions,
+};
+use faasrail_stats::sampler::{Exponential, Sampler};
+use faasrail_stats::seeded_rng;
+use faasrail_workloads::{CostModel, WorkloadId, WorkloadPool};
+use rand::Rng;
+
+fn poisson_trace(n: usize, rate_rps: f64, seed: u64) -> RequestTrace {
+    let mut rng = seeded_rng(seed);
+    let gap = Exponential::from_mean(1_000.0 / rate_rps);
+    let mut t = 0.0;
+    let requests = (0..n)
+        .map(|_| {
+            t += gap.sample(&mut rng);
+            let w = rng.gen_range(0..10u32);
+            Request { at_ms: t as u64, workload: WorkloadId(w), function_index: w }
+        })
+        .collect();
+    RequestTrace { duration_minutes: (t / 60_000.0) as usize + 1, requests }
+}
+
+type PolicyFactory = fn() -> Box<dyn KeepAlivePolicy>;
+
+fn bench_sim(c: &mut Criterion) {
+    let pool = WorkloadPool::vanilla(&CostModel::default_calibration());
+    let trace = poisson_trace(20_000, 200.0, 5);
+
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(trace.requests.len() as u64));
+
+    let policies: [(&str, PolicyFactory); 3] = [
+        ("fixed_ttl", || Box::new(FixedTtl::ten_minutes())),
+        ("lru", || Box::new(LruPolicy)),
+        ("greedy_dual", || Box::new(GreedyDual)),
+    ];
+    for (name, mk) in policies {
+        group.bench_function(BenchmarkId::new("keepalive", name), |b| {
+            b.iter(|| {
+                let mut lb = LeastLoaded;
+                let mut ka = mk();
+                simulate(
+                    &trace,
+                    &pool,
+                    &ClusterConfig::default(),
+                    &mut lb,
+                    ka.as_mut(),
+                    &SimOptions::default(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Weighted-ECDF construction and inverse-transform sampling throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faasrail_core::mapping::MappingConfig;
+use faasrail_core::smirnov::{self, SmirnovConfig};
+use faasrail_core::IatModel;
+use faasrail_stats::ecdf::WeightedEcdf;
+use faasrail_stats::seeded_rng;
+use faasrail_trace::azure::{generate, AzureTraceConfig};
+use faasrail_trace::summarize::invocations_duration_wecdf;
+use faasrail_workloads::{CostModel, WorkloadPool};
+
+fn bench_smirnov(c: &mut Criterion) {
+    let trace = generate(&AzureTraceConfig::small(1));
+    let pool = WorkloadPool::build_modelled(&CostModel::default_calibration());
+
+    c.bench_function("smirnov/build_wecdf", |b| b.iter(|| invocations_duration_wecdf(&trace)));
+
+    let wecdf: WeightedEcdf = invocations_duration_wecdf(&trace);
+    let mut group = c.benchmark_group("smirnov/inverse_sampling");
+    for n in [1_000usize, 10_000, 100_000] {
+        group.throughput(criterion::Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = seeded_rng(7);
+                wecdf.sample_n(&mut rng, n)
+            });
+        });
+    }
+    group.finish();
+
+    c.bench_function("smirnov/end_to_end_20k", |b| {
+        let cfg = SmirnovConfig {
+            num_invocations: 20_000,
+            rate_rps: 50.0,
+            iat: IatModel::Poisson,
+            mapping: MappingConfig::default(),
+            seed: 3,
+        };
+        b.iter(|| smirnov::generate(&trace, &pool, &cfg));
+    });
+}
+
+criterion_group!(benches, bench_smirnov);
+criterion_main!(benches);

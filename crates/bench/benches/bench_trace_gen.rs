@@ -1,0 +1,29 @@
+//! Synthetic trace generation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faasrail_trace::azure::{generate, AzureTraceConfig};
+use faasrail_trace::huawei::{generate as gen_huawei, HuaweiTraceConfig};
+
+fn bench_trace_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_gen/azure");
+    group.sample_size(10);
+    for functions in [500usize, 2_000, 8_000] {
+        group.throughput(criterion::Throughput::Elements(functions as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(functions), &functions, |b, &n| {
+            let cfg = AzureTraceConfig::scaled(1, n, (n as u64) * 1_000);
+            b.iter(|| generate(&cfg));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("trace_gen/huawei");
+    group.sample_size(10);
+    group.bench_function("small", |b| {
+        let cfg = HuaweiTraceConfig::small(1);
+        b.iter(|| gen_huawei(&cfg));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_gen);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Ablation: workload-selection balance strategy (paper §3.1.3's selection
+//! pass vs the nearest-only mapping of Ilúvatar-style tools).
+
+use faasrail_bench::*;
+use faasrail_core::aggregate::{aggregate, DurationResolution};
+use faasrail_core::mapping::{map_functions, BalanceStrategy, MappingConfig};
+use faasrail_stats::ecdf::WeightedEcdf;
+use faasrail_stats::ks_distance_weighted;
+use faasrail_trace::summarize::invocations_duration_wecdf;
+use faasrail_workloads::WorkloadKind;
+use std::collections::BTreeMap;
+
+fn main() {
+    let trace = azure_trace(Scale::from_env(), seed_from_env());
+    let (pool, _) = pools();
+    let agg = aggregate(&trace, DurationResolution::Millisecond);
+    let target = invocations_duration_wecdf(&trace);
+
+    comment("Ablation: balance strategy (Azure mapping)");
+    println!("strategy,ks_mapped,distinct_workloads,benchmark_entropy_bits,max_kind_share");
+    for (name, strategy) in [
+        ("by_invocations", BalanceStrategy::ByInvocations),
+        ("by_function_count", BalanceStrategy::ByFunctionCount),
+        ("nearest_only", BalanceStrategy::NearestOnly),
+    ] {
+        let cfg = MappingConfig { balance: strategy, ..Default::default() };
+        let m = map_functions(&agg, &pool, &cfg);
+        let mapped = WeightedEcdf::new(m.assignments.iter().map(|a| {
+            (
+                pool.get(a.workload).expect("mapped").mean_ms,
+                agg.functions[a.function_index as usize].total_invocations() as f64,
+            )
+        }));
+        // Invocation share per benchmark kind → Shannon entropy.
+        let mut per_kind: BTreeMap<WorkloadKind, f64> = BTreeMap::new();
+        let mut total = 0.0;
+        for a in &m.assignments {
+            let w = agg.functions[a.function_index as usize].total_invocations() as f64;
+            *per_kind.entry(pool.get(a.workload).expect("mapped").kind()).or_insert(0.0) += w;
+            total += w;
+        }
+        let entropy: f64 = per_kind
+            .values()
+            .map(|&v| {
+                let p = v / total;
+                if p > 0.0 {
+                    -p * p.log2()
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        let max_share = per_kind.values().cloned().fold(0.0, f64::max) / total;
+        let mut distinct: Vec<u32> = m.assignments.iter().map(|a| a.workload.0).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        println!(
+            "{name},{:.4},{},{:.3},{:.3}",
+            ks_distance_weighted(&target, &mapped),
+            distinct.len(),
+            entropy,
+            max_share
+        );
+    }
+    comment("expected shape: balanced strategies raise benchmark entropy and");
+    comment("distinct-workload counts at equal (or negligibly worse) KS.");
+}

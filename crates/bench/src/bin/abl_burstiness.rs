@@ -1,0 +1,43 @@
+//! Ablation: sub-minute inter-arrival models (paper §3.2.1.3 plus this
+//! repo's Cox-process extension toward the Huawei trace's per-second
+//! burstiness, paper §3.3).
+
+use faasrail_bench::*;
+use faasrail_core::{generate_requests, shrink, IatModel, ShrinkRayConfig};
+use faasrail_stats::timeseries::fano_factor;
+
+fn main() {
+    let seed = seed_from_env();
+    let trace = azure_trace(Scale::from_env(), seed);
+    let (pool, _) = pools();
+    let (base_spec, _) = shrink(&trace, &pool, &ShrinkRayConfig::new(60, 20.0)).expect("shrink");
+
+    comment("Ablation: sub-minute IAT model (1h, 20 rps, Azure)");
+    println!("model,requests,per_second_fano,peak_second,per_minute_fano");
+    for (name, iat) in [
+        ("equidistant", IatModel::Equidistant),
+        ("uniform", IatModel::UniformRandom),
+        ("poisson", IatModel::Poisson),
+        ("bursty_cv0.5", IatModel::Bursty { cv: 0.5 }),
+        ("bursty_cv1.5", IatModel::Bursty { cv: 1.5 }),
+        ("bursty_cv3.0", IatModel::Bursty { cv: 3.0 }),
+    ] {
+        let mut spec = base_spec.clone();
+        spec.iat = iat;
+        let reqs = generate_requests(&spec, seed);
+        let secs = reqs.per_second_counts();
+        println!(
+            "{name},{},{:.3},{},{:.3}",
+            reqs.len(),
+            fano_factor(&secs),
+            secs.iter().copied().max().unwrap_or(0),
+            fano_factor(&reqs.per_minute_counts()),
+        );
+    }
+    comment("expected shape: second-scale Fano rises from uniform/Poisson");
+    comment("(~1) to bursty CV=3 (>>1), with minute-level trends intact.");
+    comment("note: equidistant is NOT smooth in aggregate — thousands of");
+    comment("once-per-minute Functions all fire at the same intra-minute");
+    comment("offset (count=1 => second 30), synchronizing into spikes; one");
+    comment("more reason the paper prefers the Poisson sub-minute model.");
+}

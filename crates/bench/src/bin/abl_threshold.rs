@@ -1,0 +1,44 @@
+//! Ablation: the mapping error threshold (paper §3.1.3's one tunable).
+//!
+//! Sweeps the relative-error threshold and reports the trade-off: tighter
+//! thresholds reduce per-Function duration error but force more
+//! nearest-neighbour fallbacks and concentrate load on fewer Workloads.
+
+use faasrail_bench::*;
+use faasrail_core::aggregate::{aggregate, DurationResolution};
+use faasrail_core::mapping::{map_functions, MappingConfig};
+use faasrail_stats::ecdf::WeightedEcdf;
+use faasrail_stats::ks_distance_weighted;
+use faasrail_trace::summarize::invocations_duration_wecdf;
+
+fn main() {
+    let trace = azure_trace(Scale::from_env(), seed_from_env());
+    let (pool, _) = pools();
+    let agg = aggregate(&trace, DurationResolution::Millisecond);
+    let target = invocations_duration_wecdf(&trace);
+
+    comment("Ablation: mapping error threshold sweep (Azure trace)");
+    println!("threshold,ks_mapped,weighted_rel_error,fallback_fraction,distinct_workloads");
+    for threshold in [0.01, 0.02, 0.05, 0.10, 0.20, 0.35, 0.50] {
+        let cfg = MappingConfig { error_threshold: threshold, ..Default::default() };
+        let m = map_functions(&agg, &pool, &cfg);
+        let mapped = WeightedEcdf::new(m.assignments.iter().map(|a| {
+            (
+                pool.get(a.workload).expect("mapped").mean_ms,
+                agg.functions[a.function_index as usize].total_invocations() as f64,
+            )
+        }));
+        let mut distinct: Vec<u32> = m.assignments.iter().map(|a| a.workload.0).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        println!(
+            "{threshold},{:.4},{:.4},{:.4},{}",
+            ks_distance_weighted(&target, &mapped),
+            m.stats.weighted_rel_error,
+            m.stats.fallbacks as f64 / m.stats.functions as f64,
+            distinct.len()
+        );
+    }
+    comment("expected shape: KS grows slowly with threshold; fallbacks and");
+    comment("concentration grow sharply as the threshold tightens below ~5%.");
+}

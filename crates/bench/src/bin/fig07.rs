@@ -1,0 +1,41 @@
+//! Figure 7: memory CDFs — Azure applications vs the distinct Workloads
+//! appearing in a FaaSRail Spec-mode request trace.
+
+use faasrail_bench::*;
+use faasrail_core::{shrink, ShrinkRayConfig};
+use faasrail_stats::ecdf::Ecdf;
+use faasrail_trace::summarize::app_memory_ecdf;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = seed_from_env();
+    let trace = azure_trace(scale, seed);
+    let (pool, _) = pools();
+
+    let cfg = ShrinkRayConfig::new(120, 20.0);
+    let (spec, _) = shrink(&trace, &pool, &cfg).expect("shrink");
+    let mut ids: Vec<u32> = spec.entries.iter().map(|e| e.workload.0).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    let mems: Vec<f64> =
+        ids.iter().map(|&i| pool.workloads()[i as usize].memory_mb).collect();
+
+    comment("Figure 7: CDFs of memory usage (MiB)");
+    comment(&format!(
+        "azure apps = {}, distinct spec workloads = {} over {} requests",
+        trace.apps.len(),
+        mems.len(),
+        spec.total_requests()
+    ));
+    println!("series,memory_mb,cdf");
+    print_cdf("azure_apps", &app_memory_ecdf(&trace), 200);
+    print_cdf("faasrail_workloads", &Ecdf::new(&mems), 200);
+
+    comment("--- summary ---");
+    let azure_med = app_memory_ecdf(&trace).quantile(0.5);
+    let pool_med = Ecdf::new(&mems).quantile(0.5);
+    comment(&format!(
+        "median memory: azure apps {azure_med:.0} MiB, faasrail workloads {pool_med:.0} MiB \
+         (paper: 'not that dissimilar ... clearly shifted to its left')"
+    ));
+}

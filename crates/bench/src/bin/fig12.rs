@@ -1,0 +1,66 @@
+//! Figure 12: balance among benchmark types — the share of produced
+//! requests per initial FunctionBench benchmark, for (a) the Azure mapping
+//! in Spec mode and (b) the Huawei mapping in Smirnov-Transform mode.
+
+use faasrail_bench::*;
+use faasrail_core::smirnov::{self, SmirnovConfig};
+use faasrail_core::{generate_requests, shrink, ShrinkRayConfig};
+use faasrail_workloads::WorkloadKind;
+use std::collections::BTreeMap;
+
+fn print_balance(label: &str, counts: &BTreeMap<WorkloadKind, u64>) {
+    let total: u64 = counts.values().sum();
+    for kind in WorkloadKind::ALL {
+        let c = counts.get(&kind).copied().unwrap_or(0);
+        println!("{label},{},{:.4}", kind.name(), c as f64 / total as f64);
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = seed_from_env();
+    let (pool, _) = pools();
+
+    // (a) Azure, Spec mode, 2 h / 20 rps (~118 K requests at paper scale).
+    let azure = azure_trace(scale, seed);
+    let (spec, _) = shrink(&azure, &pool, &ShrinkRayConfig::new(120, 20.0)).expect("shrink");
+    let reqs = generate_requests(&spec, seed);
+    let azure_counts = reqs.counts_by_kind(&pool);
+
+    comment(&format!(
+        "Figure 12a: benchmark balance, Azure Spec mode ({} requests; paper: ~118K)",
+        reqs.len()
+    ));
+    println!("panel,benchmark,relative_occurrence");
+    print_balance("12a_azure_spec", &azure_counts);
+
+    // (b) Huawei, Smirnov mode, 35 K invocations.
+    let huawei = huawei_trace(scale, seed);
+    let cfg = SmirnovConfig { num_invocations: 35_000, ..SmirnovConfig::paper_default(seed) };
+    let (_, report) = smirnov::generate(&huawei, &pool, &cfg);
+
+    comment("Figure 12b: benchmark balance, Huawei Smirnov mode (35000 requests)");
+    print_balance("12b_huawei_smirnov", &report.counts_by_kind);
+
+    comment("--- summary ---");
+    let total: u64 = azure_counts.values().sum();
+    let lr_tr = azure_counts.get(&WorkloadKind::LrTraining).copied().unwrap_or(0);
+    let cnn = azure_counts.get(&WorkloadKind::CnnServing).copied().unwrap_or(0);
+    comment(&format!(
+        "12a: lr_training share {:.4}, cnn_serving share {:.4} (paper: both very low)",
+        lr_tr as f64 / total as f64,
+        cnn as f64 / total as f64
+    ));
+    let h_total: u64 = report.counts_by_kind.values().sum();
+    let aes = report.counts_by_kind.get(&WorkloadKind::Pyaes).copied().unwrap_or(0);
+    comment(&format!(
+        "12b: pyaes share {:.3} (paper: ~0.48); absent benchmarks: {}",
+        aes as f64 / h_total as f64,
+        WorkloadKind::ALL
+            .iter()
+            .filter(|k| !report.counts_by_kind.contains_key(k))
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join("/")
+    ));
+}

@@ -1,0 +1,28 @@
+//! Table 1: the FunctionBench workloads adopted by FaaSRail, with their
+//! descriptions — plus, beyond the paper, each workload's vanilla modelled
+//! runtime and footprint and its augmented variant count in the pool.
+
+use faasrail_bench::{comment, pools};
+use faasrail_workloads::{CostModel, WorkloadInput, WorkloadKind};
+
+fn main() {
+    let model = CostModel::default_calibration();
+    let (pool, _) = pools();
+    let counts = pool.counts_by_kind();
+
+    comment("Table 1: workloads adopted from the FunctionBench suite");
+    println!("workload,description,profile,vanilla_ms,vanilla_mb,pool_variants");
+    for kind in WorkloadKind::ALL {
+        let input = WorkloadInput::vanilla(kind);
+        println!(
+            "{},{},{:?},{:.2},{:.1},{}",
+            kind.name(),
+            kind.description(),
+            kind.profile(),
+            model.predict_ms(&input),
+            input.memory_mb(),
+            counts.get(&kind).copied().unwrap_or(0),
+        );
+    }
+    comment(&format!("pool cardinality: {} (paper: 2291)", pool.len()));
+}

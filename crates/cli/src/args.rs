@@ -1,0 +1,117 @@
+//! Minimal command-line argument parsing (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed arguments: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    pub command: String,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse from an iterator of arguments (excluding the program name).
+    ///
+    /// Grammar: `<command> (--key value | --flag)*`. A `--key` followed by
+    /// another `--…` token or nothing is treated as a boolean flag.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
+        let mut it = args.into_iter().peekable();
+        let command = it.next().ok_or("missing command")?;
+        if command.starts_with("--") {
+            return Err(format!("expected a command, found option {command}"));
+        }
+        let mut out = Args { command, ..Default::default() };
+        while let Some(tok) = it.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument {tok}"));
+            };
+            match it.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let val = it.next().expect("peeked");
+                    out.options.insert(key.to_string(), val);
+                }
+                _ => out.flags.push(key.to_string()),
+            }
+        }
+        Ok(out)
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// String option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Parsed numeric option with a default.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(s) => s.parse().map_err(|_| format!("invalid value for --{key}: {s}")),
+        }
+    }
+
+    /// Boolean flag presence.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Result<Args, String> {
+        Args::parse(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn basic_parse() {
+        let a = parse(&["shrink", "--minutes", "120", "--max-rps", "20", "--verbose"]).unwrap();
+        assert_eq!(a.command, "shrink");
+        assert_eq!(a.get("minutes"), Some("120"));
+        assert_eq!(a.num::<f64>("max-rps", 0.0).unwrap(), 20.0);
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn defaults_and_requirements() {
+        let a = parse(&["gen-trace"]).unwrap();
+        assert_eq!(a.get_or("kind", "azure"), "azure");
+        assert_eq!(a.num::<u64>("seed", 42).unwrap(), 42);
+        assert!(a.require("out").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_command() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--minutes", "1"]).is_err());
+    }
+
+    #[test]
+    fn rejects_positional() {
+        assert!(parse(&["cmd", "stray"]).is_err());
+    }
+
+    #[test]
+    fn trailing_flag() {
+        let a = parse(&["cmd", "--measure"]).unwrap();
+        assert!(a.flag("measure"));
+    }
+
+    #[test]
+    fn invalid_number() {
+        let a = parse(&["cmd", "--n", "abc"]).unwrap();
+        assert!(a.num::<u32>("n", 1).is_err());
+    }
+}

@@ -1,0 +1,487 @@
+//! `faasrail` — the command-line interface to the shrink ray and the load
+//! generator.
+//!
+//! ```text
+//! faasrail gen-trace  --kind azure|huawei [--scale small|paper] [--seed N] --out trace.json
+//! faasrail build-pool [--measure] --out pool.json
+//! faasrail shrink     --trace t.json --pool p.json --minutes N --max-rps X
+//!                     [--minute-range START] [--iat poisson|uniform|equidistant]
+//!                     [--threshold 0.1] --out spec.json
+//! faasrail requests   --spec spec.json [--seed N] --out reqs.json
+//! faasrail smirnov    --trace t.json --pool p.json --invocations N --rate X
+//!                     [--seed N] --out reqs.json
+//! faasrail simulate   --requests r.json --pool p.json [--nodes N] [--cores N]
+//!                     [--policy fixed-ttl|lru|greedy-dual|hybrid-histogram]
+//!                     [--balancer round-robin|least-loaded|warm-first|hash]
+//! faasrail replay     --requests r.json --pool p.json [--compression X] [--workers N]
+//! faasrail calibrate  [--repeats N]
+//! faasrail analyze    --trace t.json
+//! faasrail compare    --a r1.json --b r2.json --pool p.json
+//! faasrail evaluate   --trace t.json --requests r.json --pool p.json
+//! faasrail export     --trace t.json --out-dir DIR   # real Azure CSV schema
+//! ```
+//!
+//! IAT models accept `poisson`, `uniform`, `equidistant`, `bursty`, or
+//! `bursty:<cv>` (the Cox-process extension).
+
+mod args;
+
+use args::Args;
+use faasrail_core::{
+    generate_requests, shrink, IatModel, MappingConfig, RequestTrace, ShrinkRayConfig,
+    SmirnovConfig, TimeScaling,
+};
+use faasrail_faas_sim::{
+    simulate, ClusterConfig, FixedTtl, GreedyDual, HashAffinity, KeepAlivePolicy, LeastLoaded,
+    LoadBalancer, LruPolicy, RoundRobin, SimOptions, WarmCacheBackend, WarmCacheConfig, WarmFirst,
+};
+use faasrail_loadgen::{replay, Pacing, ReplayConfig};
+use faasrail_trace::azure::AzureTraceConfig;
+use faasrail_trace::huawei::HuaweiTraceConfig;
+use faasrail_trace::Trace;
+use faasrail_workloads::calibrate::{quick_calibration, CalibrationOptions};
+use faasrail_workloads::{CostModel, WorkloadKind, WorkloadPool};
+use std::fs;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: faasrail <gen-trace|build-pool|shrink|requests|smirnov|simulate|replay|calibrate|analyze|compare|evaluate|export> [options]
+run with a bad option to see each command's requirements; see crate docs for the full grammar";
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn read_json<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, String> {
+    let s = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&s).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), String> {
+    let s = serde_json::to_string(value).map_err(|e| format!("serializing: {e}"))?;
+    fs::write(path, s).map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    match args.command.as_str() {
+        "gen-trace" => gen_trace(args),
+        "build-pool" => build_pool(args),
+        "shrink" => cmd_shrink(args),
+        "requests" => cmd_requests(args),
+        "smirnov" => cmd_smirnov(args),
+        "simulate" => cmd_simulate(args),
+        "replay" => cmd_replay(args),
+        "calibrate" => cmd_calibrate(args),
+        "analyze" => cmd_analyze(args),
+        "evaluate" => cmd_evaluate(args),
+        "export" => cmd_export(args),
+        "compare" => cmd_compare(args),
+        other => Err(format!("unknown command {other}\n{USAGE}")),
+    }
+}
+
+/// `faasrail evaluate --trace t.json --requests r.json --pool p.json` —
+/// score a generated request trace against a production trace on the
+/// paper's four critical statistical properties.
+fn cmd_evaluate(args: &Args) -> Result<(), String> {
+    let trace: Trace = read_json(args.require("trace")?)?;
+    let requests: RequestTrace = read_json(args.require("requests")?)?;
+    let pool: WorkloadPool = read_json(args.require("pool")?)?;
+    let r = faasrail_core::evaluate(&trace, &requests, &pool);
+    println!("property (i)   KS distinct-workload durations : {:.4}", r.ks_workload_durations);
+    println!("property (ii)  |top-1% share error|           : {:.4}", r.top1_share_error);
+    println!("               |top-10% share error|          : {:.4}", r.top10_share_error);
+    println!("property (iii) KS invocation durations        : {:.4}", r.ks_invocation_durations);
+    println!("property (iv)  load-shape MAE                 : {:.4}", r.load_shape_mae);
+    println!("               burstiness ratio (gen/trace)   : {:.3}", r.burstiness_ratio);
+    println!("worst distribution distance                   : {:.4}", r.worst_distance());
+    Ok(())
+}
+
+/// `faasrail export --trace t.json --out-dir DIR` — write a trace in the
+/// real Azure CSV schema (interop with other Azure-schema tools).
+fn cmd_export(args: &Args) -> Result<(), String> {
+    use faasrail_trace::writer;
+    let trace: Trace = read_json(args.require("trace")?)?;
+    let dir = std::path::Path::new(args.require("out-dir")?);
+    fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let write = |name: &str, f: &dyn Fn(&mut Vec<u8>) -> std::io::Result<()>| {
+        let mut buf = Vec::new();
+        f(&mut buf).map_err(|e| format!("{name}: {e}"))?;
+        let path = dir.join(name);
+        fs::write(&path, buf).map_err(|e| format!("writing {}: {e}", path.display()))
+    };
+    write("invocations_per_function.csv", &|b| writer::write_invocations(&trace, b))?;
+    write("function_durations.csv", &|b| writer::write_durations(&trace, b))?;
+    write("app_memory.csv", &|b| writer::write_memory(&trace, b))?;
+    eprintln!(
+        "exported {} functions / {} apps to {}",
+        trace.functions.len(),
+        trace.apps.len(),
+        dir.display()
+    );
+    Ok(())
+}
+
+/// `faasrail analyze --trace t.json` — print the critical statistical
+/// properties of a trace (the quantities FaaSRail preserves).
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    use faasrail_stats::timeseries::{fano_factor, peak};
+    use faasrail_trace::summarize;
+    let trace: Trace = read_json(args.require("trace")?)?;
+    faasrail_trace::validate(&trace).map_err(|e| e.to_string())?;
+
+    println!("kind: {:?}; functions: {}; apps: {}", trace.kind, trace.functions.len(), trace.apps.len());
+    println!("invocations (selected day): {}", trace.total_invocations());
+
+    let fe = summarize::functions_duration_ecdf(&trace);
+    println!(
+        "function durations ms: p10 {:.1}  p50 {:.1}  p90 {:.1}  p99 {:.1}  (sub-second: {:.1}%)",
+        fe.quantile(0.10),
+        fe.quantile(0.50),
+        fe.quantile(0.90),
+        fe.quantile(0.99),
+        fe.eval(1_000.0) * 100.0
+    );
+    let we = summarize::invocations_duration_wecdf(&trace);
+    println!("invocation durations: sub-second {:.1}%", we.eval(1_000.0) * 100.0);
+    for frac in [0.01, 0.08, 0.20] {
+        println!(
+            "top {:>4.1}% of functions hold {:.1}% of invocations",
+            frac * 100.0,
+            summarize::top_share(&trace, frac) * 100.0
+        );
+    }
+    let agg = trace.aggregate_minutes();
+    let (peak_minute, peak_count) = peak(&agg).unwrap_or((0, 0));
+    println!(
+        "load: peak {} req/min at minute {}; per-minute Fano {:.1}",
+        peak_count,
+        peak_minute,
+        fano_factor(&agg)
+    );
+    let breakdown = summarize::trigger_breakdown(&trace);
+    let parts: Vec<String> =
+        breakdown.iter().map(|(k, v)| format!("{k} {:.1}%", v * 100.0)).collect();
+    println!("triggers by invocation share: {}", parts.join(", "));
+    let sel = faasrail_core::dayselect::select_day(&trace, 0.8);
+    println!(
+        "day-sampling safety: CV(dur)<1 for {:.1}%, CV(inv)<1 for {:.1}% → single day safe: {}",
+        sel.stable_duration_fraction * 100.0,
+        sel.stable_invocations_fraction * 100.0,
+        sel.single_day_safe
+    );
+    Ok(())
+}
+
+/// `faasrail compare --a r1.json --b r2.json --pool p.json` — how close are
+/// two request traces, in the properties that matter?
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    use faasrail_stats::ecdf::WeightedEcdf;
+    use faasrail_stats::{ks_distance_weighted, timeseries::normalize_peak};
+    let a: RequestTrace = read_json(args.require("a")?)?;
+    let b: RequestTrace = read_json(args.require("b")?)?;
+    let pool: WorkloadPool = read_json(args.require("pool")?)?;
+
+    let wa = WeightedEcdf::new(a.expected_durations(&pool).into_iter().map(|d| (d, 1.0)));
+    let wb = WeightedEcdf::new(b.expected_durations(&pool).into_iter().map(|d| (d, 1.0)));
+    println!("requests: a={} b={}", a.len(), b.len());
+    println!("KS(expected invocation durations) = {:.4}", ks_distance_weighted(&wa, &wb));
+
+    // Load-shape comparison over the common duration.
+    let minutes = a.duration_minutes.min(b.duration_minutes);
+    if minutes > 0 {
+        let na = normalize_peak(&a.per_minute_counts()[..minutes]);
+        let nb = normalize_peak(&b.per_minute_counts()[..minutes]);
+        let mae: f64 =
+            na.iter().zip(&nb).map(|(x, y)| (x - y).abs()).sum::<f64>() / minutes as f64;
+        println!("load-shape mean abs error over {minutes} common minutes = {mae:.4}");
+    }
+
+    let ca = a.counts_by_kind(&pool);
+    let cb = b.counts_by_kind(&pool);
+    println!("{:<18} {:>8} {:>8}", "benchmark", "a %", "b %");
+    for kind in WorkloadKind::ALL {
+        let fa = ca.get(&kind).copied().unwrap_or(0) as f64 / a.len().max(1) as f64;
+        let fb = cb.get(&kind).copied().unwrap_or(0) as f64 / b.len().max(1) as f64;
+        println!("{:<18} {:>7.2}% {:>7.2}%", kind.name(), fa * 100.0, fb * 100.0);
+    }
+    Ok(())
+}
+
+fn gen_trace(args: &Args) -> Result<(), String> {
+    let seed = args.num("seed", 42u64)?;
+    let scale = args.get_or("scale", "small");
+    let trace = match args.get_or("kind", "azure") {
+        "azure" => {
+            let cfg = match scale {
+                "paper" => AzureTraceConfig::paper_scale(seed),
+                "small" => AzureTraceConfig::small(seed),
+                s => return Err(format!("unknown scale {s}")),
+            };
+            faasrail_trace::azure::generate(&cfg)
+        }
+        "huawei" => {
+            let cfg = match scale {
+                "paper" => HuaweiTraceConfig::paper_scale(seed),
+                "small" => HuaweiTraceConfig::small(seed),
+                s => return Err(format!("unknown scale {s}")),
+            };
+            faasrail_trace::huawei::generate(&cfg)
+        }
+        k => return Err(format!("unknown trace kind {k}")),
+    };
+    let out = args.require("out")?;
+    write_json(out, &trace)?;
+    eprintln!(
+        "wrote {out}: {} functions, {} invocations on the selected day",
+        trace.functions.len(),
+        trace.total_invocations()
+    );
+    Ok(())
+}
+
+fn build_pool(args: &Args) -> Result<(), String> {
+    let model = if args.flag("measure") {
+        eprintln!("measuring kernel warm times (quick calibration)...");
+        quick_calibration(&CalibrationOptions::default())
+    } else {
+        CostModel::default_calibration()
+    };
+    let pool = WorkloadPool::build_modelled(&model);
+    let out = args.require("out")?;
+    write_json(out, &pool)?;
+    eprintln!("wrote {out}: {} workloads from {} benchmarks", pool.len(), WorkloadKind::ALL.len());
+    Ok(())
+}
+
+fn parse_iat(s: &str) -> Result<IatModel, String> {
+    match s {
+        "poisson" => Ok(IatModel::Poisson),
+        "uniform" => Ok(IatModel::UniformRandom),
+        "equidistant" => Ok(IatModel::Equidistant),
+        "bursty" => Ok(IatModel::Bursty { cv: 1.5 }),
+        _ => match s.strip_prefix("bursty:").map(str::parse::<f64>) {
+            Some(Ok(cv)) if cv >= 0.0 => Ok(IatModel::Bursty { cv }),
+            _ => Err(format!("unknown iat model {s} (try poisson|uniform|equidistant|bursty[:cv])")),
+        },
+    }
+}
+
+fn cmd_shrink(args: &Args) -> Result<(), String> {
+    let trace: Trace = read_json(args.require("trace")?)?;
+    let pool: WorkloadPool = read_json(args.require("pool")?)?;
+    let minutes = args.num("minutes", 120usize)?;
+    let max_rps = args.num("max-rps", 20.0f64)?;
+    let mut cfg = ShrinkRayConfig::new(minutes, max_rps);
+    if let Some(start) = args.get("minute-range") {
+        let start = start.parse().map_err(|_| "invalid --minute-range")?;
+        cfg.time_scaling = TimeScaling::MinuteRange { start, experiment_minutes: minutes };
+    }
+    cfg.iat = parse_iat(args.get_or("iat", "poisson"))?;
+    cfg.mapping = MappingConfig {
+        error_threshold: args.num("threshold", 0.10f64)?,
+        ..MappingConfig::default()
+    };
+    let (spec, report) = shrink(&trace, &pool, &cfg).map_err(|e| e.to_string())?;
+    let out = args.require("out")?;
+    write_json(out, &spec)?;
+    eprintln!(
+        "wrote {out}: {} requests / {} minutes (peak {}/min); {} functions → {} Functions; \
+         mapping weighted error {:.2}%; day-sampling safe: {}",
+        spec.total_requests(),
+        spec.duration_minutes,
+        spec.peak_per_minute(),
+        report.trace_functions,
+        report.aggregated_functions,
+        report.mapping.weighted_rel_error * 100.0,
+        report.day.single_day_safe
+    );
+    Ok(())
+}
+
+fn cmd_requests(args: &Args) -> Result<(), String> {
+    let spec = read_json(args.require("spec")?)?;
+    let seed = args.num("seed", 42u64)?;
+    let reqs = generate_requests(&spec, seed);
+    let out = args.require("out")?;
+    write_json(out, &reqs)?;
+    eprintln!("wrote {out}: {} timestamped requests", reqs.len());
+    Ok(())
+}
+
+fn cmd_smirnov(args: &Args) -> Result<(), String> {
+    let trace: Trace = read_json(args.require("trace")?)?;
+    let pool: WorkloadPool = read_json(args.require("pool")?)?;
+    let cfg = SmirnovConfig {
+        num_invocations: args.num("invocations", 120_408usize)?,
+        rate_rps: args.num("rate", 20.0f64)?,
+        iat: parse_iat(args.get_or("iat", "poisson"))?,
+        mapping: MappingConfig::default(),
+        seed: args.num("seed", 42u64)?,
+    };
+    let (reqs, report) = faasrail_core::smirnov::generate(&trace, &pool, &cfg);
+    let out = args.require("out")?;
+    write_json(out, &reqs)?;
+    eprintln!(
+        "wrote {out}: {} requests; {:.1}% mapped within threshold; per-kind: {:?}",
+        reqs.len(),
+        report.within_threshold_fraction * 100.0,
+        report.counts_by_kind.iter().map(|(k, c)| (k.name(), *c)).collect::<Vec<_>>()
+    );
+    Ok(())
+}
+
+fn parse_policy(s: &str) -> Result<Box<dyn KeepAlivePolicy>, String> {
+    match s {
+        "fixed-ttl" => Ok(Box::new(FixedTtl::ten_minutes())),
+        "lru" => Ok(Box::new(LruPolicy)),
+        "greedy-dual" => Ok(Box::new(GreedyDual)),
+        "hybrid-histogram" => Ok(Box::new(faasrail_faas_sim::HybridHistogram::new())),
+        _ => Err(format!("unknown keep-alive policy {s}")),
+    }
+}
+
+fn parse_balancer(s: &str) -> Result<Box<dyn LoadBalancer>, String> {
+    match s {
+        "round-robin" => Ok(Box::new(RoundRobin::default())),
+        "least-loaded" => Ok(Box::new(LeastLoaded)),
+        "warm-first" => Ok(Box::new(WarmFirst)),
+        "hash" => Ok(Box::new(HashAffinity)),
+        _ => Err(format!("unknown balancer {s}")),
+    }
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let reqs: RequestTrace = read_json(args.require("requests")?)?;
+    let pool: WorkloadPool = read_json(args.require("pool")?)?;
+    let cluster = ClusterConfig {
+        nodes: args.num("nodes", 4usize)?,
+        cores_per_node: args.num("cores", 16usize)?,
+        ..Default::default()
+    };
+    let mut policy = parse_policy(args.get_or("policy", "fixed-ttl"))?;
+    let mut balancer = parse_balancer(args.get_or("balancer", "warm-first"))?;
+    let m = simulate(
+        &reqs,
+        &pool,
+        &cluster,
+        balancer.as_mut(),
+        policy.as_mut(),
+        &SimOptions { service_jitter_sigma: args.num("jitter", 0.0f64)?, seed: 0 },
+    );
+    println!(
+        "policy={} balancer={} completions={} cold={:.2}% p50={:.1}ms p99={:.1}ms \
+         util={:.1}% idle_mem={:.0}MiB starved={}",
+        m.policy,
+        m.balancer,
+        m.completions,
+        m.cold_start_fraction() * 100.0,
+        m.response.quantile(0.5) * 1_000.0,
+        m.response.quantile(0.99) * 1_000.0,
+        m.utilization() * 100.0,
+        m.mean_idle_memory_mb(),
+        m.starved
+    );
+    Ok(())
+}
+
+fn cmd_replay(args: &Args) -> Result<(), String> {
+    let reqs: RequestTrace = read_json(args.require("requests")?)?;
+    let pool: WorkloadPool = read_json(args.require("pool")?)?;
+    let backend = WarmCacheBackend::new(pool.clone(), WarmCacheConfig::default());
+    let cfg = ReplayConfig {
+        pacing: Pacing::RealTime { compression: args.num("compression", 1.0f64)? },
+        workers: args.num("workers", 8usize)?,
+    };
+    eprintln!("replaying {} requests against the warm-cache backend...", reqs.len());
+    let m = replay(&reqs, &pool, &backend, &cfg);
+    println!(
+        "issued={} completed={} errors={} cold={} p50={:.1}ms p99={:.1}ms lateness_p99={:.2}ms",
+        m.issued,
+        m.completed,
+        m.errors,
+        m.cold_starts,
+        m.response_quantile_ms(0.5),
+        m.response_quantile_ms(0.99),
+        m.lateness.quantile(0.99) * 1_000.0
+    );
+    Ok(())
+}
+
+fn cmd_calibrate(args: &Args) -> Result<(), String> {
+    let opts = CalibrationOptions { warmups: 2, repeats: args.num("repeats", 5u32)? };
+    eprintln!("running quick calibration ({} repeats per point)...", opts.repeats);
+    let model = quick_calibration(&opts);
+    for kind in WorkloadKind::ALL {
+        let c = model.cost(kind);
+        println!(
+            "{:<18} overhead={:>9.1}us  ns_per_unit={:>10.3}",
+            kind.name(),
+            c.overhead_us,
+            c.ns_per_unit
+        );
+    }
+    if let Some(out) = args.get("out") {
+        write_json(out, &model)?;
+        eprintln!("wrote {out}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_iat_all_forms() {
+        assert_eq!(parse_iat("poisson").unwrap(), IatModel::Poisson);
+        assert_eq!(parse_iat("uniform").unwrap(), IatModel::UniformRandom);
+        assert_eq!(parse_iat("equidistant").unwrap(), IatModel::Equidistant);
+        assert_eq!(parse_iat("bursty").unwrap(), IatModel::Bursty { cv: 1.5 });
+        assert_eq!(parse_iat("bursty:2.5").unwrap(), IatModel::Bursty { cv: 2.5 });
+        assert!(parse_iat("bursty:-1").is_err());
+        assert!(parse_iat("gaussian").is_err());
+    }
+
+    #[test]
+    fn parse_policy_names() {
+        for name in ["fixed-ttl", "lru", "greedy-dual", "hybrid-histogram"] {
+            assert!(parse_policy(name).is_ok(), "{name}");
+        }
+        assert!(parse_policy("mru").is_err());
+    }
+
+    #[test]
+    fn parse_balancer_names() {
+        for name in ["round-robin", "least-loaded", "warm-first", "hash"] {
+            assert!(parse_balancer(name).is_ok(), "{name}");
+        }
+        assert!(parse_balancer("random").is_err());
+    }
+
+    #[test]
+    fn json_io_roundtrip() {
+        let dir = std::env::temp_dir().join("faasrail-cli-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spec.json");
+        let path = path.to_str().unwrap();
+        let value = vec![1u64, 2, 3];
+        write_json(path, &value).unwrap();
+        let back: Vec<u64> = read_json(path).unwrap();
+        assert_eq!(value, back);
+        assert!(read_json::<Vec<u64>>("/nonexistent/x.json").is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Fitting the sub-minute arrival model to a trace's burstiness.
+//!
+//! The paper (§3.3, "Sub-minute behavior") defaults to Poisson arrivals
+//! because Azure reports only per-minute counts, while noting the Huawei
+//! trace shows burstiness at second scale and flagging its incorporation as
+//! future work. This module closes that gap heuristically: it estimates the
+//! trace's *minute-scale* overdispersion (detrended of diurnal shape) and
+//! fits the Cox-process [`IatModel::Bursty`] multiplier CV under the
+//! self-similarity assumption that sub-minute burstiness mirrors
+//! minute-scale burstiness.
+//!
+//! For a Gamma-modulated Poisson process with per-interval mean `λ` and
+//! unit-mean multiplier CV `v`, per-interval counts have
+//! `Var = λ + λ²v²  ⇒  v² = (Fano − 1) / λ`, which is what we invert here.
+
+use crate::spec::IatModel;
+use faasrail_stats::timeseries::moving_average;
+use faasrail_stats::Summary;
+use faasrail_trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// What the fit measured (for reporting alongside the chosen model).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstinessFit {
+    /// Invocation-weighted mean of per-function multiplier CV estimates.
+    pub cv: f64,
+    /// Functions with enough volume to estimate (≥ 1 invocation/minute).
+    pub functions_measured: usize,
+    /// The recommended model.
+    pub model: IatModel,
+}
+
+/// Per-function multiplier-CV estimate from its detrended minute series.
+/// Returns `None` when the function is too sparse to measure.
+fn function_cv(dense: &[u64]) -> Option<f64> {
+    let total: u64 = dense.iter().sum();
+    if (total as usize) < dense.len() {
+        return None; // below ~1/min: minute counts are almost all 0/1
+    }
+    let counts: Vec<f64> = dense.iter().map(|&c| c as f64).collect();
+    // Remove the diurnal trend so only sub-hour burstiness remains.
+    let trend = moving_average(&counts, 61);
+    let residuals: Vec<f64> = counts.iter().zip(&trend).map(|(c, t)| c - t).collect();
+    let mean = total as f64 / dense.len() as f64;
+    let var = Summary::from_slice(&residuals).variance();
+    let excess = (var - mean).max(0.0); // Poisson noise contributes `mean`
+    Some((excess / (mean * mean)).sqrt())
+}
+
+/// Fit the sub-minute model to a trace.
+///
+/// Traces whose (detrended) minute counts are Poisson-like (CV below
+/// `poisson_cutoff`, default 0.35) get [`IatModel::Poisson`]; burstier
+/// traces get [`IatModel::Bursty`] with the measured CV (capped at 4).
+pub fn fit_iat_model(trace: &Trace, poisson_cutoff: f64) -> BurstinessFit {
+    let mut weighted_cv = 0.0;
+    let mut weight = 0.0;
+    let mut measured = 0usize;
+    for f in trace.active_functions() {
+        let dense = f.minutes.dense();
+        if let Some(cv) = function_cv(&dense) {
+            let w = f.total_invocations() as f64;
+            weighted_cv += cv * w;
+            weight += w;
+            measured += 1;
+        }
+    }
+    let cv = if weight > 0.0 { (weighted_cv / weight).min(4.0) } else { 0.0 };
+    let model = if cv <= poisson_cutoff {
+        IatModel::Poisson
+    } else {
+        IatModel::Bursty { cv }
+    };
+    BurstinessFit { cv, functions_measured: measured, model }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasrail_trace::azure::{generate as gen_azure, AzureTraceConfig};
+    use faasrail_trace::huawei::{generate as gen_huawei, HuaweiTraceConfig};
+
+    #[test]
+    fn steady_poisson_series_measures_near_zero() {
+        use faasrail_stats::sampler::Poisson;
+        use faasrail_stats::seeded_rng;
+        let mut rng = seeded_rng(1);
+        let d = Poisson::new(20.0);
+        let dense: Vec<u64> = (0..1440).map(|_| d.sample(&mut rng)).collect();
+        let cv = function_cv(&dense).unwrap();
+        assert!(cv < 0.15, "Poisson series measured cv = {cv}");
+    }
+
+    #[test]
+    fn modulated_series_measures_its_cv() {
+        use faasrail_stats::sampler::{Gamma, Poisson, Sampler};
+        use faasrail_stats::seeded_rng;
+        let mut rng = seeded_rng(2);
+        let gamma = Gamma::unit_mean_with_cv(1.0);
+        let dense: Vec<u64> = (0..1440)
+            .map(|_| {
+                let mult = gamma.sample(&mut rng);
+                Poisson::new((30.0 * mult).max(1e-6)).sample(&mut rng)
+            })
+            .collect();
+        let cv = function_cv(&dense).unwrap();
+        assert!((cv - 1.0).abs() < 0.25, "measured cv = {cv}");
+    }
+
+    #[test]
+    fn sparse_functions_are_skipped() {
+        let mut dense = vec![0u64; 1440];
+        dense[3] = 2;
+        assert_eq!(function_cv(&dense), None);
+    }
+
+    #[test]
+    fn huawei_fits_burstier_than_azure() {
+        let azure = gen_azure(&AzureTraceConfig::small(9));
+        let huawei = gen_huawei(&HuaweiTraceConfig::small(9));
+        let fa = fit_iat_model(&azure, 0.35);
+        let fh = fit_iat_model(&huawei, 0.35);
+        assert!(fa.functions_measured > 10);
+        assert!(fh.functions_measured > 10);
+        assert!(
+            fh.cv > fa.cv,
+            "huawei cv {:.2} should exceed azure cv {:.2}",
+            fh.cv,
+            fa.cv
+        );
+        // The bursty Huawei trace should trigger the Cox-process model.
+        assert!(matches!(fh.model, IatModel::Bursty { .. }), "{fh:?}");
+    }
+
+    #[test]
+    fn empty_trace_defaults_to_poisson() {
+        let t = faasrail_trace::Trace {
+            kind: faasrail_trace::TraceKind::Custom,
+            selected_day: 0,
+            num_days: 1,
+            functions: vec![],
+            apps: vec![],
+        };
+        let fit = fit_iat_model(&t, 0.35);
+        assert_eq!(fit.model, IatModel::Poisson);
+        assert_eq!(fit.functions_measured, 0);
+    }
+}

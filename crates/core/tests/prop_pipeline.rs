@@ -1,0 +1,121 @@
+//! Property tests over the shrink-ray pipeline with randomly generated
+//! miniature traces: the invariants must hold for *any* valid input, not
+//! just the synthetic Azure/Huawei profiles.
+
+use faasrail_core::{generate_requests, shrink, ShrinkError, ShrinkRayConfig};
+use faasrail_trace::{
+    App, AppId, DayStats, FunctionId, MinuteSeries, Trace, TraceFunction, TraceKind,
+    MINUTES_PER_DAY,
+};
+use faasrail_workloads::{CostModel, WorkloadPool};
+use proptest::prelude::*;
+
+/// Strategy: a small arbitrary trace (1–40 functions, arbitrary sparse
+/// minute patterns, durations spanning 1 ms – 200 s).
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    let arb_function = (
+        0.0f64..1.0,                                            // duration position (log space)
+        proptest::collection::btree_map(0u16..MINUTES_PER_DAY as u16, 1u32..500, 1..30),
+    );
+    proptest::collection::vec(arb_function, 1..40).prop_map(|fns| {
+        let functions: Vec<TraceFunction> = fns
+            .into_iter()
+            .enumerate()
+            .map(|(i, (dpos, minutes))| {
+                let duration = 1.0 * (200_000.0f64 / 1.0).powf(dpos); // 1 ms .. 200 s
+                let minutes = MinuteSeries::new(minutes.into_iter().collect());
+                let total = minutes.total();
+                TraceFunction {
+                    id: FunctionId(i as u32),
+                    app: AppId(0),
+                    trigger: Default::default(),
+                    avg_duration_ms: duration.max(1.0).round(),
+                    daily: vec![DayStats {
+                        avg_duration_ms: duration.max(1.0).round(),
+                        invocations: total,
+                    }],
+                    minutes,
+                }
+            })
+            .collect();
+        Trace {
+            kind: TraceKind::Custom,
+            selected_day: 0,
+            num_days: 1,
+            functions,
+            apps: vec![App { id: AppId(0), memory_mb: 128.0 }],
+        }
+    })
+}
+
+fn pool() -> WorkloadPool {
+    WorkloadPool::build_modelled(&CostModel::default_calibration())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn shrink_invariants_hold_for_any_trace(
+        trace in arb_trace(),
+        minutes in 1usize..240,
+        max_rps in 0.2f64..50.0,
+    ) {
+        let pool = pool();
+        let cfg = ShrinkRayConfig::new(minutes, max_rps);
+        match shrink(&trace, &pool, &cfg) {
+            Ok((spec, report)) => {
+                // 1. The spec is structurally valid.
+                prop_assert_eq!(spec.validate(), Ok(()));
+                // 2. The budget is never exceeded.
+                let budget = (max_rps * 60.0).round() as u64;
+                prop_assert!(spec.peak_per_minute() <= budget);
+                // 3. Conservation: scaled volume equals the scale report's.
+                prop_assert_eq!(spec.total_requests(), report.scale.total_after);
+                // 4. Aggregation never invents or loses invocations.
+                prop_assert_eq!(report.scale.total_before, trace.total_invocations());
+                // 5. Every entry's workload exists in the pool.
+                for e in &spec.entries {
+                    prop_assert!(pool.get(e.workload).is_some());
+                }
+                // 6. Request generation is deterministic and in-window.
+                let r1 = generate_requests(&spec, 3);
+                let r2 = generate_requests(&spec, 3);
+                prop_assert_eq!(&r1, &r2);
+                let end = minutes as u64 * 60_000;
+                prop_assert!(r1.requests.iter().all(|r| r.at_ms < end));
+            }
+            // The only acceptable failure for these inputs: an all-zero
+            // scaled trace (every function silenced by extreme downscaling)
+            // surfaces as an empty/invalid spec, never a panic.
+            Err(ShrinkError::Spec(_)) | Err(ShrinkError::EmptyTrace) => {}
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn upscaling_and_downscaling_are_both_proportional(
+        trace in arb_trace(),
+        factor in 0.1f64..10.0,
+    ) {
+        // Peak-after tracks target for any direction of scaling.
+        let pool = pool();
+        let day_peak = trace
+            .aggregate_minutes()
+            .into_iter()
+            .max()
+            .unwrap_or(0);
+        prop_assume!(day_peak > 0);
+        let target_rpm = ((day_peak as f64 * factor).round() as u64).max(1);
+        let cfg = ShrinkRayConfig::new(MINUTES_PER_DAY, target_rpm as f64 / 60.0);
+        if let Ok((spec, _)) = shrink(&trace, &pool, &cfg) {
+            let peak = spec.peak_per_minute();
+            prop_assert!(peak <= target_rpm);
+            // The busiest minute lands within rounding of the target.
+            prop_assert!(
+                peak + spec.entries.len() as u64 >= target_rpm.min(day_peak * 20),
+                "peak {peak} vs target {target_rpm}"
+            );
+        }
+    }
+}

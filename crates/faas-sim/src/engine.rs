@@ -1,0 +1,683 @@
+//! The discrete-event cluster simulation engine.
+//!
+//! Replays a [`RequestTrace`] against a virtual cluster in virtual time:
+//! arrivals are load-balanced to nodes, served warm when an idle sandbox
+//! exists, cold-started when memory allows (evicting per the keep-alive
+//! policy), and queued FIFO otherwise. The engine measures exactly the
+//! quantities the paper's motivating research areas care about: cold-start
+//! counts, response times, memory wasted by idle sandboxes, and per-node
+//! utilization.
+
+use crate::cluster::ClusterConfig;
+use crate::keepalive::{IdleSandbox, KeepAlivePolicy};
+use crate::metrics::SimMetrics;
+use crate::scheduler::{LoadBalancer, NodeView};
+use faasrail_core::RequestTrace;
+use faasrail_stats::sampler::{LogNormal, Sampler};
+use faasrail_stats::seeded_rng;
+use faasrail_workloads::{WorkloadId, WorkloadPool};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Engine options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimOptions {
+    /// Log-normal sigma for per-invocation service-time jitter around the
+    /// workload's mean (0 = deterministic service times).
+    pub service_jitter_sigma: f64,
+    /// RNG seed for the jitter.
+    pub seed: u64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions { service_jitter_sigma: 0.0, seed: 0 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// Index into the trace's request vector.
+    Arrival(u32),
+    /// An invocation finished on `node`; `key` identifies the Running entry.
+    Finish { node: u32, key: u64 },
+    /// TTL check for the idle sandbox carrying `stamp` on `node`.
+    Expire { node: u32, stamp: u64 },
+    /// Predictively re-create a warm sandbox for `workload` on `node`.
+    Prewarm { node: u32, workload: WorkloadId },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    at_us: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sandbox {
+    workload: WorkloadId,
+    memory_mb: f64,
+    last_used_us: u64,
+    init_cost_ms: f64,
+    uses: u64,
+    stamp: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct QueuedReq {
+    arrived_us: u64,
+    workload: WorkloadId,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    node: u32,
+    sandbox: Sandbox,
+    arrived_us: u64,
+    started_cold: bool,
+}
+
+struct Node {
+    free_memory_mb: f64,
+    busy_cores: usize,
+    idle: Vec<Sandbox>,
+    queue: VecDeque<QueuedReq>,
+}
+
+/// Run the simulation.
+pub fn simulate(
+    trace: &RequestTrace,
+    pool: &WorkloadPool,
+    cluster: &ClusterConfig,
+    balancer: &mut dyn LoadBalancer,
+    policy: &mut dyn KeepAlivePolicy,
+    opts: &SimOptions,
+) -> SimMetrics {
+    cluster.validate().expect("invalid cluster");
+    let mut rng = seeded_rng(opts.seed);
+    let jitter = (opts.service_jitter_sigma > 0.0)
+        .then(|| LogNormal::new(0.0, opts.service_jitter_sigma));
+
+    let mut nodes: Vec<Node> = (0..cluster.nodes)
+        .map(|_| Node {
+            free_memory_mb: cluster.memory_mb_per_node,
+            busy_cores: 0,
+            idle: Vec::new(),
+            queue: VecDeque::new(),
+        })
+        .collect();
+
+    let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::with_capacity(trace.len() * 2);
+    let mut seq = 0u64;
+    for (i, r) in trace.requests.iter().enumerate() {
+        seq += 1;
+        heap.push(Reverse(Event { at_us: r.at_ms * 1_000, seq, kind: EventKind::Arrival(i as u32) }));
+    }
+
+    let mut metrics = SimMetrics::new(policy.name(), balancer.name());
+    metrics.per_node_busy_ms = vec![0.0; cluster.nodes];
+    let mut next_stamp = 0u64;
+    // Invocations in flight, keyed by a (node, finish-time) pairing via a
+    // per-node FIFO of running entries sorted by completion: we instead keep
+    // a map from event seq — simpler: store running entries in a Vec indexed
+    // by stamp.
+    let mut running: std::collections::HashMap<u64, Running> = std::collections::HashMap::new();
+
+    // Try to start `req` on `node_idx` at `now_us`. Returns false if it must
+    // queue. On success, schedules the Finish event.
+    #[allow(clippy::too_many_arguments)]
+    fn try_start(
+        nodes: &mut [Node],
+        node_idx: usize,
+        req: QueuedReq,
+        now_us: u64,
+        pool: &WorkloadPool,
+        cluster: &ClusterConfig,
+        policy: &mut dyn KeepAlivePolicy,
+        jitter: &Option<LogNormal>,
+        rng: &mut rand::rngs::StdRng,
+        metrics: &mut SimMetrics,
+        heap: &mut BinaryHeap<Reverse<Event>>,
+        seq: &mut u64,
+        next_stamp: &mut u64,
+        running: &mut std::collections::HashMap<u64, Running>,
+    ) -> bool {
+        let node = &mut nodes[node_idx];
+        if node.busy_cores >= cluster.cores_per_node {
+            return false;
+        }
+        let w = pool.get(req.workload).expect("workload in pool");
+        let mut service_ms = w.mean_ms;
+        if let Some(j) = jitter {
+            service_ms *= j.sample(rng);
+        }
+
+        let (sandbox, cold) = if let Some(pos) =
+            node.idle.iter().position(|s| s.workload == req.workload)
+        {
+            let mut s = node.idle.swap_remove(pos);
+            metrics.idle_mb_ms += s.memory_mb * (now_us - s.last_used_us) as f64 / 1_000.0;
+            s.uses += 1;
+            (s, false)
+        } else {
+            // Need memory for a new sandbox; evict per policy while short.
+            while node.free_memory_mb < w.memory_mb {
+                let idle_view: Vec<IdleSandbox> = node
+                    .idle
+                    .iter()
+                    .map(|s| IdleSandbox {
+                        workload: s.workload,
+                        memory_mb: s.memory_mb,
+                        last_used_ms: s.last_used_us / 1_000,
+                        init_cost_ms: s.init_cost_ms,
+                        uses: s.uses,
+                    })
+                    .collect();
+                match policy.pick_victim(&idle_view, now_us / 1_000) {
+                    Some(victim) => {
+                        let s = node.idle.swap_remove(victim);
+                        metrics.idle_mb_ms +=
+                            s.memory_mb * (now_us - s.last_used_us) as f64 / 1_000.0;
+                        node.free_memory_mb += s.memory_mb;
+                        metrics.evictions += 1;
+                    }
+                    None => return false,
+                }
+            }
+            node.free_memory_mb -= w.memory_mb;
+            *next_stamp += 1;
+            (
+                Sandbox {
+                    workload: req.workload,
+                    memory_mb: w.memory_mb,
+                    last_used_us: now_us,
+                    init_cost_ms: cluster.cold_start.delay_ms(w.memory_mb),
+                    uses: 1,
+                    stamp: *next_stamp,
+                },
+                true,
+            )
+        };
+
+        node.busy_cores += 1;
+        let total_ms = service_ms + if cold { sandbox.init_cost_ms } else { 0.0 };
+        if cold {
+            metrics.cold_starts += 1;
+        } else {
+            metrics.warm_starts += 1;
+        }
+        metrics.busy_core_ms += total_ms;
+        metrics.per_node_busy_ms[node_idx] += total_ms;
+        let finish_us = now_us + (total_ms * 1_000.0) as u64;
+        *next_stamp += 1;
+        let run_key = *next_stamp;
+        running.insert(
+            run_key,
+            Running { node: node_idx as u32, sandbox, arrived_us: req.arrived_us, started_cold: cold },
+        );
+        *seq += 1;
+        heap.push(Reverse(Event {
+            at_us: finish_us,
+            seq: *seq,
+            kind: EventKind::Finish { node: node_idx as u32, key: run_key },
+        }));
+        true
+    }
+
+    /// Start as many queued requests as now fit (FIFO head-of-line).
+    #[allow(clippy::too_many_arguments)]
+    fn drain_queue(
+        nodes: &mut [Node],
+        node_idx: usize,
+        now_us: u64,
+        pool: &WorkloadPool,
+        cluster: &ClusterConfig,
+        policy: &mut dyn KeepAlivePolicy,
+        jitter: &Option<LogNormal>,
+        rng: &mut rand::rngs::StdRng,
+        metrics: &mut SimMetrics,
+        heap: &mut BinaryHeap<Reverse<Event>>,
+        seq: &mut u64,
+        next_stamp: &mut u64,
+        running: &mut std::collections::HashMap<u64, Running>,
+    ) {
+        while let Some(&front) = nodes[node_idx].queue.front() {
+            let started = try_start(
+                nodes, node_idx, front, now_us, pool, cluster, policy, jitter, rng, metrics,
+                heap, seq, next_stamp, running,
+            );
+            if started {
+                let waited = (now_us - front.arrived_us) as f64 / 1e6;
+                metrics.queue_wait.record(waited.max(1e-9));
+                nodes[node_idx].queue.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    let mut last_us = 0u64;
+    while let Some(Reverse(ev)) = heap.pop() {
+        let now_us = ev.at_us;
+        last_us = last_us.max(now_us);
+        match ev.kind {
+            EventKind::Arrival(i) => {
+                let r = &trace.requests[i as usize];
+                metrics.arrivals += 1;
+                policy.on_arrival(r.workload, now_us / 1_000);
+                let views: Vec<NodeView> = nodes
+                    .iter()
+                    .map(|n| NodeView {
+                        warm_for_workload: n
+                            .idle
+                            .iter()
+                            .filter(|s| s.workload == r.workload)
+                            .count(),
+                        free_memory_mb: n.free_memory_mb,
+                        running: n.busy_cores,
+                        queued: n.queue.len(),
+                        cores: cluster.cores_per_node,
+                    })
+                    .collect();
+                let target = balancer.pick_node(r.workload, &views).min(nodes.len() - 1);
+                let req = QueuedReq { arrived_us: now_us, workload: r.workload };
+                let started = try_start(
+                    &mut nodes, target, req, now_us, pool, cluster, policy, &jitter, &mut rng,
+                    &mut metrics, &mut heap, &mut seq, &mut next_stamp, &mut running,
+                );
+                if !started {
+                    nodes[target].queue.push_back(req);
+                    metrics.max_queue = metrics
+                        .max_queue
+                        .max(nodes.iter().map(|n| n.queue.len()).sum::<usize>() as u64);
+                }
+            }
+            EventKind::Finish { node, key } => {
+                let run = running.remove(&key).expect("running entry");
+                debug_assert_eq!(run.node, node);
+                debug_assert!(run.started_cold || run.sandbox.uses >= 1);
+                let n = &mut nodes[node as usize];
+                n.busy_cores -= 1;
+                metrics.completions += 1;
+                // Response includes queueing and (for cold starts) the
+                // sandbox creation delay by construction.
+                metrics
+                    .response
+                    .record(((now_us - run.arrived_us) as f64 / 1e6).max(1e-9));
+
+                // Idle the sandbox.
+                next_stamp += 1;
+                let mut s = run.sandbox;
+                s.last_used_us = now_us;
+                s.stamp = next_stamp;
+                let stamp = s.stamp;
+                n.idle.push(s);
+                if let Some(ttl_ms) = policy.idle_ttl_ms(run.sandbox.workload) {
+                    seq += 1;
+                    heap.push(Reverse(Event {
+                        at_us: now_us + ttl_ms * 1_000,
+                        seq,
+                        kind: EventKind::Expire { node, stamp },
+                    }));
+                }
+
+                // Drain the node's queue (FIFO head-of-line).
+                drain_queue(
+                    &mut nodes, node as usize, now_us, pool, cluster, policy, &jitter, &mut rng,
+                    &mut metrics, &mut heap, &mut seq, &mut next_stamp, &mut running,
+                );
+            }
+            EventKind::Expire { node, stamp } => {
+                let n = &mut nodes[node as usize];
+                if let Some(pos) = n.idle.iter().position(|s| s.stamp == stamp) {
+                    let s = n.idle.swap_remove(pos);
+                    metrics.idle_mb_ms += s.memory_mb * (now_us - s.last_used_us) as f64 / 1_000.0;
+                    n.free_memory_mb += s.memory_mb;
+                    metrics.expirations += 1;
+                    // Predictive prewarming: re-create the sandbox shortly
+                    // before the workload's expected next arrival. Only
+                    // sandboxes that actually served invocations re-arm —
+                    // a prewarmed sandbox expiring *unused* must not
+                    // re-prewarm, or the cycle would self-sustain forever.
+                    if s.uses > 0 {
+                        if let Some(after_ms) = policy.prewarm_after_ms(s.workload) {
+                            let at_us = (s.last_used_us).saturating_add(after_ms * 1_000);
+                            if at_us > now_us {
+                                seq += 1;
+                                heap.push(Reverse(Event {
+                                    at_us,
+                                    seq,
+                                    kind: EventKind::Prewarm { node, workload: s.workload },
+                                }));
+                            }
+                        }
+                    }
+                    // Freed memory may unblock the head of the queue.
+                    drain_queue(
+                        &mut nodes, node as usize, now_us, pool, cluster, policy, &jitter,
+                        &mut rng, &mut metrics, &mut heap, &mut seq, &mut next_stamp,
+                        &mut running,
+                    );
+                }
+            }
+            EventKind::Prewarm { node, workload } => {
+                let n = &mut nodes[node as usize];
+                let already_warm = n.idle.iter().any(|s| s.workload == workload);
+                let w = pool.get(workload).expect("workload in pool");
+                if !already_warm && n.free_memory_mb >= w.memory_mb {
+                    n.free_memory_mb -= w.memory_mb;
+                    next_stamp += 1;
+                    let stamp = next_stamp;
+                    n.idle.push(Sandbox {
+                        workload,
+                        memory_mb: w.memory_mb,
+                        last_used_us: now_us,
+                        init_cost_ms: cluster.cold_start.delay_ms(w.memory_mb),
+                        uses: 0,
+                        stamp,
+                    });
+                    metrics.prewarms += 1;
+                    if let Some(ttl_ms) = policy.idle_ttl_ms(workload) {
+                        seq += 1;
+                        heap.push(Reverse(Event {
+                            at_us: now_us + ttl_ms * 1_000,
+                            seq,
+                            kind: EventKind::Expire { node, stamp },
+                        }));
+                    }
+                }
+            }
+        }
+    }
+
+    // Finalize idle-memory accounting for sandboxes still warm at the end.
+    for n in &nodes {
+        for s in &n.idle {
+            metrics.idle_mb_ms += s.memory_mb * (last_us - s.last_used_us) as f64 / 1_000.0;
+        }
+        // Anything still queued never ran (cluster too small).
+        metrics.starved += n.queue.len() as u64;
+    }
+    metrics.duration_ms = last_us as f64 / 1_000.0;
+    metrics.total_cores = (cluster.nodes * cluster.cores_per_node) as u64;
+    metrics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keepalive::{FixedTtl, LruPolicy};
+    use crate::scheduler::{LeastLoaded, RoundRobin, WarmFirst};
+    use faasrail_core::Request;
+    use faasrail_workloads::{CostModel, WorkloadPool};
+
+    fn pool() -> WorkloadPool {
+        WorkloadPool::vanilla(&CostModel::default_calibration())
+    }
+
+    fn trace_of(reqs: Vec<(u64, u32)>) -> RequestTrace {
+        RequestTrace {
+            duration_minutes: 1 + reqs.iter().map(|r| r.0).max().unwrap_or(0) as usize / 60_000,
+            requests: reqs
+                .into_iter()
+                .map(|(at_ms, w)| Request { at_ms, workload: WorkloadId(w), function_index: w })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn first_invocation_is_cold_second_is_warm() {
+        let trace = trace_of(vec![(0, 7), (5_000, 7)]);
+        let mut lb = RoundRobin::default();
+        let mut ka = FixedTtl::ten_minutes();
+        let m = simulate(
+            &trace,
+            &pool(),
+            &ClusterConfig::single_node(4, 4_096.0),
+            &mut lb,
+            &mut ka,
+            &SimOptions::default(),
+        );
+        assert_eq!(m.arrivals, 2);
+        assert_eq!(m.completions, 2);
+        assert_eq!(m.cold_starts, 1);
+        assert_eq!(m.warm_starts, 1);
+    }
+
+    #[test]
+    fn ttl_expiry_causes_second_cold_start() {
+        // Second request arrives *after* the keep-alive window.
+        let trace = trace_of(vec![(0, 7), (120_000, 7)]);
+        let mut lb = RoundRobin::default();
+        let mut ka = FixedTtl { ttl_ms: 60_000 };
+        let m = simulate(
+            &trace,
+            &pool(),
+            &ClusterConfig::single_node(4, 4_096.0),
+            &mut lb,
+            &mut ka,
+            &SimOptions::default(),
+        );
+        assert_eq!(m.cold_starts, 2);
+        // Both sandboxes eventually idle out (the second expires at sim end).
+        assert_eq!(m.expirations, 2);
+    }
+
+    #[test]
+    fn memory_pressure_evicts() {
+        // Node fits one big sandbox at a time; alternating workloads force
+        // eviction on every switch.
+        let trace = trace_of(vec![(0, 1), (5_000, 9), (10_000, 1), (15_000, 9)]);
+        let mut lb = RoundRobin::default();
+        let mut ka = LruPolicy;
+        // cnn (id 1) is ~269 MiB, video (id 9) ~128 MiB: 300 MiB node holds
+        // only one at a time.
+        let m = simulate(
+            &trace,
+            &pool(),
+            &ClusterConfig::single_node(4, 300.0),
+            &mut lb,
+            &mut ka,
+            &SimOptions::default(),
+        );
+        assert_eq!(m.completions, 4);
+        assert_eq!(m.cold_starts, 4, "every arrival must cold start");
+        assert!(m.evictions >= 3, "evictions = {}", m.evictions);
+    }
+
+    #[test]
+    fn queueing_when_cores_exhausted() {
+        // 1 core, burst of 4 long-ish requests at t=0 → 3 queue.
+        let trace = trace_of(vec![(0, 4), (0, 4), (0, 4), (0, 4)]);
+        let mut lb = LeastLoaded;
+        let mut ka = FixedTtl::ten_minutes();
+        let m = simulate(
+            &trace,
+            &pool(),
+            &ClusterConfig::single_node(1, 4_096.0),
+            &mut lb,
+            &mut ka,
+            &SimOptions::default(),
+        );
+        assert_eq!(m.completions, 4);
+        assert!(m.max_queue >= 3);
+        // Three requests waited in the queue, and the serialized service
+        // must show up in the response-time spread.
+        assert_eq!(m.queue_wait.total(), 3);
+        assert!(m.response.quantile(0.99) > 1.5 * m.response.quantile(0.05));
+    }
+
+    #[test]
+    fn warm_first_beats_round_robin_on_cold_starts() {
+        // 40 requests to one workload over 4 nodes: warm-first concentrates
+        // them on the node that already has the sandbox.
+        let reqs: Vec<(u64, u32)> = (0..40).map(|i| (i * 2_000, 7)).collect();
+        let trace = trace_of(reqs);
+        let cluster = ClusterConfig { nodes: 4, ..Default::default() };
+        let run = |lb: &mut dyn LoadBalancer| {
+            let mut ka = FixedTtl::ten_minutes();
+            simulate(&trace, &pool(), &cluster, lb, &mut ka, &SimOptions::default())
+        };
+        let rr = run(&mut RoundRobin::default());
+        let wf = run(&mut WarmFirst);
+        assert!(
+            wf.cold_starts < rr.cold_starts,
+            "warm-first {} vs round-robin {}",
+            wf.cold_starts,
+            rr.cold_starts
+        );
+        assert_eq!(wf.cold_starts, 1);
+    }
+
+    #[test]
+    fn deterministic_without_jitter() {
+        let reqs: Vec<(u64, u32)> = (0..50).map(|i| (i * 500, (i % 10) as u32)).collect();
+        let trace = trace_of(reqs);
+        let run = || {
+            let mut lb = LeastLoaded;
+            let mut ka = FixedTtl::ten_minutes();
+            simulate(
+                &trace,
+                &pool(),
+                &ClusterConfig::default(),
+                &mut lb,
+                &mut ka,
+                &SimOptions::default(),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.cold_starts, b.cold_starts);
+        assert_eq!(a.completions, b.completions);
+        assert_eq!(a.idle_mb_ms, b.idle_mb_ms);
+    }
+
+    #[test]
+    fn idle_memory_accumulates() {
+        let trace = trace_of(vec![(0, 7)]);
+        let mut lb = RoundRobin::default();
+        let mut ka = LruPolicy; // no TTL: sandbox idles until sim end
+        let m = simulate(
+            &trace,
+            &pool(),
+            &ClusterConfig::single_node(4, 4_096.0),
+            &mut lb,
+            &mut ka,
+            &SimOptions::default(),
+        );
+        // Sim ends at the single finish; no idle time accrues afterwards,
+        // so idle_mb_ms is ~0 — but with a TTL the expiry extends the sim.
+        let mut ka2 = FixedTtl { ttl_ms: 30_000 };
+        let mut lb2 = RoundRobin::default();
+        let m2 = simulate(
+            &trace,
+            &pool(),
+            &ClusterConfig::single_node(4, 4_096.0),
+            &mut lb2,
+            &mut ka2,
+            &SimOptions::default(),
+        );
+        assert!(m2.idle_mb_ms > m.idle_mb_ms);
+        assert!(m2.idle_mb_ms > 30_000.0 * 30.0, "idle_mb_ms = {}", m2.idle_mb_ms);
+    }
+
+    #[test]
+    fn hybrid_histogram_adapts_to_interarrival_times() {
+        use crate::keepalive::HybridHistogram;
+        // A workload invoked every 5 s: the learned TTL should hug ~5.5 s,
+        // far below the 10-minute default — so after the run ends its
+        // sandbox expires quickly, wasting far less memory than FixedTtl.
+        let reqs: Vec<(u64, u32)> = (0..50).map(|i| (i * 5_000, 7)).collect();
+        let trace = trace_of(reqs);
+        let cluster = ClusterConfig::single_node(4, 4_096.0);
+        let mut lb = RoundRobin::default();
+        let mut hybrid = HybridHistogram::new();
+        let mh = simulate(&trace, &pool(), &cluster, &mut lb, &mut hybrid, &SimOptions::default());
+        let mut lb2 = RoundRobin::default();
+        let mut fixed = FixedTtl::ten_minutes();
+        let mf = simulate(&trace, &pool(), &cluster, &mut lb2, &mut fixed, &SimOptions::default());
+        // Same service quality (steady arrivals stay warm under both)...
+        assert_eq!(mh.completions, 50);
+        assert_eq!(mh.cold_starts, 1, "steady workload must stay warm");
+        assert_eq!(mf.cold_starts, 1);
+        // ...but the adaptive policy wastes much less idle memory, because
+        // the trailing keep-alive window is ~5.5 s instead of 10 min.
+        // (During-run idle between 5 s arrivals is identical for both; the
+        // saving comes from the trailing window: ~5.5 s vs 600 s.)
+        assert!(
+            mh.idle_mb_ms * 2.5 < mf.idle_mb_ms,
+            "hybrid idle {} vs fixed idle {}",
+            mh.idle_mb_ms,
+            mf.idle_mb_ms
+        );
+    }
+
+    #[test]
+    fn prewarming_saves_memory_without_extra_cold_starts() {
+        use crate::keepalive::HybridHistogram;
+        // A periodic workload invoked every 60 s. Plain hybrid keeps the
+        // sandbox warm across the whole gap; prewarming expires it early and
+        // re-creates it just before the next predicted arrival.
+        let reqs: Vec<(u64, u32)> = (0..30).map(|i| (i * 60_000, 7)).collect();
+        let trace = trace_of(reqs);
+        let cluster = ClusterConfig::single_node(4, 4_096.0);
+        let run = |ka: &mut dyn crate::keepalive::KeepAlivePolicy| {
+            let mut lb = RoundRobin::default();
+            simulate(&trace, &pool(), &cluster, &mut lb, ka, &SimOptions::default())
+        };
+        let mut plain = HybridHistogram::new();
+        let mp = run(&mut plain);
+        let mut pre = HybridHistogram::new().with_prewarming();
+        let mr = run(&mut pre);
+        assert_eq!(mp.completions, 30);
+        assert_eq!(mr.completions, 30);
+        assert!(mr.prewarms > 10, "prewarms = {}", mr.prewarms);
+        // Warm-hit quality comparable after warm-up...
+        assert!(
+            mr.cold_starts <= mp.cold_starts + 6,
+            "prewarming cold {} vs plain {}",
+            mr.cold_starts,
+            mp.cold_starts
+        );
+        // ...at substantially less idle memory.
+        assert!(
+            mr.idle_mb_ms * 1.5 < mp.idle_mb_ms,
+            "prewarm idle {} vs plain idle {}",
+            mr.idle_mb_ms,
+            mp.idle_mb_ms
+        );
+    }
+
+    #[test]
+    fn hybrid_histogram_learns_counts() {
+        use crate::keepalive::HybridHistogram;
+        let mut p = HybridHistogram::new();
+        // Before warm-up: default 10-minute window.
+        assert_eq!(p.idle_ttl_ms(WorkloadId(3)), Some(600_000));
+        for i in 0..10u64 {
+            p.on_arrival(WorkloadId(3), i * 2_000);
+        }
+        assert_eq!(p.observed(WorkloadId(3)), 10);
+        let ttl = p.idle_ttl_ms(WorkloadId(3)).unwrap();
+        // Learned ~2 s inter-arrival → TTL near 2.2 s (log-bucket slack).
+        assert!((1_500..5_000).contains(&ttl), "learned ttl = {ttl}");
+    }
+
+    #[test]
+    fn jitter_changes_times_not_counts() {
+        let reqs: Vec<(u64, u32)> = (0..20).map(|i| (i * 1_000, 7)).collect();
+        let trace = trace_of(reqs);
+        let mut lb = LeastLoaded;
+        let mut ka = FixedTtl::ten_minutes();
+        let m = simulate(
+            &trace,
+            &pool(),
+            &ClusterConfig::default(),
+            &mut lb,
+            &mut ka,
+            &SimOptions { service_jitter_sigma: 0.3, seed: 9 },
+        );
+        assert_eq!(m.completions, 20);
+    }
+}

@@ -1,0 +1,300 @@
+//! Keep-alive (sandbox caching) policies.
+//!
+//! The paper motivates FaaSRail with exactly this research area: "providers
+//! keep [functions] cached even when idling, effectively wasting memory",
+//! and representative load is needed to evaluate caching policies fairly.
+//! Three policies are provided: the industry-default fixed TTL, plain LRU
+//! under memory pressure, and a greedy-dual cost/size policy in the spirit
+//! of FaasCache (ASPLOS '21, cited as [34]).
+
+use faasrail_workloads::WorkloadId;
+
+/// An idle (warm, not executing) sandbox, as presented to a policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdleSandbox {
+    pub workload: WorkloadId,
+    pub memory_mb: f64,
+    /// When the sandbox last finished an invocation, ms of virtual time.
+    pub last_used_ms: u64,
+    /// What it would cost to recreate it (cold-start delay), ms.
+    pub init_cost_ms: f64,
+    /// How many invocations this sandbox has served.
+    pub uses: u64,
+}
+
+/// A sandbox keep-alive policy.
+pub trait KeepAlivePolicy: Send {
+    /// How long an idle sandbox of `workload` may live before expiring on
+    /// its own. `None` keeps sandboxes until evicted under memory pressure.
+    fn idle_ttl_ms(&self, workload: WorkloadId) -> Option<u64>;
+
+    /// Pick the index of the sandbox to evict when memory is needed.
+    /// `None` refuses to evict (the request will queue).
+    fn pick_victim(&mut self, idle: &[IdleSandbox], now_ms: u64) -> Option<usize>;
+
+    /// Observe a request arrival (adaptive policies learn inter-arrival
+    /// behaviour from this). Default: ignore.
+    fn on_arrival(&mut self, _workload: WorkloadId, _now_ms: u64) {}
+
+    /// Predictive prewarming (the second half of the hybrid-histogram
+    /// policy): after an idle sandbox *expires*, how long after the
+    /// workload's last arrival should a fresh sandbox be pre-created so it
+    /// is warm for the predicted next invocation? `None` (default)
+    /// disables prewarming.
+    fn prewarm_after_ms(&self, _workload: WorkloadId) -> Option<u64> {
+        None
+    }
+
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Fixed keep-alive window (the 10-minute industry default the Azure trace
+/// paper describes); evicts the LRU sandbox under pressure.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedTtl {
+    pub ttl_ms: u64,
+}
+
+impl FixedTtl {
+    /// The canonical 10-minute window.
+    pub fn ten_minutes() -> Self {
+        FixedTtl { ttl_ms: 10 * 60 * 1_000 }
+    }
+}
+
+impl KeepAlivePolicy for FixedTtl {
+    fn idle_ttl_ms(&self, _workload: WorkloadId) -> Option<u64> {
+        Some(self.ttl_ms)
+    }
+
+    fn pick_victim(&mut self, idle: &[IdleSandbox], _now_ms: u64) -> Option<usize> {
+        idle.iter().enumerate().min_by_key(|(_, s)| s.last_used_ms).map(|(i, _)| i)
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed-ttl"
+    }
+}
+
+/// No TTL; pure LRU eviction under memory pressure.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LruPolicy;
+
+impl KeepAlivePolicy for LruPolicy {
+    fn idle_ttl_ms(&self, _workload: WorkloadId) -> Option<u64> {
+        None
+    }
+
+    fn pick_victim(&mut self, idle: &[IdleSandbox], _now_ms: u64) -> Option<usize> {
+        idle.iter().enumerate().min_by_key(|(_, s)| s.last_used_ms).map(|(i, _)| i)
+    }
+
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+}
+
+/// Greedy-dual keep-alive: evict the sandbox with the lowest
+/// `last_used + uses × init_cost / memory` priority — cheap-to-recreate,
+/// rarely-used, memory-hungry sandboxes go first (FaasCache-style).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyDual;
+
+impl GreedyDual {
+    fn priority(s: &IdleSandbox) -> f64 {
+        s.last_used_ms as f64 + s.uses as f64 * s.init_cost_ms / s.memory_mb.max(1.0)
+    }
+}
+
+impl KeepAlivePolicy for GreedyDual {
+    fn idle_ttl_ms(&self, _workload: WorkloadId) -> Option<u64> {
+        None
+    }
+
+    fn pick_victim(&mut self, idle: &[IdleSandbox], _now_ms: u64) -> Option<usize> {
+        idle.iter()
+            .enumerate()
+            .min_by(|a, b| {
+                Self::priority(a.1).partial_cmp(&Self::priority(b.1)).expect("finite priority")
+            })
+            .map(|(i, _)| i)
+    }
+
+    fn name(&self) -> &'static str {
+        "greedy-dual"
+    }
+}
+
+/// Hybrid-histogram keep-alive (after "Serverless in the Wild", ATC '20 —
+/// the policy the Azure trace release accompanies, simplified).
+///
+/// Each workload's inter-arrival times feed a log-bucketed histogram; its
+/// idle TTL is the `percentile` of that histogram (clamped to
+/// `[min_ttl_ms, max_ttl_ms]`). Until `warmup_arrivals` observations exist,
+/// the industry-default fixed window applies. Eviction under memory
+/// pressure is LRU.
+pub struct HybridHistogram {
+    percentile: f64,
+    min_ttl_ms: u64,
+    max_ttl_ms: u64,
+    default_ttl_ms: u64,
+    warmup_arrivals: u64,
+    prewarm: bool,
+    trackers: std::collections::HashMap<WorkloadId, IatTracker>,
+}
+
+struct IatTracker {
+    last_arrival_ms: u64,
+    arrivals: u64,
+    hist: faasrail_stats::histogram::LogHistogram,
+}
+
+impl HybridHistogram {
+    /// The canonical configuration: 99th percentile, 1 s – 2 h clamp,
+    /// 10-minute default window.
+    pub fn new() -> Self {
+        HybridHistogram {
+            percentile: 0.99,
+            min_ttl_ms: 1_000,
+            max_ttl_ms: 2 * 60 * 60 * 1_000,
+            default_ttl_ms: 10 * 60 * 1_000,
+            warmup_arrivals: 5,
+            prewarm: false,
+            trackers: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Enable predictive prewarming: after a sandbox expires, a fresh one is
+    /// created shortly before the *10th-percentile* next inter-arrival, so
+    /// periodic workloads find it warm (the ATC '20 policy's prewarm half).
+    pub fn with_prewarming(mut self) -> Self {
+        self.prewarm = true;
+        self
+    }
+
+    /// Override the percentile (e.g. 0.95 for a more aggressive policy).
+    pub fn with_percentile(mut self, percentile: f64) -> Self {
+        assert!((0.0..=1.0).contains(&percentile));
+        self.percentile = percentile;
+        self
+    }
+
+    /// Observed arrivals for a workload (for tests/inspection).
+    pub fn observed(&self, workload: WorkloadId) -> u64 {
+        self.trackers.get(&workload).map_or(0, |t| t.arrivals)
+    }
+}
+
+impl Default for HybridHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KeepAlivePolicy for HybridHistogram {
+    fn idle_ttl_ms(&self, workload: WorkloadId) -> Option<u64> {
+        let learned = self
+            .trackers
+            .get(&workload)
+            .filter(|t| t.arrivals >= self.warmup_arrivals && t.hist.total() > 0);
+        let ttl = match learned {
+            Some(t) if self.prewarm => {
+                // With prewarming, the sandbox need not bridge the whole
+                // gap: expire early and re-create just before the predicted
+                // next arrival (saving idle memory in between).
+                (t.hist.quantile(0.10) * 0.5) as u64
+            }
+            // Keep alive just past the typical inter-arrival gap.
+            Some(t) => (t.hist.quantile(self.percentile) * 1.1) as u64,
+            None => self.default_ttl_ms,
+        };
+        Some(ttl.clamp(self.min_ttl_ms, self.max_ttl_ms))
+    }
+
+    fn pick_victim(&mut self, idle: &[IdleSandbox], _now_ms: u64) -> Option<usize> {
+        idle.iter().enumerate().min_by_key(|(_, s)| s.last_used_ms).map(|(i, _)| i)
+    }
+
+    fn prewarm_after_ms(&self, workload: WorkloadId) -> Option<u64> {
+        if !self.prewarm {
+            return None;
+        }
+        match self.trackers.get(&workload) {
+            Some(t) if t.arrivals >= self.warmup_arrivals && t.hist.total() > 0 => {
+                // Aim just below the typical gap: warm when the next arrival
+                // becomes plausible.
+                Some(((t.hist.quantile(0.10) * 0.9) as u64).max(self.min_ttl_ms))
+            }
+            _ => None,
+        }
+    }
+
+    fn on_arrival(&mut self, workload: WorkloadId, now_ms: u64) {
+        let t = self.trackers.entry(workload).or_insert_with(|| IatTracker {
+            last_arrival_ms: now_ms,
+            arrivals: 0,
+            // 100 ms .. 4 h inter-arrival range at ~10% resolution.
+            hist: faasrail_stats::histogram::LogHistogram::new(100.0, 14_400_000.0, 1.1),
+        });
+        if t.arrivals > 0 {
+            let iat = (now_ms - t.last_arrival_ms) as f64;
+            t.hist.record(iat.max(1.0));
+        }
+        t.arrivals += 1;
+        t.last_arrival_ms = now_ms;
+    }
+
+    fn name(&self) -> &'static str {
+        "hybrid-histogram"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sb(w: u32, mem: f64, last: u64, cost: f64, uses: u64) -> IdleSandbox {
+        IdleSandbox {
+            workload: WorkloadId(w),
+            memory_mb: mem,
+            last_used_ms: last,
+            init_cost_ms: cost,
+            uses,
+        }
+    }
+
+    #[test]
+    fn fixed_ttl_evicts_lru() {
+        let mut p = FixedTtl::ten_minutes();
+        assert_eq!(p.idle_ttl_ms(WorkloadId(0)), Some(600_000));
+        let idle = [sb(0, 100.0, 50, 300.0, 1), sb(1, 100.0, 10, 300.0, 1)];
+        assert_eq!(p.pick_victim(&idle, 100), Some(1));
+    }
+
+    #[test]
+    fn lru_no_ttl() {
+        let mut p = LruPolicy;
+        assert_eq!(p.idle_ttl_ms(WorkloadId(0)), None);
+        assert_eq!(p.pick_victim(&[], 0), None);
+    }
+
+    #[test]
+    fn greedy_dual_prefers_cheap_large_idle() {
+        let mut p = GreedyDual;
+        // Same recency: the big, cheap-to-recreate, rarely used sandbox
+        // should be evicted before the small, expensive, popular one.
+        let idle = [
+            sb(0, 1_000.0, 100, 100.0, 1),  // big, cheap, cold: low priority
+            sb(1, 64.0, 100, 2_000.0, 50), // small, expensive, hot
+        ];
+        assert_eq!(p.pick_victim(&idle, 200), Some(0));
+    }
+
+    #[test]
+    fn greedy_dual_respects_recency() {
+        let mut p = GreedyDual;
+        let idle = [sb(0, 100.0, 500_000, 300.0, 1), sb(1, 100.0, 10, 300.0, 1)];
+        assert_eq!(p.pick_victim(&idle, 600_000), Some(1));
+    }
+}

@@ -1,0 +1,27 @@
+//! A FaaS cluster substrate for FaaSRail experiments.
+//!
+//! FaaSRail replays load "against a backend FaaS system"; this crate is that
+//! backend, in two flavours:
+//!
+//! * [`engine::simulate`] — a deterministic discrete-event cluster simulator
+//!   (nodes, cores, sandbox memory, cold starts, keep-alive policies, load
+//!   balancers) measuring cold-start fractions, response times, wasted warm
+//!   memory, and utilization — the metrics of the research areas the paper
+//!   motivates (§2.2);
+//! * [`rt_backend::WarmCacheBackend`] — a wall-clock, kernel-executing
+//!   warm-cache node that plugs into `faasrail-loadgen` for end-to-end runs
+//!   with real computation.
+
+pub mod cluster;
+pub mod engine;
+pub mod keepalive;
+pub mod metrics;
+pub mod rt_backend;
+pub mod scheduler;
+
+pub use cluster::{ClusterConfig, ColdStartModel};
+pub use engine::{simulate, SimOptions};
+pub use keepalive::{FixedTtl, GreedyDual, HybridHistogram, IdleSandbox, KeepAlivePolicy, LruPolicy};
+pub use metrics::SimMetrics;
+pub use rt_backend::{WarmCacheBackend, WarmCacheConfig};
+pub use scheduler::{HashAffinity, LeastLoaded, LoadBalancer, NodeView, RoundRobin, WarmFirst};

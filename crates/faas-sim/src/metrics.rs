@@ -1,0 +1,140 @@
+//! Simulation metrics.
+
+use faasrail_stats::histogram::LogHistogram;
+use serde::{Deserialize, Serialize};
+
+/// What one simulation run measures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimMetrics {
+    /// Keep-alive policy name.
+    pub policy: String,
+    /// Load-balancer name.
+    pub balancer: String,
+    pub arrivals: u64,
+    pub completions: u64,
+    pub cold_starts: u64,
+    pub warm_starts: u64,
+    /// Idle sandboxes evicted under memory pressure.
+    pub evictions: u64,
+    /// Idle sandboxes expired by TTL.
+    pub expirations: u64,
+    /// Sandboxes created speculatively by predictive prewarming.
+    pub prewarms: u64,
+    /// Requests still queued when the simulation drained (cluster too small).
+    pub starved: u64,
+    /// Largest total queued count observed.
+    pub max_queue: u64,
+    /// End-to-end response time (arrival → completion), seconds.
+    pub response: LogHistogram,
+    /// Queue waiting time for requests that had to queue, seconds.
+    pub queue_wait: LogHistogram,
+    /// Memory held by *idle* sandboxes, integrated over time (MiB·ms) —
+    /// the "wasted memory" cost of keep-alive caching.
+    pub idle_mb_ms: f64,
+    /// Core busy time, summed over invocations (ms).
+    pub busy_core_ms: f64,
+    /// Busy time per node (ms) — placement-imbalance analysis.
+    pub per_node_busy_ms: Vec<f64>,
+    /// Virtual duration of the run, ms.
+    pub duration_ms: f64,
+    /// Cores in the cluster.
+    pub total_cores: u64,
+}
+
+impl SimMetrics {
+    /// Fresh metrics for a run under the given policies.
+    pub fn new(policy: &str, balancer: &str) -> Self {
+        SimMetrics {
+            policy: policy.to_string(),
+            balancer: balancer.to_string(),
+            arrivals: 0,
+            completions: 0,
+            cold_starts: 0,
+            warm_starts: 0,
+            evictions: 0,
+            expirations: 0,
+            prewarms: 0,
+            starved: 0,
+            max_queue: 0,
+            response: LogHistogram::latency_seconds(),
+            queue_wait: LogHistogram::new(1e-6, 3_600.0, 1.05),
+            idle_mb_ms: 0.0,
+            busy_core_ms: 0.0,
+            per_node_busy_ms: Vec::new(),
+            duration_ms: 0.0,
+            total_cores: 0,
+        }
+    }
+
+    /// Fraction of started invocations that cold-started.
+    pub fn cold_start_fraction(&self) -> f64 {
+        let started = self.cold_starts + self.warm_starts;
+        if started == 0 {
+            f64::NAN
+        } else {
+            self.cold_starts as f64 / started as f64
+        }
+    }
+
+    /// Mean core utilization over the run.
+    pub fn utilization(&self) -> f64 {
+        if self.duration_ms <= 0.0 || self.total_cores == 0 {
+            return f64::NAN;
+        }
+        self.busy_core_ms / (self.duration_ms * self.total_cores as f64)
+    }
+
+    /// Load-imbalance index: busiest node's busy time over the mean.
+    /// 1.0 = perfectly balanced; `NaN` when unmeasurable.
+    pub fn imbalance(&self) -> f64 {
+        if self.per_node_busy_ms.is_empty() {
+            return f64::NAN;
+        }
+        let max = self.per_node_busy_ms.iter().cloned().fold(f64::MIN, f64::max);
+        let mean =
+            self.per_node_busy_ms.iter().sum::<f64>() / self.per_node_busy_ms.len() as f64;
+        if mean <= 0.0 {
+            f64::NAN
+        } else {
+            max / mean
+        }
+    }
+
+    /// Average idle (wasted) warm memory over the run, MiB.
+    pub fn mean_idle_memory_mb(&self) -> f64 {
+        if self.duration_ms <= 0.0 {
+            return f64::NAN;
+        }
+        self.idle_mb_ms / self.duration_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let mut m = SimMetrics::new("p", "b");
+        assert!(m.cold_start_fraction().is_nan());
+        m.cold_starts = 25;
+        m.warm_starts = 75;
+        assert!((m.cold_start_fraction() - 0.25).abs() < 1e-12);
+        m.duration_ms = 1_000.0;
+        m.total_cores = 10;
+        m.busy_core_ms = 2_500.0;
+        assert!((m.utilization() - 0.25).abs() < 1e-12);
+        m.idle_mb_ms = 512_000.0;
+        assert!((m.mean_idle_memory_mb() - 512.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_index() {
+        let mut m = SimMetrics::new("p", "b");
+        assert!(m.imbalance().is_nan());
+        m.per_node_busy_ms = vec![100.0, 100.0, 100.0, 100.0];
+        assert!((m.imbalance() - 1.0).abs() < 1e-12);
+        m.per_node_busy_ms = vec![400.0, 0.0, 0.0, 0.0];
+        assert!((m.imbalance() - 4.0).abs() < 1e-12);
+    }
+}

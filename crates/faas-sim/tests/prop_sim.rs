@@ -1,0 +1,126 @@
+//! Property tests over the discrete-event engine: conservation laws must
+//! hold for arbitrary request traces, cluster shapes, and policies.
+
+use faasrail_core::{Request, RequestTrace};
+use faasrail_faas_sim::{
+    simulate, ClusterConfig, FixedTtl, GreedyDual, HybridHistogram, KeepAlivePolicy, LeastLoaded,
+    LoadBalancer, LruPolicy, RoundRobin, SimOptions, WarmFirst,
+};
+use faasrail_workloads::{CostModel, WorkloadId, WorkloadPool};
+use proptest::prelude::*;
+
+fn vanilla() -> WorkloadPool {
+    WorkloadPool::vanilla(&CostModel::default_calibration())
+}
+
+fn arb_trace() -> impl Strategy<Value = RequestTrace> {
+    proptest::collection::vec((0u64..600_000, 0u32..10), 1..300).prop_map(|mut reqs| {
+        reqs.sort_unstable();
+        RequestTrace {
+            duration_minutes: 10,
+            requests: reqs
+                .into_iter()
+                .map(|(at_ms, w)| Request { at_ms, workload: WorkloadId(w), function_index: w })
+                .collect(),
+        }
+    })
+}
+
+fn policy(which: u8) -> Box<dyn KeepAlivePolicy> {
+    match which % 4 {
+        0 => Box::new(FixedTtl::ten_minutes()),
+        1 => Box::new(LruPolicy),
+        2 => Box::new(GreedyDual),
+        _ => Box::new(HybridHistogram::new()),
+    }
+}
+
+fn balancer(which: u8) -> Box<dyn LoadBalancer> {
+    match which % 4 {
+        0 => Box::new(RoundRobin::default()),
+        1 => Box::new(LeastLoaded),
+        2 => Box::new(WarmFirst),
+        _ => Box::new(faasrail_faas_sim::HashAffinity),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn conservation_laws(
+        trace in arb_trace(),
+        nodes in 1usize..5,
+        cores in 1usize..8,
+        memory in 300.0f64..8_192.0,
+        pol in 0u8..4,
+        bal in 0u8..4,
+        jitter in 0u8..2,
+    ) {
+        let pool = vanilla();
+        let cluster = ClusterConfig {
+            nodes,
+            cores_per_node: cores,
+            memory_mb_per_node: memory,
+            ..Default::default()
+        };
+        let mut p = policy(pol);
+        let mut b = balancer(bal);
+        let opts = SimOptions {
+            service_jitter_sigma: if jitter == 0 { 0.0 } else { 0.3 },
+            seed: 7,
+        };
+        let m = simulate(&trace, &pool, &cluster, b.as_mut(), p.as_mut(), &opts);
+
+        // Every request arrives exactly once.
+        prop_assert_eq!(m.arrivals as usize, trace.requests.len());
+        // Every arrival either completes or is starved — none vanish.
+        prop_assert_eq!(m.completions + m.starved, m.arrivals);
+        // Every completion started exactly once, warm xor cold.
+        prop_assert_eq!(m.cold_starts + m.warm_starts, m.completions);
+        // Response times were recorded for every completion.
+        prop_assert_eq!(m.response.total(), m.completions);
+        // Derived quantities are within physical bounds.
+        if m.completions > 0 {
+            let u = m.utilization();
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+            let cf = m.cold_start_fraction();
+            prop_assert!((0.0..=1.0).contains(&cf));
+        }
+        prop_assert!(m.idle_mb_ms >= 0.0);
+    }
+
+    #[test]
+    fn single_workload_single_node_cold_starts_bounded(
+        n in 1usize..100,
+        gap_ms in 1u64..120_000,
+    ) {
+        // One workload on one node with ample memory: at most
+        // ceil over TTL-expiries + 1 cold starts; with gaps below the TTL,
+        // exactly one.
+        let pool = vanilla();
+        let trace = RequestTrace {
+            duration_minutes: ((n as u64 * gap_ms) / 60_000 + 1) as usize,
+            requests: (0..n as u64)
+                .map(|i| Request { at_ms: i * gap_ms, workload: WorkloadId(7), function_index: 7 })
+                .collect(),
+        };
+        let mut p = FixedTtl::ten_minutes();
+        let mut b = RoundRobin::default();
+        let m = simulate(
+            &trace,
+            &pool,
+            &ClusterConfig::single_node(4, 8_192.0),
+            &mut b,
+            &mut p,
+            &SimOptions::default(),
+        );
+        prop_assert_eq!(m.completions as usize, n);
+        if gap_ms < 600_000 {
+            // Gaps below the keep-alive window: sandbox never expires. The
+            // only extra cold starts come from burst concurrency (several
+            // in flight at once), bounded by the core count.
+            prop_assert!(m.cold_starts <= 4, "cold starts = {}", m.cold_starts);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! The backend interface: where generated requests are sent.
+//!
+//! FaaSRail's online component replays a request trace "against a backend
+//! FaaS system" (paper §1). Anything that can synchronously serve an
+//! invocation implements [`Backend`]: the discrete-event cluster simulator,
+//! the real-time kernel-executing backend, or a user's HTTP gateway shim.
+
+use faasrail_workloads::{WorkloadId, WorkloadInput};
+use serde::{Deserialize, Serialize};
+
+/// One invocation to serve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvocationRequest {
+    /// Pool id of the Workload.
+    pub workload: WorkloadId,
+    /// The concrete input to execute.
+    pub input: WorkloadInput,
+    /// The originating (aggregated) Function, for per-function accounting.
+    pub function_index: u32,
+    /// When the request was *scheduled* to fire, ms from experiment start.
+    pub scheduled_at_ms: u64,
+}
+
+/// What the backend reports back.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InvocationResult {
+    /// Whether the invocation succeeded.
+    pub ok: bool,
+    /// Pure service (execution) time, milliseconds.
+    pub service_ms: f64,
+    /// Whether a sandbox had to be cold-started.
+    pub cold_start: bool,
+}
+
+/// A synchronous invocation sink.
+///
+/// `invoke` is called from many worker threads concurrently; implementations
+/// must be `Send + Sync` and are expected to block for the invocation's
+/// duration (the load generator is open-loop, so blocking a worker never
+/// delays the request schedule).
+pub trait Backend: Send + Sync {
+    /// Serve one invocation.
+    fn invoke(&self, req: &InvocationRequest) -> InvocationResult;
+
+    /// Optional human-readable name for reports.
+    fn name(&self) -> &str {
+        "backend"
+    }
+}
+
+/// A trivial backend that acknowledges instantly — for testing the
+/// generator itself and for pacing-accuracy benchmarks.
+#[derive(Debug, Default)]
+pub struct NoopBackend;
+
+impl Backend for NoopBackend {
+    fn invoke(&self, _req: &InvocationRequest) -> InvocationResult {
+        InvocationResult { ok: true, service_ms: 0.0, cold_start: false }
+    }
+
+    fn name(&self) -> &str {
+        "noop"
+    }
+}
+
+/// A backend that *executes the actual workload kernel* in the calling
+/// worker thread — the "real workloads, really running" half of FaaSRail.
+#[derive(Debug, Default)]
+pub struct InProcessBackend;
+
+impl Backend for InProcessBackend {
+    fn invoke(&self, req: &InvocationRequest) -> InvocationResult {
+        let start = std::time::Instant::now();
+        std::hint::black_box(faasrail_workloads::kernels::execute(&req.input));
+        InvocationResult {
+            ok: true,
+            service_ms: start.elapsed().as_secs_f64() * 1_000.0,
+            cold_start: false,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "in-process"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> InvocationRequest {
+        InvocationRequest {
+            workload: WorkloadId(0),
+            input: WorkloadInput::Pyaes { bytes: 4096 },
+            function_index: 0,
+            scheduled_at_ms: 0,
+        }
+    }
+
+    #[test]
+    fn noop_is_instant_and_ok() {
+        let r = NoopBackend.invoke(&req());
+        assert!(r.ok);
+        assert_eq!(r.service_ms, 0.0);
+        assert!(!r.cold_start);
+    }
+
+    #[test]
+    fn in_process_reports_real_time() {
+        let r = InProcessBackend.invoke(&req());
+        assert!(r.ok);
+        assert!(r.service_ms > 0.0);
+    }
+}

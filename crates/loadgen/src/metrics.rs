@@ -1,0 +1,140 @@
+//! Run metrics: what a replay measures.
+
+use faasrail_stats::histogram::LogHistogram;
+use faasrail_workloads::WorkloadKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Metrics collected by one replay (or one worker, before merging).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Requests handed to the backend.
+    pub issued: u64,
+    /// Requests the backend reported as successful.
+    pub completed: u64,
+    /// Requests the backend reported as failed.
+    pub errors: u64,
+    /// Cold starts reported by the backend.
+    pub cold_starts: u64,
+    /// End-to-end response time (dispatch → backend return), seconds.
+    pub response: LogHistogram,
+    /// Backend-reported pure service time, seconds.
+    pub service: LogHistogram,
+    /// Dispatch lateness (actual fire − scheduled fire), seconds — the
+    /// pacer's accuracy.
+    pub lateness: LogHistogram,
+    /// Completed requests per benchmark kind.
+    pub per_kind: BTreeMap<WorkloadKind, u64>,
+    /// Requests dispatched per scheduled experiment minute (achieved-rate
+    /// series; indexed by `scheduled_at_ms / 60_000`).
+    pub issued_per_minute: Vec<u64>,
+}
+
+impl Default for RunMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunMetrics {
+    /// Fresh, empty metrics.
+    pub fn new() -> Self {
+        RunMetrics {
+            issued: 0,
+            completed: 0,
+            errors: 0,
+            cold_starts: 0,
+            response: LogHistogram::latency_seconds(),
+            service: LogHistogram::latency_seconds(),
+            lateness: LogHistogram::new(1e-6, 60.0, 1.05),
+            per_kind: BTreeMap::new(),
+            issued_per_minute: Vec::new(),
+        }
+    }
+
+    /// Count one dispatched request against its scheduled minute.
+    pub fn record_issued(&mut self, scheduled_at_ms: u64) {
+        let minute = (scheduled_at_ms / 60_000) as usize;
+        if self.issued_per_minute.len() <= minute {
+            self.issued_per_minute.resize(minute + 1, 0);
+        }
+        self.issued_per_minute[minute] += 1;
+        self.issued += 1;
+    }
+
+    /// Merge another worker's metrics into this one.
+    pub fn merge(&mut self, other: &RunMetrics) {
+        self.issued += other.issued;
+        self.completed += other.completed;
+        self.errors += other.errors;
+        self.cold_starts += other.cold_starts;
+        self.response.merge(&other.response);
+        self.service.merge(&other.service);
+        self.lateness.merge(&other.lateness);
+        for (k, v) in &other.per_kind {
+            *self.per_kind.entry(*k).or_insert(0) += v;
+        }
+        if self.issued_per_minute.len() < other.issued_per_minute.len() {
+            self.issued_per_minute.resize(other.issued_per_minute.len(), 0);
+        }
+        for (a, b) in self.issued_per_minute.iter_mut().zip(&other.issued_per_minute) {
+            *a += b;
+        }
+    }
+
+    /// Response-time quantile in milliseconds (`NaN`-free convenience).
+    pub fn response_quantile_ms(&self, q: f64) -> f64 {
+        if self.response.total() == 0 {
+            return f64::NAN;
+        }
+        self.response.quantile(q) * 1_000.0
+    }
+
+    /// Achieved throughput given the experiment duration.
+    pub fn achieved_rps(&self, duration_secs: f64) -> f64 {
+        self.issued as f64 / duration_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = RunMetrics::new();
+        a.issued = 10;
+        a.completed = 9;
+        a.errors = 1;
+        a.response.record(0.010);
+        a.per_kind.insert(WorkloadKind::Pyaes, 5);
+
+        let mut b = RunMetrics::new();
+        b.issued = 5;
+        b.completed = 5;
+        b.response.record(0.020);
+        b.per_kind.insert(WorkloadKind::Pyaes, 2);
+        b.per_kind.insert(WorkloadKind::Matmul, 3);
+
+        a.merge(&b);
+        assert_eq!(a.issued, 15);
+        assert_eq!(a.completed, 14);
+        assert_eq!(a.errors, 1);
+        assert_eq!(a.response.total(), 2);
+        assert_eq!(a.per_kind[&WorkloadKind::Pyaes], 7);
+        assert_eq!(a.per_kind[&WorkloadKind::Matmul], 3);
+    }
+
+    #[test]
+    fn quantile_nan_when_empty() {
+        let m = RunMetrics::new();
+        assert!(m.response_quantile_ms(0.5).is_nan());
+    }
+
+    #[test]
+    fn achieved_rps() {
+        let mut m = RunMetrics::new();
+        m.issued = 1200;
+        assert!((m.achieved_rps(60.0) - 20.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,304 @@
+//! Linear and logarithmic fixed-bucket histograms.
+//!
+//! [`LogHistogram`] doubles as the load generator's latency recorder: FaaS
+//! latencies span microseconds to minutes, so log-spaced buckets give a
+//! bounded-memory recorder with bounded relative quantile error, in the
+//! spirit of HdrHistogram.
+
+use serde::{Deserialize, Serialize};
+
+/// Histogram with equally wide buckets over `[lo, hi)` plus under/overflow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearHistogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl LinearHistogram {
+    /// Create a histogram over `[lo, hi)` with `buckets` equal-width buckets.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi` or `buckets == 0`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo < hi, "LinearHistogram requires lo < hi");
+        assert!(buckets > 0, "LinearHistogram requires at least one bucket");
+        LinearHistogram { lo, hi, counts: vec![0; buckets], underflow: 0, overflow: 0, total: 0 }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = (((x - self.lo) / width) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Total recorded observations (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-bucket counts (excluding under/overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Midpoint of bucket `i`.
+    pub fn bucket_mid(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + width * (i as f64 + 0.5)
+    }
+}
+
+/// Histogram with logarithmically spaced buckets over `[lo, hi)`.
+///
+/// Bucket boundaries are `lo * growth^i`; quantile estimates carry a bounded
+/// *relative* error of at most `growth - 1`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    lo: f64,
+    log_lo: f64,
+    log_growth: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+    /// Exact running min/max for tail reporting.
+    min_seen: f64,
+    max_seen: f64,
+}
+
+impl LogHistogram {
+    /// Histogram over `[lo, hi)` with buckets growing by `growth` (> 1).
+    ///
+    /// # Panics
+    /// Panics unless `0 < lo < hi` and `growth > 1`.
+    pub fn new(lo: f64, hi: f64, growth: f64) -> Self {
+        assert!(lo > 0.0 && lo < hi, "LogHistogram requires 0 < lo < hi");
+        assert!(growth > 1.0, "LogHistogram requires growth > 1");
+        let n = ((hi / lo).ln() / growth.ln()).ceil() as usize;
+        LogHistogram {
+            lo,
+            log_lo: lo.ln(),
+            log_growth: growth.ln(),
+            counts: vec![0; n.max(1)],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+            min_seen: f64::INFINITY,
+            max_seen: f64::NEG_INFINITY,
+        }
+    }
+
+    /// A latency recorder: 1 µs to 10 min (in seconds), 5% resolution.
+    pub fn latency_seconds() -> Self {
+        Self::new(1e-6, 600.0, 1.05)
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        self.min_seen = self.min_seen.min(x);
+        self.max_seen = self.max_seen.max(x);
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x.ln() - self.log_lo) / self.log_growth) as usize;
+        if idx >= self.counts.len() {
+            self.overflow += 1;
+        } else {
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Total recorded observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact minimum observation recorded (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min_seen
+    }
+
+    /// Exact maximum observation recorded (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max_seen
+    }
+
+    /// Lower edge of bucket `i`.
+    pub fn bucket_lo(&self, i: usize) -> f64 {
+        (self.log_lo + i as f64 * self.log_growth).exp()
+    }
+
+    /// Geometric midpoint of bucket `i`.
+    pub fn bucket_mid(&self, i: usize) -> f64 {
+        (self.log_lo + (i as f64 + 0.5) * self.log_growth).exp()
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Approximate quantile `q` in `[0,1]` (bucket-midpoint rule; underflow
+    /// maps to the exact min, overflow to the exact max).
+    ///
+    /// # Panics
+    /// Panics when empty or `q` outside `[0,1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(self.total > 0, "quantile of empty histogram");
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut acc = self.underflow;
+        if acc >= target {
+            return self.min_seen;
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return self.bucket_mid(i);
+            }
+        }
+        self.max_seen
+    }
+
+    /// Merge another histogram with identical bucket layout.
+    ///
+    /// # Panics
+    /// Panics on layout mismatch.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(self.counts.len(), other.counts.len(), "bucket count mismatch");
+        assert!(
+            (self.log_lo - other.log_lo).abs() < 1e-12 && (self.log_growth - other.log_growth).abs() < 1e-12,
+            "bucket layout mismatch"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
+        self.min_seen = self.min_seen.min(other.min_seen);
+        self.max_seen = self.max_seen.max(other.max_seen);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn linear_basic_binning() {
+        let mut h = LinearHistogram::new(0.0, 10.0, 10);
+        for x in [0.0, 0.5, 1.0, 9.99, -1.0, 10.0, 100.0] {
+            h.record(x);
+        }
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.counts()[0], 2); // 0.0 and 0.5
+        assert_eq!(h.counts()[1], 1); // 1.0
+        assert_eq!(h.counts()[9], 1); // 9.99
+    }
+
+    #[test]
+    fn linear_bucket_mid() {
+        let h = LinearHistogram::new(0.0, 10.0, 10);
+        assert!((h.bucket_mid(0) - 0.5).abs() < 1e-12);
+        assert!((h.bucket_mid(9) - 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_histogram_quantile_relative_error() {
+        let mut h = LogHistogram::new(1e-3, 1e3, 1.05);
+        // Record a known distribution: values 1..=1000.
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((p50 / 500.0 - 1.0).abs() < 0.06, "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((p99 / 990.0 - 1.0).abs() < 0.06, "p99 = {p99}");
+    }
+
+    #[test]
+    fn log_histogram_overflow_and_min_max() {
+        let mut h = LogHistogram::new(1.0, 10.0, 2.0);
+        h.record(0.5);
+        h.record(100.0);
+        h.record(2.0);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.min(), 0.5);
+        assert_eq!(h.max(), 100.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+        // lowest observation is in the underflow zone → exact min
+        assert_eq!(h.quantile(0.01), 0.5);
+    }
+
+    #[test]
+    fn log_histogram_merge() {
+        let mut a = LogHistogram::new(1.0, 1000.0, 1.1);
+        let mut b = LogHistogram::new(1.0, 1000.0, 1.1);
+        for i in 1..=50 {
+            a.record(i as f64);
+        }
+        for i in 51..=100 {
+            b.record(i as f64);
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), 100);
+        let p50 = a.quantile(0.5);
+        assert!((p50 / 50.0 - 1.0).abs() < 0.12, "p50 = {p50}");
+    }
+
+    #[test]
+    fn latency_seconds_covers_microseconds_to_minutes() {
+        let mut h = LogHistogram::latency_seconds();
+        h.record(2e-6);
+        h.record(1.0);
+        h.record(599.0);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts().iter().sum::<u64>(), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn log_quantile_monotone(xs in proptest::collection::vec(1e-3f64..1e3, 1..200), q1 in 0f64..=1.0, q2 in 0f64..=1.0) {
+            let mut h = LogHistogram::new(1e-4, 1e4, 1.05);
+            for &x in &xs { h.record(x); }
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(h.quantile(lo) <= h.quantile(hi) + 1e-9);
+        }
+
+        #[test]
+        fn counts_conserved(xs in proptest::collection::vec(-10f64..1e4, 0..200)) {
+            let mut h = LogHistogram::new(1.0, 100.0, 1.5);
+            for &x in &xs { h.record(x); }
+            let bucketed: u64 = h.counts().iter().sum();
+            prop_assert_eq!(bucketed + h.underflow + h.overflow, xs.len() as u64);
+        }
+    }
+}

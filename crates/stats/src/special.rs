@@ -1,0 +1,198 @@
+//! Special mathematical functions needed by the samplers.
+//!
+//! Implemented in-repo (no external math crates): `ln_gamma` via the Lanczos
+//! approximation, `erf`/`erfc`, and the standard normal CDF and its inverse
+//! (Acklam's rational approximation). Accuracy is more than sufficient for
+//! load generation: `ln_gamma` is good to ~1e-13 relative error and the
+//! normal inverse CDF to ~1.15e-9 absolute error.
+
+/// Lanczos coefficients for g = 7, n = 9 (Numerical Recipes / Boost flavour).
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS_COEF: [f64; 9] = [
+    0.999_999_999_999_809_9,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural logarithm of the gamma function, for `x > 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1−x) = π / sin(πx)
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = LANCZOS_COEF[0];
+    for (i, &c) in LANCZOS_COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + LANCZOS_G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Error function, via the Abramowitz & Stegun 7.1.26 rational approximation
+/// refined with one Newton step against `erfc` asymptotics; absolute error
+/// below 1.5e-7, which is ample for distribution shaping.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Complementary error function.
+pub fn erfc(x: f64) -> f64 {
+    1.0 - erf(x)
+}
+
+/// CDF of the standard normal distribution.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Inverse CDF (quantile function) of the standard normal distribution.
+///
+/// Peter Acklam's rational approximation; max absolute error ~1.15e-9.
+///
+/// # Panics
+/// Panics unless `0 < p < 1`.
+pub fn normal_inv_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal_inv_cdf requires 0 < p < 1, got {p}");
+
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ln_gamma_integers_match_factorials() {
+        // Γ(n) = (n-1)!
+        let mut fact = 1.0f64;
+        for n in 1..15u32 {
+            if n > 1 {
+                fact *= (n - 1) as f64;
+            }
+            let lg = ln_gamma(n as f64);
+            assert!(
+                (lg - fact.ln()).abs() < 1e-10,
+                "ln_gamma({n}) = {lg}, expected {}",
+                fact.ln()
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = sqrt(pi)
+        let expect = std::f64::consts::PI.sqrt().ln();
+        assert!((ln_gamma(0.5) - expect).abs() < 1e-10);
+    }
+
+    #[test]
+    fn erf_known_values() {
+        // The A&S 7.1.26 rational approximation has ~1e-9 residual at 0.
+        assert!((erf(0.0)).abs() < 1e-8);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(2.0) - 0.995_322_26).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        for &x in &[0.1, 0.5, 1.0, 2.5] {
+            assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-7);
+        }
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn normal_inv_cdf_known_values() {
+        assert!(normal_inv_cdf(0.5).abs() < 1e-9);
+        assert!((normal_inv_cdf(0.975) - 1.959_963_985).abs() < 1e-6);
+        assert!((normal_inv_cdf(0.025) + 1.959_963_985).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn inv_cdf_roundtrip(p in 1e-6f64..=0.999_999) {
+            let x = normal_inv_cdf(p);
+            let p2 = normal_cdf(x);
+            // erf approximation limits the roundtrip accuracy
+            prop_assert!((p - p2).abs() < 5e-7, "p={p} roundtrips to {p2}");
+        }
+
+        #[test]
+        fn inv_cdf_monotone(p1 in 1e-6f64..=0.999_999, p2 in 1e-6f64..=0.999_999) {
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            prop_assert!(normal_inv_cdf(lo) <= normal_inv_cdf(hi) + 1e-12);
+        }
+
+        #[test]
+        fn ln_gamma_recurrence(x in 0.1f64..50.0) {
+            // Γ(x+1) = x Γ(x)  =>  lnΓ(x+1) = ln x + lnΓ(x)
+            let lhs = ln_gamma(x + 1.0);
+            let rhs = x.ln() + ln_gamma(x);
+            prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()));
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Streaming summary statistics (Welford's algorithm) and percentile helpers.
+//!
+//! The FaaSRail methodology leans on two scalar statistics: the mean (trace
+//! functions are keyed by their *average* warm execution time) and the
+//! coefficient of variation (used to argue that a single trace day is a safe
+//! sample — paper Fig. 3). Both are provided here with numerically stable
+//! single-pass accumulation.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable streaming moments over a sequence of `f64` samples.
+///
+/// Uses Welford's online algorithm, so it is safe for long streams of values
+/// spanning several orders of magnitude (FaaS execution times span 2–4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Summary {
+    /// An empty summary. All statistics of an empty summary are `NaN` except
+    /// [`Summary::count`], which is zero.
+    pub fn new() -> Self {
+        Summary { count: 0, mean: f64::NAN, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Build a summary from a slice in one pass.
+    pub fn from_slice(values: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "Summary::push requires finite values, got {x}");
+        self.count += 1;
+        if self.count == 1 {
+            self.mean = x;
+            self.m2 = 0.0;
+        } else {
+            let delta = x - self.mean;
+            self.mean += delta / self.count as f64;
+            let delta2 = x - self.mean;
+            self.m2 += delta * delta2;
+        }
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another summary into this one (parallel reduction support).
+    ///
+    /// Uses the Chan et al. pairwise update, so `a.merge(b)` equals pushing
+    /// all of `b`'s observations into `a` up to floating-point error.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (`NaN` when empty, `0` for a single observation).
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Unbiased sample variance (`NaN` for fewer than two observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation: `std_dev / mean`.
+    ///
+    /// This is the statistic of paper Fig. 3 (per-function daily execution
+    /// time and invocation counts across trace days). For a zero mean the CV
+    /// is defined here as `0.0` when all samples are zero (a function that is
+    /// never invoked is perfectly stable), `NaN` otherwise.
+    pub fn cv(&self) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        if self.mean == 0.0 {
+            return if self.m2 == 0.0 { 0.0 } else { f64::NAN };
+        }
+        self.std_dev() / self.mean.abs()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Linearly interpolated percentile of an ascending-sorted slice.
+///
+/// `q` is in `[0, 1]`. Uses the common "linear" (type-7) interpolation rule,
+/// matching numpy's default, which the paper's analysis scripts use.
+///
+/// # Panics
+/// Panics if `values` is empty or `q` is outside `[0, 1]`.
+pub fn percentile_sorted(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+    debug_assert!(
+        values.windows(2).all(|w| w[0] <= w[1]),
+        "percentile_sorted requires ascending input"
+    );
+    let n = values.len();
+    if n == 1 {
+        return values[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        values[lo]
+    } else {
+        let frac = pos - lo as f64;
+        values[lo] + (values[hi] - values[lo]) * frac
+    }
+}
+
+/// Convenience: sort a copy and take several percentiles at once.
+pub fn percentiles(values: &[f64], qs: &[f64]) -> Vec<f64> {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    qs.iter().map(|&q| percentile_sorted(&sorted, q)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert!(s.mean().is_nan());
+        assert!(s.variance().is_nan());
+        assert!(s.cv().is_nan());
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::from_slice(&[5.0]);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.cv(), 0.0);
+        assert_eq!(s.min(), 5.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn known_moments() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert!((s.cv() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_cv_is_zero() {
+        let s = Summary::from_slice(&[0.0, 0.0, 0.0]);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 50.0 + 100.0).collect();
+        let (a, b) = xs.split_at(37);
+        let mut sa = Summary::from_slice(a);
+        let sb = Summary::from_slice(b);
+        sa.merge(&sb);
+        let s = Summary::from_slice(&xs);
+        assert_eq!(sa.count(), s.count());
+        assert!((sa.mean() - s.mean()).abs() < 1e-9);
+        assert!((sa.variance() - s.variance()).abs() < 1e-9);
+        assert_eq!(sa.min(), s.min());
+        assert_eq!(sa.max(), s.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = Summary::from_slice(&[1.0, 2.0, 3.0]);
+        let before = s;
+        s.merge(&Summary::new());
+        assert_eq!(s, before);
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn percentile_endpoints_and_median() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile_sorted(&v, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&v, 1.0), 4.0);
+        assert!((percentile_sorted(&v, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_unsorted_input() {
+        let v = [9.0, 1.0, 5.0];
+        let ps = percentiles(&v, &[0.0, 0.5, 1.0]);
+        assert_eq!(ps, vec![1.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn percentile_empty_panics() {
+        percentile_sorted(&[], 0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn welford_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let s = Summary::from_slice(&xs);
+            let n = xs.len() as f64;
+            let mean = xs.iter().sum::<f64>() / n;
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+            prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+            prop_assert!((s.variance() - var).abs() < 1e-4 * (1.0 + var));
+        }
+
+        #[test]
+        fn merge_is_associative_enough(
+            a in proptest::collection::vec(0f64..1e3, 1..50),
+            b in proptest::collection::vec(0f64..1e3, 1..50),
+        ) {
+            let mut m = Summary::from_slice(&a);
+            m.merge(&Summary::from_slice(&b));
+            let mut all = a.clone();
+            all.extend_from_slice(&b);
+            let s = Summary::from_slice(&all);
+            prop_assert!((m.mean() - s.mean()).abs() < 1e-8 * (1.0 + s.mean().abs()));
+            prop_assert!((m.variance() - s.variance()).abs() < 1e-6 * (1.0 + s.variance()));
+        }
+
+        #[test]
+        fn percentile_monotone(
+            mut xs in proptest::collection::vec(0f64..1e6, 2..100),
+            q1 in 0f64..=1.0,
+            q2 in 0f64..=1.0,
+        ) {
+            xs.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(percentile_sorted(&xs, lo) <= percentile_sorted(&xs, hi) + 1e-9);
+        }
+
+        #[test]
+        fn percentile_within_range(mut xs in proptest::collection::vec(-1e3f64..1e3, 1..100), q in 0f64..=1.0) {
+            xs.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            let p = percentile_sorted(&xs, q);
+            prop_assert!(p >= xs[0] - 1e-9 && p <= xs[xs.len()-1] + 1e-9);
+        }
+    }
+}

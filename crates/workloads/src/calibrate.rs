@@ -1,0 +1,211 @@
+//! Calibration: registering real warm execution times on the target machine.
+//!
+//! Paper §3.1.1: "To register the Workloads execution times, we deploy each
+//! in a distinct container and run it multiple times to capture its average
+//! warm execution time on a target machine." Here each kernel runs in-process
+//! (warm), is timed over several repetitions, and the per-kind linear cost
+//! model is refit by least squares over `(work_units, time)` pairs.
+
+use crate::cost_model::{CostModel, KindCost};
+use crate::input::WorkloadInput;
+use crate::kernels;
+use crate::registry::WorkloadKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Options controlling a calibration run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationOptions {
+    /// Untimed warm-up executions before measuring.
+    pub warmups: u32,
+    /// Timed repetitions; the *median* is recorded (robust to stragglers).
+    pub repeats: u32,
+}
+
+impl Default for CalibrationOptions {
+    fn default() -> Self {
+        CalibrationOptions { warmups: 2, repeats: 5 }
+    }
+}
+
+/// One measured `(input, time)` sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    pub input: WorkloadInput,
+    /// Median warm execution time over the repetitions, milliseconds.
+    pub median_ms: f64,
+    /// Mean warm execution time, milliseconds.
+    pub mean_ms: f64,
+    pub repeats: u32,
+}
+
+/// Measure one input's warm execution time.
+pub fn measure(input: &WorkloadInput, opts: &CalibrationOptions) -> Measurement {
+    assert!(opts.repeats >= 1, "need at least one timed repetition");
+    for _ in 0..opts.warmups {
+        std::hint::black_box(kernels::execute(input));
+    }
+    let mut times_ms = Vec::with_capacity(opts.repeats as usize);
+    for _ in 0..opts.repeats {
+        let start = Instant::now();
+        std::hint::black_box(kernels::execute(input));
+        times_ms.push(start.elapsed().as_secs_f64() * 1_000.0);
+    }
+    times_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median_ms = times_ms[times_ms.len() / 2];
+    let mean_ms = times_ms.iter().sum::<f64>() / times_ms.len() as f64;
+    Measurement { input: *input, median_ms, mean_ms, repeats: opts.repeats }
+}
+
+/// Least-squares fit of `time_us = overhead_us + (ns_per_unit/1000) × units`
+/// over one kind's measurements. With a single point, only the slope is fit
+/// (overhead pinned at zero). Coefficients are clamped non-negative, with a
+/// strictly positive slope floor so the model stays invertible.
+pub fn fit_kind(measurements: &[Measurement]) -> KindCost {
+    assert!(!measurements.is_empty(), "cannot fit with no measurements");
+    let pts: Vec<(f64, f64)> = measurements
+        .iter()
+        .map(|m| (m.input.work_units(), m.median_ms * 1_000.0)) // (units, µs)
+        .collect();
+    if pts.len() == 1 {
+        let (u, t) = pts[0];
+        return KindCost { overhead_us: 0.0, ns_per_unit: (t * 1_000.0 / u).max(1e-6) };
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    let (slope_us_per_unit, intercept_us) = if denom.abs() < f64::EPSILON {
+        // All identical unit counts: degenerate; fall back to ratio.
+        (sy / sx.max(1.0), 0.0)
+    } else {
+        let slope = (n * sxy - sx * sy) / denom;
+        let intercept = (sy - slope * sx) / n;
+        (slope, intercept)
+    };
+    KindCost {
+        overhead_us: intercept_us.max(0.0),
+        ns_per_unit: (slope_us_per_unit * 1_000.0).max(1e-6),
+    }
+}
+
+/// Fit a full cost model from measurements, falling back to the default
+/// coefficients for kinds without data.
+pub fn fit_model(measurements: &[Measurement]) -> CostModel {
+    let mut by_kind: BTreeMap<WorkloadKind, Vec<Measurement>> = BTreeMap::new();
+    for m in measurements {
+        by_kind.entry(m.input.kind()).or_default().push(*m);
+    }
+    let mut model = CostModel::default_calibration();
+    for (kind, ms) in &by_kind {
+        model.set(*kind, fit_kind(ms));
+    }
+    model
+}
+
+/// Calibrate every kind over a ladder of small inputs — a fast, end-to-end
+/// refit suitable for test machines (larger inputs give better fits; this
+/// is what `faasrail build-pool --measure` does with a bigger ladder).
+pub fn quick_calibration(opts: &CalibrationOptions) -> CostModel {
+    let mut measurements = Vec::new();
+    for kind in WorkloadKind::ALL_SUITES {
+        for scale in [1.0f64, 4.0, 16.0] {
+            let input = match kind {
+                WorkloadKind::CnnServing => WorkloadInput::CnnServing {
+                    image_size: (16.0 * scale.sqrt()) as u32,
+                    filters: 8,
+                },
+                _ => {
+                    let base_units = 200_000.0;
+                    match WorkloadInput::for_work_units(kind, base_units * scale) {
+                        Some(i) => i,
+                        None => continue,
+                    }
+                }
+            };
+            measurements.push(measure(&input, opts));
+        }
+    }
+    fit_model(&measurements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_positive_times() {
+        let m = measure(
+            &WorkloadInput::Pyaes { bytes: 64 * 1024 },
+            &CalibrationOptions { warmups: 1, repeats: 3 },
+        );
+        assert!(m.median_ms > 0.0);
+        assert!(m.mean_ms > 0.0);
+        assert_eq!(m.repeats, 3);
+    }
+
+    #[test]
+    fn fit_recovers_synthetic_line() {
+        // time_us = 50 + 0.002 * units  (i.e. 2 ns/unit)
+        let mk = |units: f64| Measurement {
+            input: WorkloadInput::Pyaes { bytes: units as u32 },
+            median_ms: (50.0 + 0.002 * units) / 1_000.0,
+            mean_ms: (50.0 + 0.002 * units) / 1_000.0,
+            repeats: 1,
+        };
+        let ms: Vec<Measurement> = [1e4, 5e4, 1e5, 5e5].iter().map(|&u| mk(u)).collect();
+        let fit = fit_kind(&ms);
+        assert!((fit.overhead_us - 50.0).abs() < 1.0, "overhead = {}", fit.overhead_us);
+        assert!((fit.ns_per_unit - 2.0).abs() < 0.05, "slope = {}", fit.ns_per_unit);
+    }
+
+    #[test]
+    fn fit_single_point() {
+        let m = Measurement {
+            input: WorkloadInput::Pyaes { bytes: 1_000 },
+            median_ms: 0.01,
+            mean_ms: 0.01,
+            repeats: 1,
+        };
+        let fit = fit_kind(&[m]);
+        assert_eq!(fit.overhead_us, 0.0);
+        assert!((fit.ns_per_unit - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_clamps_negative_intercept() {
+        // A line with negative intercept must clamp to zero overhead.
+        let mk = |units: f64, t_us: f64| Measurement {
+            input: WorkloadInput::Pyaes { bytes: units as u32 },
+            median_ms: t_us / 1_000.0,
+            mean_ms: t_us / 1_000.0,
+            repeats: 1,
+        };
+        let fit = fit_kind(&[mk(1e4, 10.0), mk(1e5, 200.0)]);
+        assert!(fit.overhead_us >= 0.0);
+        assert!(fit.ns_per_unit > 0.0);
+    }
+
+    #[test]
+    fn fit_model_falls_back_to_defaults() {
+        let model = fit_model(&[]);
+        assert_eq!(model, CostModel::default_calibration());
+    }
+
+    #[test]
+    fn measured_times_scale_with_input() {
+        // The whole premise of augmentation: bigger input, longer runtime.
+        let opts = CalibrationOptions { warmups: 1, repeats: 3 };
+        let small = measure(&WorkloadInput::Pyaes { bytes: 16 * 1024 }, &opts);
+        let large = measure(&WorkloadInput::Pyaes { bytes: 512 * 1024 }, &opts);
+        assert!(
+            large.median_ms > small.median_ms * 4.0,
+            "16K: {} ms, 512K: {} ms",
+            small.median_ms,
+            large.median_ms
+        );
+    }
+}

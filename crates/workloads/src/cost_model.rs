@@ -1,0 +1,159 @@
+//! Analytic execution-time model for the workload kernels.
+//!
+//! The shrink ray reasons about a Workload through its *average warm
+//! execution time* (paper §3.1.1: each `(function, input)` pair is deployed
+//! and timed). This model predicts that time from the kernel's work units:
+//! `time ≈ overhead + ns_per_unit × work_units`. The default coefficients
+//! are representative of a modern server core; [`crate::calibrate`] refits
+//! them from real measurements on the target machine, mirroring the paper's
+//! per-testbed registration step.
+
+use crate::input::WorkloadInput;
+use crate::registry::WorkloadKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-kind linear cost coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KindCost {
+    /// Fixed per-invocation overhead, microseconds (setup, data synthesis).
+    pub overhead_us: f64,
+    /// Marginal cost per work unit, nanoseconds.
+    pub ns_per_unit: f64,
+}
+
+/// A full cost model: coefficients for every workload kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    costs: BTreeMap<WorkloadKind, KindCost>,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::default_calibration()
+    }
+}
+
+impl CostModel {
+    /// Default coefficients (order-of-magnitude for one modern core).
+    pub fn default_calibration() -> Self {
+        use WorkloadKind::*;
+        let mut costs = BTreeMap::new();
+        let entries: [(WorkloadKind, f64); 16] = [
+            (Chameleon, 120.0),      // per table cell (string formatting)
+            (CnnServing, 1.2),       // per MAC
+            (ImageProcessing, 1.0),  // per pixel-op
+            (JsonSerdes, 1_500.0),   // per record round-trip
+            (Matmul, 1.0),           // per FMA
+            (LrServing, 1.0),        // per feature multiply
+            (LrTraining, 2.0),       // per feature multiply (fwd+bwd)
+            (Pyaes, 12.0),           // per byte (software AES)
+            (RnnServing, 1.2),       // per MAC
+            (VideoProcessing, 1.0),  // per pixel-op
+            (Compression, 25.0),     // per input byte (match finding)
+            (GraphBfs, 12.0),        // per edge (hash + random access)
+            (PageRank, 10.0),        // per edge-iteration
+            (SortData, 8.0),         // per key·log(key) comparison unit
+            (TextSearch, 1.5),       // per byte·pattern scanned
+            (WordCount, 15.0),       // per byte (split + hash)
+        ];
+        for (kind, ns_per_unit) in entries {
+            costs.insert(kind, KindCost { overhead_us: 20.0, ns_per_unit });
+        }
+        CostModel { costs }
+    }
+
+    /// Coefficients for one kind.
+    pub fn cost(&self, kind: WorkloadKind) -> KindCost {
+        *self.costs.get(&kind).expect("every kind has coefficients")
+    }
+
+    /// Replace the coefficients for one kind (after calibration).
+    pub fn set(&mut self, kind: WorkloadKind, cost: KindCost) {
+        assert!(cost.overhead_us >= 0.0 && cost.ns_per_unit > 0.0, "non-physical coefficients");
+        self.costs.insert(kind, cost);
+    }
+
+    /// Predicted warm execution time for an input, in milliseconds.
+    ///
+    /// ```
+    /// use faasrail_workloads::{CostModel, WorkloadInput};
+    /// let model = CostModel::default_calibration();
+    /// let small = model.predict_ms(&WorkloadInput::Matmul { n: 64 });
+    /// let large = model.predict_ms(&WorkloadInput::Matmul { n: 128 });
+    /// assert!(large > small * 6.0); // cubic in n
+    /// ```
+    pub fn predict_ms(&self, input: &WorkloadInput) -> f64 {
+        let c = self.cost(input.kind());
+        (c.overhead_us + c.ns_per_unit * input.work_units() / 1_000.0) / 1_000.0
+    }
+
+    /// Work units needed for a target time — the inverse of
+    /// [`Self::predict_ms`], used by the augmentation grid to pick inputs.
+    /// Clamped below at one unit.
+    pub fn units_for_ms(&self, kind: WorkloadKind, target_ms: f64) -> f64 {
+        let c = self.cost(kind);
+        (((target_ms * 1_000.0 - c.overhead_us) * 1_000.0) / c.ns_per_unit).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_kinds() {
+        let m = CostModel::default_calibration();
+        for k in WorkloadKind::ALL_SUITES {
+            let c = m.cost(k);
+            assert!(c.ns_per_unit > 0.0);
+        }
+    }
+
+    #[test]
+    fn predict_positive_and_monotone() {
+        let m = CostModel::default_calibration();
+        let t1 = m.predict_ms(&WorkloadInput::Matmul { n: 64 });
+        let t2 = m.predict_ms(&WorkloadInput::Matmul { n: 128 });
+        assert!(t1 > 0.0);
+        assert!(t2 > t1 * 6.0, "cubic scaling: {t1} vs {t2}");
+    }
+
+    #[test]
+    fn units_inversion_roundtrip() {
+        let m = CostModel::default_calibration();
+        for k in WorkloadKind::ALL_SUITES {
+            for target in [0.5, 10.0, 1_000.0] {
+                let units = m.units_for_ms(k, target);
+                if units <= 1.0 {
+                    continue; // target below overhead
+                }
+                let c = m.cost(k);
+                let ms = (c.overhead_us + c.ns_per_unit * units / 1_000.0) / 1_000.0;
+                assert!((ms / target - 1.0).abs() < 1e-9, "{k}: {ms} vs {target}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_replaces() {
+        let mut m = CostModel::default_calibration();
+        m.set(WorkloadKind::Pyaes, KindCost { overhead_us: 5.0, ns_per_unit: 100.0 });
+        assert_eq!(m.cost(WorkloadKind::Pyaes).ns_per_unit, 100.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn set_rejects_zero_slope() {
+        let mut m = CostModel::default_calibration();
+        m.set(WorkloadKind::Pyaes, KindCost { overhead_us: 5.0, ns_per_unit: 0.0 });
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = CostModel::default_calibration();
+        let s = serde_json::to_string(&m).unwrap();
+        let back: CostModel = serde_json::from_str(&s).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,230 @@
+//! Native compute kernels — the executable bodies of the ten workloads.
+//!
+//! Each kernel performs the same *kind* of work as its FunctionBench
+//! counterpart (HTML rendering, CNN inference, AES, …) with trip counts
+//! driven by the [`WorkloadInput`]. Kernels are:
+//!
+//! * **deterministic** — input data is synthesized from a fixed-seed
+//!   [`SplitMix64`], and every kernel returns a checksum so results can be
+//!   asserted and the optimizer cannot elide the work;
+//! * **bounded-memory** — oversized inputs are processed in a streaming
+//!   fashion (row buffers, block counters) so augmenting a workload to
+//!   multi-second runtimes never balloons its footprint.
+
+pub mod aes;
+pub mod auxiliary;
+pub mod chameleon;
+pub mod cnn;
+pub mod image;
+pub mod json;
+pub mod lr;
+pub mod matmul;
+pub mod rnn;
+pub mod video;
+
+use crate::input::WorkloadInput;
+
+/// Tiny, fast, deterministic PRNG for synthesizing kernel input data.
+/// (Sebastiano Vigna's SplitMix64 — the canonical seeding generator.)
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seed the generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[-1, 1)`, handy for synthetic model weights.
+    #[inline]
+    pub fn next_weight(&mut self) -> f32 {
+        (self.next_f64() * 2.0 - 1.0) as f32
+    }
+}
+
+/// Mix a value into a running checksum (FNV-1a style with a 64-bit fold).
+#[inline]
+pub fn fold(acc: u64, v: u64) -> u64 {
+    (acc ^ v).wrapping_mul(0x100_0000_01B3)
+}
+
+/// Fold a float by its bit pattern, quantized to survive tiny FP reordering.
+#[inline]
+pub fn fold_f64(acc: u64, v: f64) -> u64 {
+    fold(acc, (v * 1e6).round() as i64 as u64)
+}
+
+/// Execute the kernel selected by `input`, returning its checksum.
+pub fn execute(input: &WorkloadInput) -> u64 {
+    match *input {
+        WorkloadInput::Chameleon { rows, cols } => chameleon::run(rows, cols),
+        WorkloadInput::CnnServing { image_size, filters } => cnn::run(image_size, filters),
+        WorkloadInput::ImageProcessing { size } => image::run(size),
+        WorkloadInput::JsonSerdes { records } => json::run(records),
+        WorkloadInput::Matmul { n } => matmul::run(n),
+        WorkloadInput::LrServing { samples, features } => lr::run_serving(samples, features),
+        WorkloadInput::LrTraining { epochs, samples, features } => {
+            lr::run_training(epochs, samples, features)
+        }
+        WorkloadInput::Pyaes { bytes } => aes::run(bytes),
+        WorkloadInput::RnnServing { seq_len, hidden } => rnn::run(seq_len, hidden),
+        WorkloadInput::VideoProcessing { frames, size } => video::run(frames, size),
+        WorkloadInput::Compression { bytes } => auxiliary::run_compression(bytes),
+        WorkloadInput::GraphBfs { vertices, degree } => auxiliary::run_graph_bfs(vertices, degree),
+        WorkloadInput::PageRank { vertices, iters } => auxiliary::run_pagerank(vertices, iters),
+        WorkloadInput::SortData { elements } => auxiliary::run_sort(elements),
+        WorkloadInput::TextSearch { haystack_bytes, patterns } => {
+            auxiliary::run_text_search(haystack_bytes, patterns)
+        }
+        WorkloadInput::WordCount { bytes } => auxiliary::run_word_count(bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::WorkloadKind;
+
+    #[test]
+    fn splitmix_deterministic() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(1);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_f64_in_unit_interval() {
+        let mut r = SplitMix64::new(99);
+        for _ in 0..1000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn every_kernel_runs_and_is_deterministic() {
+        // Miniature inputs: fast even in debug builds.
+        let inputs = [
+            WorkloadInput::Chameleon { rows: 20, cols: 4 },
+            WorkloadInput::CnnServing { image_size: 16, filters: 4 },
+            WorkloadInput::ImageProcessing { size: 32 },
+            WorkloadInput::JsonSerdes { records: 50 },
+            WorkloadInput::Matmul { n: 16 },
+            WorkloadInput::LrServing { samples: 64, features: 8 },
+            WorkloadInput::LrTraining { epochs: 2, samples: 64, features: 8 },
+            WorkloadInput::Pyaes { bytes: 1024 },
+            WorkloadInput::RnnServing { seq_len: 4, hidden: 16 },
+            WorkloadInput::VideoProcessing { frames: 2, size: 32 },
+            WorkloadInput::Compression { bytes: 4_096 },
+            WorkloadInput::GraphBfs { vertices: 200, degree: 4 },
+            WorkloadInput::PageRank { vertices: 100, iters: 2 },
+            WorkloadInput::SortData { elements: 500 },
+            WorkloadInput::TextSearch { haystack_bytes: 4_096, patterns: 2 },
+            WorkloadInput::WordCount { bytes: 4_096 },
+        ];
+        let mut seen_kinds = Vec::new();
+        for input in &inputs {
+            let a = execute(input);
+            let b = execute(input);
+            assert_eq!(a, b, "{input:?} not deterministic");
+            seen_kinds.push(input.kind());
+        }
+        seen_kinds.sort_unstable();
+        seen_kinds.dedup();
+        assert_eq!(
+            seen_kinds.len(),
+            WorkloadKind::ALL_SUITES.len(),
+            "all sixteen kinds covered"
+        );
+    }
+
+    #[test]
+    fn checksums_differ_across_inputs() {
+        let a = execute(&WorkloadInput::Pyaes { bytes: 1024 });
+        let b = execute(&WorkloadInput::Pyaes { bytes: 2048 });
+        assert_ne!(a, b);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A miniature input for any kind, scaled by `s` in 1..=4.
+        fn tiny_input(kind: WorkloadKind, s: u32) -> WorkloadInput {
+            match kind {
+                WorkloadKind::Chameleon => WorkloadInput::Chameleon { rows: 8 * s, cols: 4 },
+                WorkloadKind::CnnServing => {
+                    WorkloadInput::CnnServing { image_size: 8 + 4 * s, filters: 4 }
+                }
+                WorkloadKind::ImageProcessing => WorkloadInput::ImageProcessing { size: 8 * s },
+                WorkloadKind::JsonSerdes => WorkloadInput::JsonSerdes { records: 10 * s },
+                WorkloadKind::Matmul => WorkloadInput::Matmul { n: 4 * s },
+                WorkloadKind::LrServing => {
+                    WorkloadInput::LrServing { samples: 16 * s, features: 8 }
+                }
+                WorkloadKind::LrTraining => {
+                    WorkloadInput::LrTraining { epochs: s, samples: 16, features: 4 }
+                }
+                WorkloadKind::Pyaes => WorkloadInput::Pyaes { bytes: 64 * s },
+                WorkloadKind::RnnServing => {
+                    WorkloadInput::RnnServing { seq_len: s, hidden: 8 }
+                }
+                WorkloadKind::VideoProcessing => {
+                    WorkloadInput::VideoProcessing { frames: s, size: 8 }
+                }
+                WorkloadKind::Compression => WorkloadInput::Compression { bytes: 256 * s },
+                WorkloadKind::GraphBfs => WorkloadInput::GraphBfs { vertices: 32 * s, degree: 3 },
+                WorkloadKind::PageRank => WorkloadInput::PageRank { vertices: 16 * s, iters: 2 },
+                WorkloadKind::SortData => WorkloadInput::SortData { elements: 64 * s },
+                WorkloadKind::TextSearch => {
+                    WorkloadInput::TextSearch { haystack_bytes: 512 * s, patterns: 2 }
+                }
+                WorkloadKind::WordCount => WorkloadInput::WordCount { bytes: 256 * s },
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            #[test]
+            fn any_kernel_any_tiny_input_is_deterministic(
+                kind_idx in 0usize..WorkloadKind::ALL_SUITES.len(),
+                scale in 1u32..=4,
+            ) {
+                let input = tiny_input(WorkloadKind::ALL_SUITES[kind_idx], scale);
+                prop_assert_eq!(execute(&input), execute(&input));
+            }
+
+            #[test]
+            fn scaling_the_input_changes_the_checksum(
+                kind_idx in 0usize..WorkloadKind::ALL_SUITES.len(),
+                scale in 1u32..=3,
+            ) {
+                let kind = WorkloadKind::ALL_SUITES[kind_idx];
+                let a = execute(&tiny_input(kind, scale));
+                let b = execute(&tiny_input(kind, scale + 1));
+                prop_assert_ne!(a, b, "{:?} scale {} vs {}", kind, scale, scale + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Cold-start research demo: keep-alive policies under *representative*
+//! load vs a plain-Poisson baseline.
+//!
+//! The paper's motivation in one experiment: a load that follows
+//! non-representative runtime/popularity distributions "can overestimate
+//! the cold-start overheads of a realistic load and lead [to] biased
+//! research on function caching". We evaluate three keep-alive policies
+//! under (a) FaaSRail-generated load and (b) the common plain-Poisson
+//! baseline, on the same cluster — and show the baseline distorts both the
+//! cold-start rate and the policy ranking inputs.
+//!
+//! Run with: `cargo run --release --example coldstart_study`
+
+use faasrail::baselines::poisson_emulation::{self, PoissonEmulationConfig};
+use faasrail::prelude::*;
+use faasrail::sim::{FixedTtl, GreedyDual, KeepAlivePolicy, LruPolicy, SimMetrics, WarmFirst};
+use faasrail::trace::azure::{generate as generate_trace, AzureTraceConfig};
+
+type PolicyFactory = fn() -> Box<dyn KeepAlivePolicy>;
+
+fn run(
+    requests: &RequestTrace,
+    pool: &WorkloadPool,
+    mut policy: Box<dyn KeepAlivePolicy>,
+) -> SimMetrics {
+    let mut balancer = WarmFirst;
+    let cluster = ClusterConfig { nodes: 4, cores_per_node: 16, ..Default::default() };
+    simulate(requests, pool, &cluster, &mut balancer, policy.as_mut(), &SimOptions::default())
+}
+
+fn main() {
+    let trace = generate_trace(&AzureTraceConfig::scaled(7, 1_500, 1_500_000));
+    let pool = WorkloadPool::build_modelled(&CostModel::default_calibration());
+
+    // Representative load: FaaSRail Spec mode, 20 minutes at ≤ 10 rps.
+    let (spec, _) = shrink(&trace, &pool, &ShrinkRayConfig::new(20, 10.0)).expect("shrink");
+    let faasrail_load = generate_requests(&spec, 1);
+
+    // Baseline: plain Poisson at the same average rate over the vanilla
+    // suite (the common practice the paper criticizes).
+    let vanilla = WorkloadPool::vanilla(&CostModel::default_calibration());
+    let rate = faasrail_load.len() as f64 / (20.0 * 60.0);
+    let baseline_load = poisson_emulation::generate(
+        &vanilla,
+        &PoissonEmulationConfig { rate_rps: rate, duration_minutes: 20, seed: 1 },
+    );
+
+    println!("load: faasrail {} reqs, baseline {} reqs @ {rate:.1} rps", faasrail_load.len(), baseline_load.len());
+    println!();
+    println!("{:<14} {:>22} {:>22}", "policy", "faasrail load", "plain-poisson load");
+    println!("{:-<60}", "");
+
+    let policies: Vec<(&str, PolicyFactory)> = vec![
+        ("fixed-ttl", || Box::new(FixedTtl::ten_minutes())),
+        ("lru", || Box::new(LruPolicy)),
+        ("greedy-dual", || Box::new(GreedyDual)),
+    ];
+
+    for (name, mk) in &policies {
+        let m_rail = run(&faasrail_load, &pool, mk());
+        let m_base = run(&baseline_load, &vanilla, mk());
+        println!(
+            "{:<14} {:>9.2}% cold {:>6.0}MB {:>9.2}% cold {:>6.0}MB",
+            name,
+            m_rail.cold_start_fraction() * 100.0,
+            m_rail.mean_idle_memory_mb(),
+            m_base.cold_start_fraction() * 100.0,
+            m_base.mean_idle_memory_mb(),
+        );
+    }
+
+    println!();
+    println!(
+        "Note how the baseline's 10 equally-popular functions produce a cold-start\n\
+         profile unlike the skewed, heavy-tailed FaaSRail load — the bias the paper\n\
+         warns about when evaluating caching policies on synthetic load."
+    );
+}

@@ -1,0 +1,67 @@
+//! Quickstart: trace → shrink ray → request trace → simulated cluster.
+//!
+//! Generates a small Azure-profile trace, shrinks it to a 10-minute
+//! experiment capped at 10 requests/second, expands the spec into a
+//! timestamped request stream, and runs it through the discrete-event FaaS
+//! cluster simulator.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use faasrail::prelude::*;
+use faasrail::sim::{FixedTtl, LeastLoaded};
+use faasrail::trace::azure::{generate as generate_trace, AzureTraceConfig};
+
+fn main() {
+    // 1. Input trace: a synthetic Azure-profile day (1 000 functions,
+    //    ~1 M invocations). Swap in `faasrail::trace::loader::load_azure_day`
+    //    if you have the real dataset.
+    let trace = generate_trace(&AzureTraceConfig::scaled(42, 1_000, 1_000_000));
+    println!(
+        "trace: {} functions, {} invocations on day {}",
+        trace.functions.len(),
+        trace.total_invocations(),
+        trace.selected_day + 1
+    );
+
+    // 2. The augmented Workload pool (ten FunctionBench-style kernels ×
+    //    ~2 300 inputs).
+    let pool = WorkloadPool::build_modelled(&CostModel::default_calibration());
+    println!("pool: {} workloads from 10 benchmarks", pool.len());
+
+    // 3. Shrink: 10-minute experiment, at most 10 requests/second.
+    let cfg = ShrinkRayConfig::new(10, 10.0);
+    let (spec, report) = shrink(&trace, &pool, &cfg).expect("shrink ray");
+    println!(
+        "shrink ray: {} functions aggregated to {}, mapped with {:.1}% weighted error; \
+         {} requests over {} minutes (peak {}/min)",
+        report.trace_functions,
+        report.aggregated_functions,
+        report.mapping.weighted_rel_error * 100.0,
+        spec.total_requests(),
+        spec.duration_minutes,
+        spec.peak_per_minute()
+    );
+
+    // 4. Expand into a timestamped request trace (Poisson sub-minute
+    //    arrivals) and replay it on the simulated cluster.
+    let requests = generate_requests(&spec, 7);
+    let mut balancer = LeastLoaded;
+    let mut keepalive = FixedTtl::ten_minutes();
+    let metrics = simulate(
+        &requests,
+        &pool,
+        &ClusterConfig::default(),
+        &mut balancer,
+        &mut keepalive,
+        &SimOptions::default(),
+    );
+    println!(
+        "simulation: {} completions, {:.1}% cold starts, p50 response {:.0} ms, \
+         p99 response {:.0} ms, mean idle warm memory {:.0} MiB",
+        metrics.completions,
+        metrics.cold_start_fraction() * 100.0,
+        metrics.response.quantile(0.50) * 1_000.0,
+        metrics.response.quantile(0.99) * 1_000.0,
+        metrics.mean_idle_memory_mb()
+    );
+}

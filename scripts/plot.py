@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Plot the figure CSVs produced by the faasrail-bench binaries.
+
+Usage:
+    scripts/plot.py results/fig06.csv [-o fig06.png]
+
+Each CSV holds `series,x,y` rows (plus `#` comments). CDF figures are drawn
+with a log-x axis automatically when the x-range spans >2 decades; series
+named `*_minute`/`minute`-indexed files are drawn as lines over time.
+
+Requires matplotlib (`pip install matplotlib`); everything else in this
+repository is dependency-free Rust — plotting is deliberately out of band.
+"""
+
+import argparse
+import collections
+import math
+import sys
+
+
+def load(path):
+    series = collections.OrderedDict()
+    header = None
+    comments = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                comments.append(line[1:].strip())
+                continue
+            parts = line.split(",")
+            if header is None and not _is_float(parts[-1]):
+                header = parts
+                continue
+            # tolerate sections with repeated headers
+            if not _is_float(parts[-1]):
+                continue
+            name = parts[0]
+            try:
+                x, y = float(parts[-2]), float(parts[-1])
+            except ValueError:
+                continue
+            series.setdefault(name, ([], []))
+            series[name][0].append(x)
+            series[name][1].append(y)
+    return series, comments
+
+
+def _is_float(s):
+    try:
+        float(s)
+        return True
+    except ValueError:
+        return False
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("csv")
+    ap.add_argument("-o", "--output", default=None)
+    ap.add_argument("--title", default=None)
+    args = ap.parse_args()
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    series, comments = load(args.csv)
+    if not series:
+        sys.exit(f"no data rows found in {args.csv}")
+
+    fig, ax = plt.subplots(figsize=(7, 4.2))
+    xmin = min(min(xs) for xs, _ in series.values() if xs)
+    xmax = max(max(xs) for xs, _ in series.values() if xs)
+    logx = xmin > 0 and xmax / max(xmin, 1e-12) > 100
+
+    for name, (xs, ys) in series.items():
+        ax.plot(xs, ys, label=name, linewidth=1.4)
+    if logx:
+        ax.set_xscale("log")
+    ax.grid(alpha=0.3)
+    ax.legend(fontsize=8)
+    title = args.title or (comments[0] if comments else args.csv)
+    ax.set_title(title, fontsize=10)
+    ymax = max(max(ys) for _, ys in series.values() if ys)
+    if ymax <= 1.01:
+        ax.set_ylim(0, 1.02)
+        ax.set_ylabel("CDF / fraction")
+
+    out = args.output or args.csv.rsplit(".", 1)[0] + ".png"
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+//! # FaaSRail
+//!
+//! A from-scratch Rust implementation of **FaaSRail** (HPDC '24): a load
+//! generator for serverless research that fits real, open-source FaaS
+//! workloads to production workload traces while preserving the traces'
+//! critical statistical properties — the distribution of function execution
+//! durations, the skewed popularity of functions, the distribution of
+//! invocation execution durations, and the arrival rates of invocations.
+//!
+//! This is the umbrella crate: it re-exports the workspace's components.
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`stats`] | `faasrail-stats` | ECDFs, samplers, distances, time series |
+//! | [`trace`] | `faasrail-trace` | Trace model, synthetic Azure/Huawei generators, loaders |
+//! | [`workloads`] | `faasrail-workloads` | Ten FunctionBench-equivalent kernels + the augmented pool |
+//! | [`core`] | `faasrail-core` | The shrink ray: aggregation, mapping, scaling, Smirnov mode |
+//! | [`loadgen`] | `faasrail-loadgen` | Open-loop real-time replayer |
+//! | [`sim`] | `faasrail-faas-sim` | Discrete-event FaaS cluster + warm-cache backend |
+//! | [`baselines`] | `faasrail-baselines` | Prior-work load generators (Fig. 1 comparators) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use faasrail::prelude::*;
+//!
+//! // 1. A production-like trace (synthetic Azure profile) and the pool.
+//! let trace = faasrail::trace::azure::generate(
+//!     &faasrail::trace::azure::AzureTraceConfig::scaled(42, 300, 100_000));
+//! let pool = WorkloadPool::build_modelled(&CostModel::default_calibration());
+//!
+//! // 2. Shrink to a 10-minute, max 5 rps experiment.
+//! let cfg = ShrinkRayConfig::new(10, 5.0);
+//! let (spec, report) = shrink(&trace, &pool, &cfg).unwrap();
+//! assert!(spec.peak_per_minute() <= 300);
+//! assert!(report.mapping.weighted_rel_error < 0.2);
+//!
+//! // 3. Expand to a timestamped request trace and inspect it.
+//! let requests = generate_requests(&spec, 7);
+//! assert!(!requests.is_empty());
+//! ```
+
+pub use faasrail_baselines as baselines;
+pub use faasrail_core as core;
+pub use faasrail_faas_sim as sim;
+pub use faasrail_loadgen as loadgen;
+pub use faasrail_stats as stats;
+pub use faasrail_trace as trace;
+pub use faasrail_workloads as workloads;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use faasrail_core::{
+        generate_requests, shrink, ExperimentSpec, IatModel, MappingConfig, RequestTrace,
+        ShrinkRayConfig, SmirnovConfig, TimeScaling,
+    };
+    pub use faasrail_faas_sim::{simulate, ClusterConfig, SimOptions};
+    pub use faasrail_loadgen::{replay, Backend, Pacing, ReplayConfig};
+    pub use faasrail_trace::{Trace, TraceKind};
+    pub use faasrail_workloads::{CostModel, WorkloadInput, WorkloadKind, WorkloadPool};
+}

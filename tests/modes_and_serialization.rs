@@ -1,0 +1,116 @@
+//! Cross-crate integration: execution modes, IAT models, spec persistence,
+//! and the real-CSV loader feeding the pipeline.
+
+use faasrail::core::smirnov;
+use faasrail::prelude::*;
+use faasrail::trace::azure::{generate as gen_azure, AzureTraceConfig};
+use faasrail::trace::MINUTES_PER_DAY;
+
+fn setup() -> (faasrail::trace::Trace, WorkloadPool) {
+    (
+        gen_azure(&AzureTraceConfig::small(300)),
+        WorkloadPool::build_modelled(&CostModel::default_calibration()),
+    )
+}
+
+#[test]
+fn spec_json_roundtrip_replays_identically() {
+    let (trace, pool) = setup();
+    let (spec, _) = shrink(&trace, &pool, &ShrinkRayConfig::new(20, 5.0)).unwrap();
+    let json = spec.to_json();
+    let restored = ExperimentSpec::from_json(&json).unwrap();
+    assert_eq!(spec, restored);
+    assert_eq!(generate_requests(&spec, 11), generate_requests(&restored, 11));
+}
+
+#[test]
+fn all_iat_models_supported_in_both_modes() {
+    let (trace, pool) = setup();
+    for iat in [IatModel::Poisson, IatModel::UniformRandom, IatModel::Equidistant] {
+        let mut cfg = ShrinkRayConfig::new(10, 5.0);
+        cfg.iat = iat;
+        let (spec, _) = shrink(&trace, &pool, &cfg).unwrap();
+        let reqs = generate_requests(&spec, 1);
+        assert!(!reqs.is_empty(), "{iat:?} spec mode");
+
+        let scfg = SmirnovConfig {
+            num_invocations: 2_000,
+            rate_rps: 50.0,
+            iat,
+            mapping: MappingConfig::default(),
+            seed: 1,
+        };
+        let (sreqs, _) = smirnov::generate(&trace, &pool, &scfg);
+        assert_eq!(sreqs.len(), 2_000, "{iat:?} smirnov mode");
+    }
+}
+
+#[test]
+fn minute_range_mode_preserves_window_verbatim() {
+    let (trace, pool) = setup();
+    // Find the trace's busiest minute and replay a window around it.
+    let agg = trace.aggregate_minutes();
+    let (peak_minute, _) = faasrail::stats::timeseries::peak(&agg).unwrap();
+    let start = peak_minute.saturating_sub(5).min(MINUTES_PER_DAY - 10);
+    let mut cfg = ShrinkRayConfig::new(10, 50.0);
+    cfg.time_scaling = TimeScaling::MinuteRange { start, experiment_minutes: 10 };
+    let (spec, _) = shrink(&trace, &pool, &cfg).unwrap();
+    assert_eq!(spec.duration_minutes, 10);
+    // The scaled window must still have its peak where the trace had it.
+    let window: Vec<u64> = agg[start..start + 10].to_vec();
+    let spec_minutes = spec.aggregate_minutes();
+    let want_peak = faasrail::stats::timeseries::peak(&window).unwrap().0;
+    let got_peak = faasrail::stats::timeseries::peak(&spec_minutes).unwrap().0;
+    assert_eq!(want_peak, got_peak, "peak minute moved within the window");
+}
+
+#[test]
+fn loader_feeds_pipeline() {
+    // A miniature hand-written "real" Azure CSV day runs through the whole
+    // shrink ray.
+    let minutes_hdr: String = {
+        let cols: Vec<String> = (1..=MINUTES_PER_DAY).map(|m| m.to_string()).collect();
+        format!("HashOwner,HashApp,HashFunction,Trigger,{}", cols.join(","))
+    };
+    let row = |owner: &str, func: &str, everyminute: u64| {
+        let cols: Vec<String> = (0..MINUTES_PER_DAY).map(|_| everyminute.to_string()).collect();
+        format!("{owner},app1,{func},http,{}", cols.join(","))
+    };
+    let inv = format!(
+        "{minutes_hdr}\n{}\n{}\n{}\n",
+        row("o1", "f1", 50),
+        row("o1", "f2", 5),
+        row("o1", "f3", 1)
+    );
+    let dur = "H,H,H,Average\no1,app1,f1,25\no1,app1,f2,480\no1,app1,f3,9000\n";
+    let mem = "H,H,S,AverageAllocatedMb\no1,app1,100,256\n";
+    let trace =
+        faasrail::trace::loader::load_azure_day(inv.as_bytes(), dur.as_bytes(), mem.as_bytes())
+            .expect("load");
+    assert_eq!(trace.functions.len(), 3);
+    faasrail::trace::validate(&trace).expect("valid");
+
+    let pool = WorkloadPool::build_modelled(&CostModel::default_calibration());
+    let (spec, report) = shrink(&trace, &pool, &ShrinkRayConfig::new(10, 1.0)).expect("shrink");
+    assert!(spec.total_requests() > 0);
+    assert!(report.mapping.weighted_rel_error < 0.15);
+    // 60/min trace peak scaled to ≤ 60/min budget at 1 rps... and the
+    // 50:5:1 mix must survive roughly intact in the busiest entries.
+    assert!(spec.peak_per_minute() <= 60);
+}
+
+#[test]
+fn smirnov_trace_roundtrips_through_json() {
+    let (trace, pool) = setup();
+    let cfg = SmirnovConfig {
+        num_invocations: 1_000,
+        rate_rps: 20.0,
+        iat: IatModel::Poisson,
+        mapping: MappingConfig::default(),
+        seed: 3,
+    };
+    let (reqs, _) = smirnov::generate(&trace, &pool, &cfg);
+    let json = serde_json::to_string(&reqs).unwrap();
+    let back: RequestTrace = serde_json::from_str(&json).unwrap();
+    assert_eq!(reqs, back);
+}
