@@ -96,11 +96,8 @@ pub fn generate(trace: &Trace, cfg: &InVitroConfig) -> InVitroSample {
                 .sum::<u64>()
         })
         .sum();
-    let factor = if window_total == 0 {
-        0.0
-    } else {
-        cfg.target_invocations as f64 / window_total as f64
-    };
+    let factor =
+        if window_total == 0 { 0.0 } else { cfg.target_invocations as f64 / window_total as f64 };
 
     let mut requests = Vec::new();
     for &i in &sampled {
@@ -150,9 +147,13 @@ mod tests {
     }
 
     fn weighted_durations(trace: &Trace, sample: &InVitroSample) -> WeightedEcdf {
-        WeightedEcdf::new(sample.requests.requests.iter().map(|r| {
-            (trace.functions[r.function_index as usize].avg_duration_ms, 1.0)
-        }))
+        WeightedEcdf::new(
+            sample
+                .requests
+                .requests
+                .iter()
+                .map(|r| (trace.functions[r.function_index as usize].avg_duration_ms, 1.0)),
+        )
     }
 
     #[test]

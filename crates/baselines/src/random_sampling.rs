@@ -55,13 +55,9 @@ pub fn generate(trace: &Trace, pool: &WorkloadPool, cfg: &RandomSamplingConfig) 
     indices.shuffle(&mut rng);
     indices.truncate(cfg.sample_functions.min(trace.functions.len()));
 
-    let sampled_total: u64 =
-        indices.iter().map(|&i| trace.functions[i].total_invocations()).sum();
-    let factor = if sampled_total == 0 {
-        0.0
-    } else {
-        cfg.target_invocations as f64 / sampled_total as f64
-    };
+    let sampled_total: u64 = indices.iter().map(|&i| trace.functions[i].total_invocations()).sum();
+    let factor =
+        if sampled_total == 0 { 0.0 } else { cfg.target_invocations as f64 / sampled_total as f64 };
 
     // Nearest-workload mapping.
     let mut by_ms: Vec<(f64, WorkloadId)> =
@@ -136,11 +132,7 @@ mod tests {
             seed: 4,
         };
         let t = generate(&trace, &pool, &cfg);
-        assert!(
-            (t.len() as f64 / 50_000.0 - 1.0).abs() < 0.05,
-            "generated {} requests",
-            t.len()
-        );
+        assert!((t.len() as f64 / 50_000.0 - 1.0).abs() < 0.05, "generated {} requests", t.len());
     }
 
     #[test]

@@ -10,7 +10,9 @@
 
 use faasrail_bench::*;
 use faasrail_core::{generate_requests, shrink, ShrinkRayConfig};
-use faasrail_loadgen::{replay, Backend, InvocationRequest, InvocationResult, Pacing, ReplayConfig};
+use faasrail_loadgen::{
+    replay, Backend, InvocationRequest, InvocationResult, Pacing, ReplayConfig,
+};
 use std::time::Duration;
 
 /// A backend that takes a fixed 3 ms per invocation — slower than the
@@ -20,7 +22,7 @@ struct Slow;
 impl Backend for Slow {
     fn invoke(&self, _req: &InvocationRequest) -> InvocationResult {
         std::thread::sleep(Duration::from_millis(3));
-        InvocationResult { ok: true, service_ms: 3.0, cold_start: false }
+        InvocationResult::success(3.0, false)
     }
 }
 
@@ -35,10 +37,9 @@ fn main() {
 
     comment("Ablation: open-loop vs closed-loop measurement (same backend, same load)");
     println!("mode,completed,p50_ms,p99_ms,max_ms");
-    for (name, pacing) in [
-        ("open_loop", Pacing::RealTime { compression: 6.0 }),
-        ("closed_loop", Pacing::ClosedLoop),
-    ] {
+    for (name, pacing) in
+        [("open_loop", Pacing::RealTime { compression: 6.0 }), ("closed_loop", Pacing::ClosedLoop)]
+    {
         let m = replay(&reqs, &pool, &Slow, &ReplayConfig { pacing, workers: 1 });
         println!(
             "{name},{},{:.2},{:.2},{:.2}",

@@ -24,7 +24,9 @@ fn main() {
     let inv_target = invocations_duration_wecdf(&trace);
 
     comment("Ablation: FunctionBench-only pool vs extended (auxiliary-suite) pool");
-    println!("pool,workloads,benchmarks,ks_pool_vs_azure,ks_mapped,weighted_rel_error,fallback_fraction");
+    println!(
+        "pool,workloads,benchmarks,ks_pool_vs_azure,ks_mapped,weighted_rel_error,fallback_fraction"
+    );
     for (name, pool) in [("functionbench", &base), ("extended", &extended)] {
         let m = map_functions(&agg, pool, &MappingConfig::default());
         let mapped = WeightedEcdf::new(m.assignments.iter().map(|a| {

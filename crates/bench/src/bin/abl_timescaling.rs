@@ -22,14 +22,8 @@ fn main() {
     let (spec, _) = shrink(&trace, &pool, &ShrinkRayConfig::new(120, 20.0)).expect("shrink");
     let reqs = generate_requests(&spec, seed);
     let shape = normalize_peak(&reqs.per_minute_counts());
-    let mae: f64 =
-        day_shape.iter().zip(&shape).map(|(a, b)| (a - b).abs()).sum::<f64>() / 120.0;
-    println!(
-        "thumbnails,{},{:.3},{:.4}",
-        reqs.len(),
-        fano_factor(&reqs.per_minute_counts()),
-        mae
-    );
+    let mae: f64 = day_shape.iter().zip(&shape).map(|(a, b)| (a - b).abs()).sum::<f64>() / 120.0;
+    println!("thumbnails,{},{:.3},{:.4}", reqs.len(), fano_factor(&reqs.per_minute_counts()), mae);
 
     // Minute-Range windows at different day offsets.
     for start in [0usize, 360, 720, 1080] {

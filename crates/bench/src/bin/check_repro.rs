@@ -12,9 +12,7 @@ use faasrail_core::{generate_requests, shrink, ShrinkRayConfig};
 use faasrail_stats::ecdf::WeightedEcdf;
 use faasrail_stats::timeseries::{normalize_peak, rebin_sum};
 use faasrail_stats::{ks_distance, ks_distance_weighted};
-use faasrail_trace::summarize::{
-    functions_duration_ecdf, invocations_duration_wecdf, top_share,
-};
+use faasrail_trace::summarize::{functions_duration_ecdf, invocations_duration_wecdf, top_share};
 use faasrail_workloads::WorkloadKind;
 
 struct Auditor {
@@ -29,10 +27,7 @@ impl Auditor {
         if !ok {
             self.failures += 1;
         }
-        println!(
-            "{} {name}: {value:.4} (expected [{lo}, {hi}])",
-            if ok { "PASS" } else { "FAIL" }
-        );
+        println!("{} {name}: {value:.4} (expected [{lo}, {hi}])", if ok { "PASS" } else { "FAIL" });
     }
 }
 
@@ -122,18 +117,24 @@ fn main() -> std::process::ExitCode {
     let share = |k: WorkloadKind, c: &std::collections::BTreeMap<WorkloadKind, u64>| {
         c.get(&k).copied().unwrap_or(0) as f64 / total.max(1) as f64
     };
-    a.check("Fig12a lr_training share (paper: very low)", share(WorkloadKind::LrTraining, &counts), 0.0, 0.05);
-    a.check("Fig12a cnn_serving share (paper: rare)", share(WorkloadKind::CnnServing, &counts), 0.0, 0.05);
+    a.check(
+        "Fig12a lr_training share (paper: very low)",
+        share(WorkloadKind::LrTraining, &counts),
+        0.0,
+        0.05,
+    );
+    a.check(
+        "Fig12a cnn_serving share (paper: rare)",
+        share(WorkloadKind::CnnServing, &counts),
+        0.0,
+        0.05,
+    );
     let h_total: u64 = hrep.counts_by_kind.values().sum();
     let aes = hrep.counts_by_kind.get(&WorkloadKind::Pyaes).copied().unwrap_or(0) as f64
         / h_total.max(1) as f64;
     a.check("Fig12b pyaes share (paper ~0.48)", aes, 0.30, 0.75);
 
-    println!(
-        "# audit complete: {}/{} checks passed",
-        a.checks - a.failures,
-        a.checks
-    );
+    println!("# audit complete: {}/{} checks passed", a.checks - a.failures, a.checks);
     if a.failures == 0 {
         std::process::ExitCode::SUCCESS
     } else {

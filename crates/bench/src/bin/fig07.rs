@@ -17,8 +17,7 @@ fn main() {
     let mut ids: Vec<u32> = spec.entries.iter().map(|e| e.workload.0).collect();
     ids.sort_unstable();
     ids.dedup();
-    let mems: Vec<f64> =
-        ids.iter().map(|&i| pool.workloads()[i as usize].memory_mb).collect();
+    let mems: Vec<f64> = ids.iter().map(|&i| pool.workloads()[i as usize].memory_mb).collect();
 
     comment("Figure 7: CDFs of memory usage (MiB)");
     comment(&format!(

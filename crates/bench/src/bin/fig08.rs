@@ -28,12 +28,8 @@ fn main() {
     comment("--- summary ---");
     let azure_shape = normalize_peak(&rebin_sum(&trace.aggregate_minutes(), 120));
     let spec_shape = normalize_peak(&faasrail_reqs.per_minute_counts());
-    let mae: f64 = azure_shape
-        .iter()
-        .zip(&spec_shape)
-        .map(|(a, b)| (a - b).abs())
-        .sum::<f64>()
-        / 120.0;
+    let mae: f64 =
+        azure_shape.iter().zip(&spec_shape).map(|(a, b)| (a - b).abs()).sum::<f64>() / 120.0;
     comment(&format!(
         "mean |relative-load error| faasrail vs thumbnailed azure = {mae:.4} \
          (paper: 'closely follows local minima and maxima')"

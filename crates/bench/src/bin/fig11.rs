@@ -17,15 +17,13 @@ fn main() {
         Scale::Paper => 120_408, // the paper's request count
     };
 
-    for (panel, trace, label) in [
-        ("11a", azure_trace(scale, seed), "azure"),
-        ("11b", huawei_trace(scale, seed), "huawei"),
-    ] {
+    for (panel, trace, label) in
+        [("11a", azure_trace(scale, seed), "azure"), ("11b", huawei_trace(scale, seed), "huawei")]
+    {
         let cfg = SmirnovConfig { num_invocations: num, ..SmirnovConfig::paper_default(seed) };
         let (reqs, report) = smirnov::generate(&trace, &pool, &cfg);
         let target = invocations_duration_wecdf(&trace);
-        let got =
-            WeightedEcdf::new(reqs.expected_durations(&pool).into_iter().map(|d| (d, 1.0)));
+        let got = WeightedEcdf::new(reqs.expected_durations(&pool).into_iter().map(|d| (d, 1.0)));
 
         comment(&format!(
             "Figure {panel}: invocation duration CDFs, {label} ({} trace invocations) vs \

@@ -14,6 +14,10 @@
 //!                     [--policy fixed-ttl|lru|greedy-dual|hybrid-histogram]
 //!                     [--balancer round-robin|least-loaded|warm-first|hash]
 //! faasrail replay     --requests r.json --pool p.json [--compression X] [--workers N]
+//!                     [--target HOST:PORT [--timeout-ms N] [--attempts N]]
+//! faasrail serve      [--addr 127.0.0.1:7471] [--backend warm-cache|in-process|noop]
+//!                     [--pool p.json] [--conn-workers N] [--read-timeout-s N]
+//!                     [--drop-frac X] [--error-frac X] [--fault-seed N]
 //! faasrail calibrate  [--repeats N]
 //! faasrail analyze    --trace t.json
 //! faasrail compare    --a r1.json --b r2.json --pool p.json
@@ -44,7 +48,7 @@ use faasrail_workloads::{CostModel, WorkloadKind, WorkloadPool};
 use std::fs;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: faasrail <gen-trace|build-pool|shrink|requests|smirnov|simulate|replay|calibrate|analyze|compare|evaluate|export> [options]
+const USAGE: &str = "usage: faasrail <gen-trace|build-pool|shrink|requests|smirnov|simulate|replay|serve|calibrate|analyze|compare|evaluate|export> [options]
 run with a bad option to see each command's requirements; see crate docs for the full grammar";
 
 fn main() -> ExitCode {
@@ -83,6 +87,7 @@ fn run(args: &Args) -> Result<(), String> {
         "smirnov" => cmd_smirnov(args),
         "simulate" => cmd_simulate(args),
         "replay" => cmd_replay(args),
+        "serve" => cmd_serve(args),
         "calibrate" => cmd_calibrate(args),
         "analyze" => cmd_analyze(args),
         "evaluate" => cmd_evaluate(args),
@@ -143,7 +148,12 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     let trace: Trace = read_json(args.require("trace")?)?;
     faasrail_trace::validate(&trace).map_err(|e| e.to_string())?;
 
-    println!("kind: {:?}; functions: {}; apps: {}", trace.kind, trace.functions.len(), trace.apps.len());
+    println!(
+        "kind: {:?}; functions: {}; apps: {}",
+        trace.kind,
+        trace.functions.len(),
+        trace.apps.len()
+    );
     println!("invocations (selected day): {}", trace.total_invocations());
 
     let fe = summarize::functions_duration_ecdf(&trace);
@@ -205,8 +215,7 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     if minutes > 0 {
         let na = normalize_peak(&a.per_minute_counts()[..minutes]);
         let nb = normalize_peak(&b.per_minute_counts()[..minutes]);
-        let mae: f64 =
-            na.iter().zip(&nb).map(|(x, y)| (x - y).abs()).sum::<f64>() / minutes as f64;
+        let mae: f64 = na.iter().zip(&nb).map(|(x, y)| (x - y).abs()).sum::<f64>() / minutes as f64;
         println!("load-shape mean abs error over {minutes} common minutes = {mae:.4}");
     }
 
@@ -275,7 +284,9 @@ fn parse_iat(s: &str) -> Result<IatModel, String> {
         "bursty" => Ok(IatModel::Bursty { cv: 1.5 }),
         _ => match s.strip_prefix("bursty:").map(str::parse::<f64>) {
             Some(Ok(cv)) if cv >= 0.0 => Ok(IatModel::Bursty { cv }),
-            _ => Err(format!("unknown iat model {s} (try poisson|uniform|equidistant|bursty[:cv])")),
+            _ => {
+                Err(format!("unknown iat model {s} (try poisson|uniform|equidistant|bursty[:cv])"))
+            }
         },
     }
 }
@@ -401,13 +412,31 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
 fn cmd_replay(args: &Args) -> Result<(), String> {
     let reqs: RequestTrace = read_json(args.require("requests")?)?;
     let pool: WorkloadPool = read_json(args.require("pool")?)?;
-    let backend = WarmCacheBackend::new(pool.clone(), WarmCacheConfig::default());
     let cfg = ReplayConfig {
         pacing: Pacing::RealTime { compression: args.num("compression", 1.0f64)? },
         workers: args.num("workers", 8usize)?,
     };
-    eprintln!("replaying {} requests against the warm-cache backend...", reqs.len());
-    let m = replay(&reqs, &pool, &backend, &cfg);
+    let m = if let Some(target) = args.get("target") {
+        use faasrail_gateway::{HttpBackend, HttpBackendConfig, RetryPolicy};
+        let http_cfg = HttpBackendConfig {
+            request_timeout: std::time::Duration::from_millis(args.num("timeout-ms", 30_000u64)?),
+            retry: RetryPolicy {
+                max_attempts: args.num("attempts", 4u32)?,
+                ..RetryPolicy::default()
+            },
+            ..HttpBackendConfig::default()
+        };
+        let backend = HttpBackend::connect(target, http_cfg)
+            .map_err(|e| format!("resolving {target}: {e}"))?;
+        eprintln!("replaying {} requests over the wire against {target}...", reqs.len());
+        let m = replay(&reqs, &pool, &backend, &cfg);
+        eprintln!("transport: {}", backend.transport_summary());
+        m
+    } else {
+        let backend = WarmCacheBackend::new(pool.clone(), WarmCacheConfig::default());
+        eprintln!("replaying {} requests against the warm-cache backend...", reqs.len());
+        replay(&reqs, &pool, &backend, &cfg)
+    };
     println!(
         "issued={} completed={} errors={} cold={} p50={:.1}ms p99={:.1}ms lateness_p99={:.2}ms",
         m.issued,
@@ -418,6 +447,42 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
         m.response_quantile_ms(0.99),
         m.lateness.quantile(0.99) * 1_000.0
     );
+    println!("outcomes: {}", m.outcome_breakdown());
+    Ok(())
+}
+
+/// `faasrail serve` — expose a backend over HTTP for networked replay
+/// (`faasrail replay --target`). Blocks until killed.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use faasrail_gateway::{FaultConfig, Gateway, GatewayConfig};
+    use std::sync::Arc;
+    let cfg = GatewayConfig {
+        workers: args.num("conn-workers", 64usize)?,
+        read_timeout: std::time::Duration::from_secs(args.num("read-timeout-s", 30u64)?),
+        fault: FaultConfig {
+            drop_fraction: args.num("drop-frac", 0.0f64)?,
+            error_fraction: args.num("error-frac", 0.0f64)?,
+            seed: args.num("fault-seed", 1u64)?,
+        },
+    };
+    let backend: Arc<dyn faasrail_loadgen::Backend> = match args.get_or("backend", "warm-cache") {
+        "warm-cache" => {
+            let pool: WorkloadPool = read_json(args.require("pool")?)?;
+            Arc::new(WarmCacheBackend::new(pool, WarmCacheConfig::default()))
+        }
+        "in-process" => Arc::new(faasrail_loadgen::InProcessBackend),
+        "noop" => Arc::new(faasrail_loadgen::NoopBackend),
+        b => return Err(format!("unknown backend {b} (try warm-cache|in-process|noop)")),
+    };
+    let name = backend.name().to_string();
+    let gateway = Gateway::bind(args.get_or("addr", "127.0.0.1:7471"), backend, cfg)
+        .map_err(|e| format!("binding gateway: {e}"))?;
+    eprintln!(
+        "serving backend `{name}` at http://{} (POST /invoke, GET /healthz, GET /stats); \
+         ctrl-c to stop",
+        gateway.local_addr()
+    );
+    gateway.run();
     Ok(())
 }
 

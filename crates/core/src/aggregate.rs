@@ -183,9 +183,9 @@ mod tests {
             num_days: 1,
             functions: vec![
                 mk(0, 100.2, 0, 10),
-                mk(1, 99.9, 5, 20),   // same ms key (100) as f0
+                mk(1, 99.9, 5, 20), // same ms key (100) as f0
                 mk(2, 250.0, 5, 5),
-                mk(3, 250.4, 9, 1),   // same ms key (250) as f2
+                mk(3, 250.4, 9, 1), // same ms key (250) as f2
                 mk(4, 4000.0, 3, 7),
             ],
             apps: vec![App { id: AppId(0), memory_mb: 128.0 }],

@@ -97,7 +97,9 @@ pub fn select_day(trace: &Trace, safety_fraction: f64) -> DaySelection {
 mod tests {
     use super::*;
     use faasrail_trace::azure::{generate, AzureTraceConfig};
-    use faasrail_trace::{App, AppId, DayStats, FunctionId, MinuteSeries, TraceFunction, TraceKind};
+    use faasrail_trace::{
+        App, AppId, DayStats, FunctionId, MinuteSeries, TraceFunction, TraceKind,
+    };
 
     fn trace_with_daily(daily: Vec<DayStats>) -> Trace {
         Trace {

@@ -80,15 +80,16 @@ pub fn evaluate(trace: &Trace, requests: &RequestTrace, pool: &WorkloadPool) -> 
     let mut used: Vec<u32> = requests.requests.iter().map(|r| r.workload.0).collect();
     used.sort_unstable();
     used.dedup();
-    let used_durs: Vec<f64> =
-        used.iter().map(|&i| pool.get(faasrail_workloads::WorkloadId(i)).expect("in pool").mean_ms).collect();
+    let used_durs: Vec<f64> = used
+        .iter()
+        .map(|&i| pool.get(faasrail_workloads::WorkloadId(i)).expect("in pool").mean_ms)
+        .collect();
     let ks_workload_durations =
         ks_distance(&functions_duration_ecdf(trace), &Ecdf::new(&used_durs));
 
     // (iii) invocation durations.
-    let generated = WeightedEcdf::new(
-        requests.expected_durations(pool).into_iter().map(|d| (d, 1.0)),
-    );
+    let generated =
+        WeightedEcdf::new(requests.expected_durations(pool).into_iter().map(|d| (d, 1.0)));
     let ks_invocation_durations =
         ks_distance_weighted(&invocations_duration_wecdf(trace), &generated);
 
@@ -98,12 +99,8 @@ pub fn evaluate(trace: &Trace, requests: &RequestTrace, pool: &WorkloadPool) -> 
         *by_fn.entry(r.function_index).or_insert(0) += 1;
     }
     let mut gen_counts: Vec<u64> = by_fn.into_values().collect();
-    let mut trace_counts: Vec<u64> = trace
-        .functions
-        .iter()
-        .map(|f| f.total_invocations())
-        .filter(|&t| t > 0)
-        .collect();
+    let mut trace_counts: Vec<u64> =
+        trace.functions.iter().map(|f| f.total_invocations()).filter(|&t| t > 0).collect();
     let top1_share_error = (top_share_of_counts(&mut trace_counts, 0.01)
         - top_share_of_counts(&mut gen_counts, 0.01))
     .abs();

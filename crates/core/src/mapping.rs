@@ -10,9 +10,9 @@
 //! (evaluated in paper §4.4 / Fig. 12).
 
 use crate::aggregate::Aggregation;
-use faasrail_workloads::{WorkloadId, WorkloadPool};
 #[cfg(test)]
 use faasrail_workloads::WorkloadKind;
+use faasrail_workloads::{WorkloadId, WorkloadPool};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -219,9 +219,7 @@ pub fn map_functions(
         agg.functions.iter().map(|f| f.total_invocations() as f64).sum::<f64>().max(1.0);
     let weighted_rel_error = assignments
         .iter()
-        .map(|a| {
-            a.rel_error * agg.functions[a.function_index as usize].total_invocations() as f64
-        })
+        .map(|a| a.rel_error * agg.functions[a.function_index as usize].total_invocations() as f64)
         .sum::<f64>()
         / total_weight;
     let max_rel_error = assignments.iter().map(|a| a.rel_error).fold(0.0, f64::max);
@@ -307,11 +305,8 @@ mod tests {
             &MappingConfig { balance: BalanceStrategy::NearestOnly, ..Default::default() },
         );
         let distinct_kinds = |m: &FunctionMapping| {
-            let mut kinds: Vec<WorkloadKind> = m
-                .assignments
-                .iter()
-                .map(|a| pool.get(a.workload).unwrap().kind())
-                .collect();
+            let mut kinds: Vec<WorkloadKind> =
+                m.assignments.iter().map(|a| pool.get(a.workload).unwrap().kind()).collect();
             kinds.sort_unstable();
             kinds.dedup();
             kinds.len()
@@ -343,11 +338,8 @@ mod tests {
     fn memory_weight_improves_memory_match_without_breaking_durations() {
         let (agg, pool) = azure_parts();
         let plain = map_functions(&agg, &pool, &MappingConfig::default());
-        let memaware = map_functions(
-            &agg,
-            &pool,
-            &MappingConfig { memory_weight: 0.5, ..Default::default() },
-        );
+        let memaware =
+            map_functions(&agg, &pool, &MappingConfig { memory_weight: 0.5, ..Default::default() });
 
         // Invocation-weighted mean |ln(workload_mem / Function_mem)|.
         let mem_err = |m: &FunctionMapping| -> f64 {

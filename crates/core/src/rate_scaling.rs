@@ -84,17 +84,9 @@ pub fn scale_request_rate(series: &mut [Vec<u64>], target_peak_per_minute: u64) 
     }
     let peak_after = totals_after.iter().copied().max().expect("non-empty");
     let total_after: u64 = totals_after.iter().sum();
-    let silenced_functions =
-        series.iter().filter(|s| s.iter().all(|&v| v == 0)).count();
+    let silenced_functions = series.iter().filter(|s| s.iter().all(|&v| v == 0)).count();
 
-    ScaleReport {
-        peak_before,
-        peak_after,
-        factor,
-        total_before,
-        total_after,
-        silenced_functions,
-    }
+    ScaleReport { peak_before, peak_after, factor, total_before, total_after, silenced_functions }
 }
 
 #[cfg(test)]
@@ -108,15 +100,13 @@ mod tests {
         let report = scale_request_rate(&mut series, 40);
         assert_eq!(report.peak_before, 400);
         assert_eq!(report.peak_after, 40);
-        let totals: Vec<u64> =
-            (0..4).map(|m| series.iter().map(|s| s[m]).sum()).collect();
+        let totals: Vec<u64> = (0..4).map(|m| series.iter().map(|s| s[m]).sum()).collect();
         assert_eq!(totals, vec![20, 10, 40, 2]);
     }
 
     #[test]
     fn no_minute_exceeds_target() {
-        let mut series =
-            vec![vec![7, 13, 999, 1], vec![3, 1, 1, 1], vec![0, 900, 0, 42]];
+        let mut series = vec![vec![7, 13, 999, 1], vec![3, 1, 1, 1], vec![0, 900, 0, 42]];
         let report = scale_request_rate(&mut series, 17);
         assert!(report.peak_after <= 17);
         for m in 0..4 {

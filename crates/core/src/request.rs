@@ -335,10 +335,7 @@ mod tests {
             total += generate_requests(&spec, seed).len() as u64;
         }
         let mean = total as f64 / 40.0;
-        assert!(
-            (mean / 6_000.0 - 1.0).abs() < 0.06,
-            "mean volume {mean}, expected 6000"
-        );
+        assert!((mean / 6_000.0 - 1.0).abs() < 0.06, "mean volume {mean}, expected 6000");
     }
 
     #[test]

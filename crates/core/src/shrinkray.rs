@@ -101,11 +101,8 @@ pub fn shrink(
     let mapping: FunctionMapping = map_functions(&agg, pool, &cfg.mapping);
 
     // Per-Function experiment-minute series.
-    let mut series: Vec<Vec<u64>> = agg
-        .functions
-        .iter()
-        .map(|f| cfg.time_scaling.apply(&f.minutes.dense()))
-        .collect();
+    let mut series: Vec<Vec<u64>> =
+        agg.functions.iter().map(|f| cfg.time_scaling.apply(&f.minutes.dense())).collect();
 
     let target_peak_per_minute = (cfg.max_rps * 60.0).round().max(1.0) as u64;
     let scale = scale_request_rate(&mut series, target_peak_per_minute);
@@ -127,12 +124,12 @@ pub fn shrink(
         let end = pool_by_ms.partition_point(|&(ms, _)| ms <= hi);
         let mut cands: Vec<(f64, faasrail_workloads::WorkloadId)> = pool_by_ms[start..end]
             .iter()
-            .filter(|&&(_, id)| id != chosen && pool.get(id).expect("in pool").kind() == chosen_kind)
+            .filter(|&&(_, id)| {
+                id != chosen && pool.get(id).expect("in pool").kind() == chosen_kind
+            })
             .copied()
             .collect();
-        cands.sort_by(|a, b| {
-            (a.0 - d).abs().partial_cmp(&(b.0 - d).abs()).expect("finite")
-        });
+        cands.sort_by(|a, b| (a.0 - d).abs().partial_cmp(&(b.0 - d).abs()).expect("finite"));
         cands.into_iter().take(cfg.max_alternates).map(|(_, id)| id).collect()
     };
 
@@ -141,9 +138,8 @@ pub fn shrink(
         .enumerate()
         .filter(|(_, s)| s.iter().any(|&v| v > 0))
         .map(|(i, per_minute)| {
-            let workload = mapping
-                .workload_for(i as u32)
-                .expect("every aggregated function was mapped");
+            let workload =
+                mapping.workload_for(i as u32).expect("every aggregated function was mapped");
             SpecEntry {
                 function_index: i as u32,
                 workload,
@@ -228,9 +224,7 @@ mod tests {
         let (trace, _, spec, _) = run_small();
         let before = invocations_duration_wecdf(&trace);
         let after = WeightedEcdf::new(
-            spec.entries
-                .iter()
-                .map(|e| (e.trace_duration_ms, e.total_requests() as f64)),
+            spec.entries.iter().map(|e| (e.trace_duration_ms, e.total_requests() as f64)),
         );
         let ks = ks_distance_weighted(&before, &after);
         assert!(ks < 0.06, "KS(trace, spec) = {ks}");
@@ -242,9 +236,11 @@ mod tests {
         // real replay would realize.
         let (trace, pool, spec, _) = run_small();
         let before = invocations_duration_wecdf(&trace);
-        let after = WeightedEcdf::new(spec.entries.iter().map(|e| {
-            (pool.get(e.workload).unwrap().mean_ms, e.total_requests() as f64)
-        }));
+        let after = WeightedEcdf::new(
+            spec.entries
+                .iter()
+                .map(|e| (pool.get(e.workload).unwrap().mean_ms, e.total_requests() as f64)),
+        );
         // Looser than the trace-duration check: the 10 % mapping threshold
         // plus balanced selection displaces a little mass by design.
         let ks = ks_distance_weighted(&before, &after);
@@ -319,11 +315,8 @@ mod tests {
 
         // Request generation actually rotates inputs.
         let reqs = crate::generate_requests(&spec, 4);
-        let busiest = spec
-            .entries
-            .iter()
-            .max_by_key(|e| e.total_requests())
-            .expect("non-empty spec");
+        let busiest =
+            spec.entries.iter().max_by_key(|e| e.total_requests()).expect("non-empty spec");
         if !busiest.alternates.is_empty() {
             let used: std::collections::BTreeSet<_> = reqs
                 .requests

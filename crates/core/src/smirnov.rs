@@ -122,9 +122,7 @@ pub fn generate(
             match cfg.mapping.balance {
                 BalanceStrategy::NearestOnly => candidates
                     .iter()
-                    .min_by(|a, b| {
-                        (a.0 - d).abs().partial_cmp(&(b.0 - d).abs()).expect("finite")
-                    })
+                    .min_by(|a, b| (a.0 - d).abs().partial_cmp(&(b.0 - d).abs()).expect("finite"))
                     .expect("non-empty"),
                 _ => candidates
                     .iter()
@@ -166,8 +164,7 @@ pub fn generate(
             IatModel::Equidistant => ((i as f64 + 0.5) * 1_000.0 / cfg.rate_rps) as u64,
             IatModel::Bursty { .. } => {
                 if t >= burst_until {
-                    burst_mult =
-                        burst_gamma.as_ref().map_or(1.0, |g| g.sample(&mut rng)).max(1e-3);
+                    burst_mult = burst_gamma.as_ref().map_or(1.0, |g| g.sample(&mut rng)).max(1e-3);
                     burst_until = t + 10_000.0;
                 }
                 t += gap.sample(&mut rng) / burst_mult;
@@ -184,10 +181,7 @@ pub fn generate(
     }
 
     requests.sort_by_key(|r| (r.at_ms, r.function_index));
-    let duration_minutes = requests
-        .last()
-        .map(|r| (r.at_ms / 60_000) as usize + 1)
-        .unwrap_or(1);
+    let duration_minutes = requests.last().map(|r| (r.at_ms / 60_000) as usize + 1).unwrap_or(1);
 
     let report = SmirnovReport {
         counts_by_kind,
@@ -263,13 +257,11 @@ mod tests {
         let total: u64 = report.counts_by_kind.values().sum();
         let aes = report.counts_by_kind.get(&WorkloadKind::Pyaes).copied().unwrap_or(0);
         assert!(aes as f64 / total as f64 > 0.3, "pyaes share = {}/{total}", aes);
-        let slow = [WorkloadKind::CnnServing, WorkloadKind::LrTraining, WorkloadKind::VideoProcessing];
+        let slow =
+            [WorkloadKind::CnnServing, WorkloadKind::LrTraining, WorkloadKind::VideoProcessing];
         for k in slow {
             let c = report.counts_by_kind.get(&k).copied().unwrap_or(0);
-            assert!(
-                (c as f64) < total as f64 * 0.05,
-                "{k} over-represented: {c}/{total}"
-            );
+            assert!((c as f64) < total as f64 * 0.05, "{k} over-represented: {c}/{total}");
         }
     }
 

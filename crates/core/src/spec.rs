@@ -171,10 +171,8 @@ impl ExperimentSpec {
                 if target == 0 {
                     return None;
                 }
-                let per_minute = faasrail_stats::timeseries::apportion_largest_remainder(
-                    &e.per_minute,
-                    target,
-                );
+                let per_minute =
+                    faasrail_stats::timeseries::apportion_largest_remainder(&e.per_minute, target);
                 Some(SpecEntry {
                     function_index: e.function_index,
                     workload: e.workload,
@@ -204,12 +202,7 @@ impl ExperimentSpec {
     pub fn merge(&self, other: &ExperimentSpec) -> ExperimentSpec {
         assert_eq!(self.duration_minutes, other.duration_minutes, "duration mismatch");
         assert_eq!(self.iat, other.iat, "IAT model mismatch");
-        let offset = self
-            .entries
-            .iter()
-            .map(|e| e.function_index)
-            .max()
-            .map_or(0, |m| m + 1);
+        let offset = self.entries.iter().map(|e| e.function_index).max().map_or(0, |m| m + 1);
         let mut entries = self.entries.clone();
         entries.extend(other.entries.iter().map(|e| SpecEntry {
             function_index: e.function_index + offset,

@@ -66,11 +66,7 @@ pub fn fit_iat_model(trace: &Trace, poisson_cutoff: f64) -> BurstinessFit {
         }
     }
     let cv = if weight > 0.0 { (weighted_cv / weight).min(4.0) } else { 0.0 };
-    let model = if cv <= poisson_cutoff {
-        IatModel::Poisson
-    } else {
-        IatModel::Bursty { cv }
-    };
+    let model = if cv <= poisson_cutoff { IatModel::Poisson } else { IatModel::Bursty { cv } };
     BurstinessFit { cv, functions_measured: measured, model }
 }
 
@@ -122,12 +118,7 @@ mod tests {
         let fh = fit_iat_model(&huawei, 0.35);
         assert!(fa.functions_measured > 10);
         assert!(fh.functions_measured > 10);
-        assert!(
-            fh.cv > fa.cv,
-            "huawei cv {:.2} should exceed azure cv {:.2}",
-            fh.cv,
-            fa.cv
-        );
+        assert!(fh.cv > fa.cv, "huawei cv {:.2} should exceed azure cv {:.2}", fh.cv, fa.cv);
         // The bursty Huawei trace should trigger the Cox-process model.
         assert!(matches!(fh.model, IatModel::Bursty { .. }), "{fh:?}");
     }

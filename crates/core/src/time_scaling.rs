@@ -137,8 +137,7 @@ mod tests {
         let peak = *scaled.iter().max().unwrap();
         assert_eq!(peak, 1200, "sum-rebinning keeps the mass in one group");
         // ...but MinuteRange preserves the spike's isolation exactly.
-        let window =
-            TimeScaling::MinuteRange { start: 695, experiment_minutes: 10 }.apply(&day);
+        let window = TimeScaling::MinuteRange { start: 695, experiment_minutes: 10 }.apply(&day);
         assert_eq!(window[5], 1200);
         assert_eq!(window.iter().filter(|&&v| v > 0).count(), 1);
     }

@@ -14,7 +14,7 @@ use proptest::prelude::*;
 /// minute patterns, durations spanning 1 ms – 200 s).
 fn arb_trace() -> impl Strategy<Value = Trace> {
     let arb_function = (
-        0.0f64..1.0,                                            // duration position (log space)
+        0.0f64..1.0, // duration position (log space)
         proptest::collection::btree_map(0u16..MINUTES_PER_DAY as u16, 1u32..500, 1..30),
     );
     proptest::collection::vec(arb_function, 1..40).prop_map(|fns| {

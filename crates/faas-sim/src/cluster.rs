@@ -98,8 +98,8 @@ mod tests {
         assert!(ClusterConfig::default().validate().is_ok());
         assert!(ClusterConfig { nodes: 0, ..Default::default() }.validate().is_err());
         assert!(ClusterConfig { cores_per_node: 0, ..Default::default() }.validate().is_err());
-        assert!(
-            ClusterConfig { memory_mb_per_node: 0.0, ..Default::default() }.validate().is_err()
-        );
+        assert!(ClusterConfig { memory_mb_per_node: 0.0, ..Default::default() }
+            .validate()
+            .is_err());
     }
 }

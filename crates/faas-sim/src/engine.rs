@@ -96,8 +96,8 @@ pub fn simulate(
 ) -> SimMetrics {
     cluster.validate().expect("invalid cluster");
     let mut rng = seeded_rng(opts.seed);
-    let jitter = (opts.service_jitter_sigma > 0.0)
-        .then(|| LogNormal::new(0.0, opts.service_jitter_sigma));
+    let jitter =
+        (opts.service_jitter_sigma > 0.0).then(|| LogNormal::new(0.0, opts.service_jitter_sigma));
 
     let mut nodes: Vec<Node> = (0..cluster.nodes)
         .map(|_| Node {
@@ -112,7 +112,11 @@ pub fn simulate(
     let mut seq = 0u64;
     for (i, r) in trace.requests.iter().enumerate() {
         seq += 1;
-        heap.push(Reverse(Event { at_us: r.at_ms * 1_000, seq, kind: EventKind::Arrival(i as u32) }));
+        heap.push(Reverse(Event {
+            at_us: r.at_ms * 1_000,
+            seq,
+            kind: EventKind::Arrival(i as u32),
+        }));
     }
 
     let mut metrics = SimMetrics::new(policy.name(), balancer.name());
@@ -153,52 +157,51 @@ pub fn simulate(
             service_ms *= j.sample(rng);
         }
 
-        let (sandbox, cold) = if let Some(pos) =
-            node.idle.iter().position(|s| s.workload == req.workload)
-        {
-            let mut s = node.idle.swap_remove(pos);
-            metrics.idle_mb_ms += s.memory_mb * (now_us - s.last_used_us) as f64 / 1_000.0;
-            s.uses += 1;
-            (s, false)
-        } else {
-            // Need memory for a new sandbox; evict per policy while short.
-            while node.free_memory_mb < w.memory_mb {
-                let idle_view: Vec<IdleSandbox> = node
-                    .idle
-                    .iter()
-                    .map(|s| IdleSandbox {
-                        workload: s.workload,
-                        memory_mb: s.memory_mb,
-                        last_used_ms: s.last_used_us / 1_000,
-                        init_cost_ms: s.init_cost_ms,
-                        uses: s.uses,
-                    })
-                    .collect();
-                match policy.pick_victim(&idle_view, now_us / 1_000) {
-                    Some(victim) => {
-                        let s = node.idle.swap_remove(victim);
-                        metrics.idle_mb_ms +=
-                            s.memory_mb * (now_us - s.last_used_us) as f64 / 1_000.0;
-                        node.free_memory_mb += s.memory_mb;
-                        metrics.evictions += 1;
+        let (sandbox, cold) =
+            if let Some(pos) = node.idle.iter().position(|s| s.workload == req.workload) {
+                let mut s = node.idle.swap_remove(pos);
+                metrics.idle_mb_ms += s.memory_mb * (now_us - s.last_used_us) as f64 / 1_000.0;
+                s.uses += 1;
+                (s, false)
+            } else {
+                // Need memory for a new sandbox; evict per policy while short.
+                while node.free_memory_mb < w.memory_mb {
+                    let idle_view: Vec<IdleSandbox> = node
+                        .idle
+                        .iter()
+                        .map(|s| IdleSandbox {
+                            workload: s.workload,
+                            memory_mb: s.memory_mb,
+                            last_used_ms: s.last_used_us / 1_000,
+                            init_cost_ms: s.init_cost_ms,
+                            uses: s.uses,
+                        })
+                        .collect();
+                    match policy.pick_victim(&idle_view, now_us / 1_000) {
+                        Some(victim) => {
+                            let s = node.idle.swap_remove(victim);
+                            metrics.idle_mb_ms +=
+                                s.memory_mb * (now_us - s.last_used_us) as f64 / 1_000.0;
+                            node.free_memory_mb += s.memory_mb;
+                            metrics.evictions += 1;
+                        }
+                        None => return false,
                     }
-                    None => return false,
                 }
-            }
-            node.free_memory_mb -= w.memory_mb;
-            *next_stamp += 1;
-            (
-                Sandbox {
-                    workload: req.workload,
-                    memory_mb: w.memory_mb,
-                    last_used_us: now_us,
-                    init_cost_ms: cluster.cold_start.delay_ms(w.memory_mb),
-                    uses: 1,
-                    stamp: *next_stamp,
-                },
-                true,
-            )
-        };
+                node.free_memory_mb -= w.memory_mb;
+                *next_stamp += 1;
+                (
+                    Sandbox {
+                        workload: req.workload,
+                        memory_mb: w.memory_mb,
+                        last_used_us: now_us,
+                        init_cost_ms: cluster.cold_start.delay_ms(w.memory_mb),
+                        uses: 1,
+                        stamp: *next_stamp,
+                    },
+                    true,
+                )
+            };
 
         node.busy_cores += 1;
         let total_ms = service_ms + if cold { sandbox.init_cost_ms } else { 0.0 };
@@ -214,7 +217,12 @@ pub fn simulate(
         let run_key = *next_stamp;
         running.insert(
             run_key,
-            Running { node: node_idx as u32, sandbox, arrived_us: req.arrived_us, started_cold: cold },
+            Running {
+                node: node_idx as u32,
+                sandbox,
+                arrived_us: req.arrived_us,
+                started_cold: cold,
+            },
         );
         *seq += 1;
         heap.push(Reverse(Event {
@@ -244,8 +252,8 @@ pub fn simulate(
     ) {
         while let Some(&front) = nodes[node_idx].queue.front() {
             let started = try_start(
-                nodes, node_idx, front, now_us, pool, cluster, policy, jitter, rng, metrics,
-                heap, seq, next_stamp, running,
+                nodes, node_idx, front, now_us, pool, cluster, policy, jitter, rng, metrics, heap,
+                seq, next_stamp, running,
             );
             if started {
                 let waited = (now_us - front.arrived_us) as f64 / 1e6;
@@ -283,8 +291,20 @@ pub fn simulate(
                 let target = balancer.pick_node(r.workload, &views).min(nodes.len() - 1);
                 let req = QueuedReq { arrived_us: now_us, workload: r.workload };
                 let started = try_start(
-                    &mut nodes, target, req, now_us, pool, cluster, policy, &jitter, &mut rng,
-                    &mut metrics, &mut heap, &mut seq, &mut next_stamp, &mut running,
+                    &mut nodes,
+                    target,
+                    req,
+                    now_us,
+                    pool,
+                    cluster,
+                    policy,
+                    &jitter,
+                    &mut rng,
+                    &mut metrics,
+                    &mut heap,
+                    &mut seq,
+                    &mut next_stamp,
+                    &mut running,
                 );
                 if !started {
                     nodes[target].queue.push_back(req);
@@ -302,9 +322,7 @@ pub fn simulate(
                 metrics.completions += 1;
                 // Response includes queueing and (for cold starts) the
                 // sandbox creation delay by construction.
-                metrics
-                    .response
-                    .record(((now_us - run.arrived_us) as f64 / 1e6).max(1e-9));
+                metrics.response.record(((now_us - run.arrived_us) as f64 / 1e6).max(1e-9));
 
                 // Idle the sandbox.
                 next_stamp += 1;
@@ -324,8 +342,19 @@ pub fn simulate(
 
                 // Drain the node's queue (FIFO head-of-line).
                 drain_queue(
-                    &mut nodes, node as usize, now_us, pool, cluster, policy, &jitter, &mut rng,
-                    &mut metrics, &mut heap, &mut seq, &mut next_stamp, &mut running,
+                    &mut nodes,
+                    node as usize,
+                    now_us,
+                    pool,
+                    cluster,
+                    policy,
+                    &jitter,
+                    &mut rng,
+                    &mut metrics,
+                    &mut heap,
+                    &mut seq,
+                    &mut next_stamp,
+                    &mut running,
                 );
             }
             EventKind::Expire { node, stamp } => {
@@ -355,8 +384,18 @@ pub fn simulate(
                     }
                     // Freed memory may unblock the head of the queue.
                     drain_queue(
-                        &mut nodes, node as usize, now_us, pool, cluster, policy, &jitter,
-                        &mut rng, &mut metrics, &mut heap, &mut seq, &mut next_stamp,
+                        &mut nodes,
+                        node as usize,
+                        now_us,
+                        pool,
+                        cluster,
+                        policy,
+                        &jitter,
+                        &mut rng,
+                        &mut metrics,
+                        &mut heap,
+                        &mut seq,
+                        &mut next_stamp,
                         &mut running,
                     );
                 }

@@ -285,7 +285,7 @@ mod tests {
         // Same recency: the big, cheap-to-recreate, rarely used sandbox
         // should be evicted before the small, expensive, popular one.
         let idle = [
-            sb(0, 1_000.0, 100, 100.0, 1),  // big, cheap, cold: low priority
+            sb(0, 1_000.0, 100, 100.0, 1), // big, cheap, cold: low priority
             sb(1, 64.0, 100, 2_000.0, 50), // small, expensive, hot
         ];
         assert_eq!(p.pick_victim(&idle, 200), Some(0));

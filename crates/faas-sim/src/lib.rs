@@ -21,7 +21,9 @@ pub mod scheduler;
 
 pub use cluster::{ClusterConfig, ColdStartModel};
 pub use engine::{simulate, SimOptions};
-pub use keepalive::{FixedTtl, GreedyDual, HybridHistogram, IdleSandbox, KeepAlivePolicy, LruPolicy};
+pub use keepalive::{
+    FixedTtl, GreedyDual, HybridHistogram, IdleSandbox, KeepAlivePolicy, LruPolicy,
+};
 pub use metrics::SimMetrics;
 pub use rt_backend::{WarmCacheBackend, WarmCacheConfig};
 pub use scheduler::{HashAffinity, LeastLoaded, LoadBalancer, NodeView, RoundRobin, WarmFirst};

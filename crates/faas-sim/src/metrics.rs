@@ -91,8 +91,7 @@ impl SimMetrics {
             return f64::NAN;
         }
         let max = self.per_node_busy_ms.iter().cloned().fold(f64::MIN, f64::max);
-        let mean =
-            self.per_node_busy_ms.iter().sum::<f64>() / self.per_node_busy_ms.len() as f64;
+        let mean = self.per_node_busy_ms.iter().sum::<f64>() / self.per_node_busy_ms.len() as f64;
         if mean <= 0.0 {
             f64::NAN
         } else {

@@ -119,23 +119,20 @@ impl WarmCacheBackend {
 impl Backend for WarmCacheBackend {
     fn invoke(&self, req: &InvocationRequest) -> InvocationResult {
         let Some(w) = self.pool.get(req.workload) else {
-            return InvocationResult { ok: false, service_ms: 0.0, cold_start: false };
+            return InvocationResult::app_error(
+                0.0,
+                format!("workload {:?} not in pool", req.workload),
+            );
         };
         let (cold, delay_ms) = self.admit(req.workload, w.memory_mb);
         let start = Instant::now();
         if cold && self.cfg.cold_scale > 0.0 {
-            std::thread::sleep(Duration::from_secs_f64(
-                delay_ms * self.cfg.cold_scale / 1_000.0,
-            ));
+            std::thread::sleep(Duration::from_secs_f64(delay_ms * self.cfg.cold_scale / 1_000.0));
         }
         if self.cfg.execute_kernels {
             std::hint::black_box(faasrail_workloads::kernels::execute(&req.input));
         }
-        InvocationResult {
-            ok: true,
-            service_ms: start.elapsed().as_secs_f64() * 1_000.0,
-            cold_start: cold,
-        }
+        InvocationResult::success(start.elapsed().as_secs_f64() * 1_000.0, cold)
     }
 
     fn name(&self) -> &str {

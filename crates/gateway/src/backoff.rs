@@ -1,0 +1,178 @@
+//! Capped exponential backoff with deterministic seeded jitter.
+//!
+//! Retry schedules must be reproducible for the generator to be a research
+//! instrument: two replays of the same spec under the same fault pattern
+//! should retry at the same instants. All randomness therefore flows from a
+//! seeded [`SplitMix64`] stream rather than a global entropy source.
+
+use std::time::Duration;
+
+/// SplitMix64: a tiny, high-quality, seedable PRNG (Steele et al., OOPSLA
+/// '14). Dependency-free so the gateway adds no crates beyond the
+/// workspace's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Seed the stream; the same seed always yields the same sequence.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` (53 mantissa bits).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// One uniform draw in `[0, 1)` at position `n` of the stream seeded by
+/// `seed` — random access without carrying mutable state, used by the
+/// server's fault injector so concurrent connections stay deterministic.
+pub fn mix_fraction(seed: u64, n: u64) -> f64 {
+    SplitMix64::new(seed ^ n.wrapping_mul(0xA076_1D64_78BD_642F)).next_f64()
+}
+
+/// Retry policy for transport-level failures: capped exponential backoff
+/// with seeded jitter.
+///
+/// The pre-jitter delay before retry `i` (0-based) is
+/// `min(cap, base · 2^i)`; jitter then randomizes the fraction `jitter` of
+/// it, so the actual delay lies in `[(1 − jitter) · d, d)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try plus retries). `1` disables retry.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each subsequent retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff delay.
+    pub cap: Duration,
+    /// Fraction of each delay that is randomized, in `[0, 1]`. `0.0` gives
+    /// the deterministic exponential schedule; `1.0` is "full jitter".
+    pub jitter: f64,
+    /// Seed for the jitter stream — same seed, same schedule.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(1),
+            jitter: 0.5,
+            jitter_seed: 0x5EED_FAA5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The deterministic (pre-jitter) exponential delay before retry
+    /// `retry` (0-based): `min(cap, base · 2^retry)`.
+    pub fn exponential(&self, retry: u32) -> Duration {
+        let exp = self.base.as_secs_f64() * 2f64.powi(retry.min(63) as i32);
+        Duration::from_secs_f64(exp.min(self.cap.as_secs_f64()))
+    }
+
+    /// The jittered delay before retry `retry`, drawing from `rng`.
+    pub fn delay(&self, retry: u32, rng: &mut SplitMix64) -> Duration {
+        let exp = self.exponential(retry).as_secs_f64();
+        let j = self.jitter.clamp(0.0, 1.0);
+        Duration::from_secs_f64(exp * (1.0 - j) + exp * j * rng.next_f64())
+    }
+
+    /// The full backoff schedule (`max_attempts − 1` delays), deterministic
+    /// under `jitter_seed`.
+    pub fn schedule(&self) -> Vec<Duration> {
+        let mut rng = SplitMix64::new(self.jitter_seed);
+        (0..self.max_attempts.saturating_sub(1)).map(|i| self.delay(i, &mut rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(jitter: f64) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 6,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+            jitter,
+            jitter_seed: 42,
+        }
+    }
+
+    #[test]
+    fn schedule_is_capped_exponential_without_jitter() {
+        let p = policy(0.0);
+        let expect: Vec<Duration> = [10, 20, 40, 80, 100] // capped at 100 ms
+            .iter()
+            .map(|&ms| Duration::from_millis(ms))
+            .collect();
+        assert_eq!(p.schedule(), expect);
+    }
+
+    #[test]
+    fn schedule_length_is_attempts_minus_one() {
+        assert_eq!(policy(0.5).schedule().len(), 5);
+        let single = RetryPolicy { max_attempts: 1, ..policy(0.5) };
+        assert!(single.schedule().is_empty(), "one attempt means no backoff");
+        let zero = RetryPolicy { max_attempts: 0, ..policy(0.5) };
+        assert!(zero.schedule().is_empty());
+    }
+
+    #[test]
+    fn jitter_is_deterministic_under_seed() {
+        let p = policy(0.5);
+        assert_eq!(p.schedule(), p.schedule(), "same seed, same schedule");
+        let other = RetryPolicy { jitter_seed: 43, ..p };
+        assert_ne!(p.schedule(), other.schedule(), "different seed, different jitter");
+    }
+
+    #[test]
+    fn jitter_stays_within_the_randomized_band() {
+        let p = policy(0.5);
+        for (i, d) in p.schedule().iter().enumerate() {
+            let exp = p.exponential(i as u32);
+            assert!(*d >= exp.mul_f64(0.5), "retry {i}: {d:?} below half of {exp:?}");
+            assert!(*d <= exp, "retry {i}: {d:?} above {exp:?}");
+        }
+    }
+
+    #[test]
+    fn exponential_caps_and_never_overflows() {
+        let p = policy(0.0);
+        assert_eq!(p.exponential(0), Duration::from_millis(10));
+        assert_eq!(p.exponential(3), Duration::from_millis(80));
+        assert_eq!(p.exponential(4), Duration::from_millis(100), "capped");
+        assert_eq!(p.exponential(1_000), Duration::from_millis(100), "huge retry index capped");
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_uniform_ish() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = SplitMix64::new(1234);
+        let mean: f64 = (0..10_000).map(|_| r.next_f64()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean of U(0,1) draws was {mean}");
+    }
+
+    #[test]
+    fn mix_fraction_is_stable_and_spread() {
+        assert_eq!(mix_fraction(9, 100), mix_fraction(9, 100));
+        let below = (0..1_000).filter(|&n| mix_fraction(9, n) < 0.25).count();
+        assert!((150..350).contains(&below), "~25% expected, got {below}/1000");
+    }
+}

@@ -1,0 +1,483 @@
+//! `HttpBackend`: a [`Backend`] that replays invocations over the wire.
+//!
+//! Plugging this into the load generator turns an in-process replay into an
+//! over-the-wire one against a [`crate::Gateway`] (or anything speaking the
+//! same `POST /invoke` JSON protocol). Design points:
+//!
+//! * **connection pool** — keep-alive connections are parked in a
+//!   `parking_lot`-guarded LIFO free-list and reused across invocations;
+//!   a reused connection that fails before yielding a response is replaced
+//!   by a fresh one without consuming a retry attempt (it was likely closed
+//!   by the peer while idle);
+//! * **deadline** — each invocation gets one overall deadline
+//!   (`request_timeout`); socket timeouts are continuously re-armed to the
+//!   remaining budget, and an exhausted budget classifies as
+//!   [`OutcomeClass::Timeout`];
+//! * **retry** — connect failures, transport errors, and `5xx` responses
+//!   are retried under a seeded capped-exponential [`RetryPolicy`];
+//!   application failures (`200` with `ok: false`) and `4xx` are **not**
+//!   retried — invocations are not assumed idempotent, and a `4xx` will not
+//!   get better by resending.
+
+use crate::backoff::{RetryPolicy, SplitMix64};
+use crate::http;
+use faasrail_loadgen::{Backend, InvocationRequest, InvocationResult, OutcomeClass};
+use parking_lot::Mutex;
+use std::io::{self, BufReader, ErrorKind};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Client configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HttpBackendConfig {
+    /// Timeout for establishing one TCP connection (also bounded by the
+    /// invocation's remaining deadline).
+    pub connect_timeout: Duration,
+    /// Overall per-invocation deadline across all attempts and backoff.
+    pub request_timeout: Duration,
+    /// Retry policy for retryable failures.
+    pub retry: RetryPolicy,
+    /// Max parked keep-alive connections; excess connections are closed on
+    /// check-in rather than pooled.
+    pub pool_capacity: usize,
+}
+
+impl Default for HttpBackendConfig {
+    fn default() -> Self {
+        HttpBackendConfig {
+            connect_timeout: Duration::from_secs(1),
+            request_timeout: Duration::from_secs(30),
+            retry: RetryPolicy::default(),
+            pool_capacity: 64,
+        }
+    }
+}
+
+/// Client-side transport counters, updated lock-free.
+#[derive(Debug, Default)]
+pub struct ClientStats {
+    /// Fresh TCP connections established.
+    pub connects: AtomicU64,
+    /// Invocation attempts served by a pooled connection.
+    pub reuses: AtomicU64,
+    /// Retry attempts (beyond each invocation's first).
+    pub retries: AtomicU64,
+    /// Invocations returning `ok: true`.
+    pub ok: AtomicU64,
+    /// Invocations returning an application failure (not retried).
+    pub app_errors: AtomicU64,
+    /// Invocations abandoned at the deadline.
+    pub timeouts: AtomicU64,
+    /// Invocations that exhausted retries or hit a non-retryable transport
+    /// failure.
+    pub transport_errors: AtomicU64,
+}
+
+enum TryError {
+    /// Worth another attempt (connect failure, broken exchange, 5xx).
+    Retryable(String),
+    /// Deadline exhausted mid-attempt.
+    Timeout(String),
+    /// Not worth retrying (e.g. 4xx).
+    Fatal(String),
+}
+
+/// A [`Backend`] that ships each invocation to a gateway over HTTP/1.1.
+pub struct HttpBackend {
+    addr: SocketAddr,
+    host: String,
+    cfg: HttpBackendConfig,
+    idle: Mutex<Vec<TcpStream>>,
+    rng: Mutex<SplitMix64>,
+    stats: ClientStats,
+    name: String,
+}
+
+impl HttpBackend {
+    /// Resolve `target` (e.g. `"127.0.0.1:7471"`) and build a client. No
+    /// connection is opened until the first invocation.
+    pub fn connect(target: &str, cfg: HttpBackendConfig) -> io::Result<HttpBackend> {
+        let addr = target.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(ErrorKind::NotFound, format!("unresolvable: {target}"))
+        })?;
+        Ok(HttpBackend {
+            addr,
+            host: target.to_string(),
+            cfg,
+            idle: Mutex::new(Vec::new()),
+            rng: Mutex::new(SplitMix64::new(cfg.retry.jitter_seed)),
+            stats: ClientStats::default(),
+            name: format!("http:{target}"),
+        })
+    }
+
+    /// Transport counters.
+    pub fn stats(&self) -> &ClientStats {
+        &self.stats
+    }
+
+    /// One-line transport summary for run reports.
+    pub fn transport_summary(&self) -> String {
+        format!(
+            "connects={} reuses={} retries={} ok={} app-error={} timeout={} transport={}",
+            self.stats.connects.load(Ordering::Relaxed),
+            self.stats.reuses.load(Ordering::Relaxed),
+            self.stats.retries.load(Ordering::Relaxed),
+            self.stats.ok.load(Ordering::Relaxed),
+            self.stats.app_errors.load(Ordering::Relaxed),
+            self.stats.timeouts.load(Ordering::Relaxed),
+            self.stats.transport_errors.load(Ordering::Relaxed),
+        )
+    }
+
+    fn checkout(&self) -> Option<TcpStream> {
+        self.idle.lock().pop()
+    }
+
+    fn checkin(&self, stream: TcpStream) {
+        let mut idle = self.idle.lock();
+        if idle.len() < self.cfg.pool_capacity {
+            idle.push(stream);
+        }
+    }
+
+    fn open(&self, deadline: Instant) -> io::Result<TcpStream> {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        let timeout = self.cfg.connect_timeout.min(remaining);
+        if timeout < Duration::from_millis(1) {
+            return Err(io::Error::new(ErrorKind::TimedOut, "no budget left to connect"));
+        }
+        let stream = TcpStream::connect_timeout(&self.addr, timeout)?;
+        stream.set_nodelay(true).ok();
+        self.stats.connects.fetch_add(1, Ordering::Relaxed);
+        Ok(stream)
+    }
+
+    /// One request/response exchange on `stream`, with socket timeouts
+    /// armed to the remaining deadline.
+    fn exchange(
+        &self,
+        stream: &TcpStream,
+        body: &[u8],
+        deadline: Instant,
+    ) -> io::Result<http::Response> {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining < Duration::from_millis(1) {
+            return Err(io::Error::new(ErrorKind::TimedOut, "deadline exhausted"));
+        }
+        stream.set_write_timeout(Some(remaining))?;
+        stream.set_read_timeout(Some(remaining))?;
+        http::write_request(
+            &mut (&*stream),
+            "POST",
+            "/invoke",
+            &self.host,
+            "application/json",
+            body,
+            true,
+        )?;
+        http::read_response(&mut BufReader::new(stream))
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::TimedOut | ErrorKind::WouldBlock)
+}
+
+impl Backend for HttpBackend {
+    fn invoke(&self, req: &InvocationRequest) -> InvocationResult {
+        let body = match serde_json::to_vec(req) {
+            Ok(b) => b,
+            Err(e) => {
+                self.stats.transport_errors.fetch_add(1, Ordering::Relaxed);
+                return InvocationResult::transport(format!("encode: {e}"));
+            }
+        };
+        let deadline = Instant::now() + self.cfg.request_timeout;
+        let attempts = self.cfg.retry.max_attempts.max(1);
+        let mut last_err = String::new();
+
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let delay = {
+                    let mut rng = self.rng.lock();
+                    self.cfg.retry.delay(attempt - 1, &mut rng)
+                };
+                if deadline.saturating_duration_since(Instant::now()) <= delay {
+                    self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                    return InvocationResult::timeout(format!(
+                        "deadline before retry {attempt}: {last_err}"
+                    ));
+                }
+                std::thread::sleep(delay);
+                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+            }
+
+            match self.try_attempt(&body, deadline) {
+                Ok(result) => {
+                    if result.ok {
+                        self.stats.ok.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.stats.app_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return result;
+                }
+                Err(TryError::Timeout(msg)) => {
+                    self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                    return InvocationResult::timeout(msg);
+                }
+                Err(TryError::Fatal(msg)) => {
+                    self.stats.transport_errors.fetch_add(1, Ordering::Relaxed);
+                    return InvocationResult::transport(msg);
+                }
+                Err(TryError::Retryable(msg)) => last_err = msg,
+            }
+        }
+        self.stats.transport_errors.fetch_add(1, Ordering::Relaxed);
+        InvocationResult::transport(format!("gave up after {attempts} attempts: {last_err}"))
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl HttpBackend {
+    /// One attempt including response interpretation: `200` parses into an
+    /// [`InvocationResult`], `5xx` is retryable, other statuses are fatal.
+    fn try_attempt(&self, body: &[u8], deadline: Instant) -> Result<InvocationResult, TryError> {
+        let resp = self.try_once_at(body, deadline)?;
+        match resp.status {
+            200 => serde_json::from_slice::<InvocationResult>(&resp.body)
+                .map_err(|e| TryError::Retryable(format!("unparseable 200 body: {e}"))),
+            s if (500..600).contains(&s) => Err(TryError::Retryable(format!(
+                "HTTP {s}: {}",
+                String::from_utf8_lossy(&resp.body)
+            ))),
+            s => Err(TryError::Fatal(format!("HTTP {s}: {}", String::from_utf8_lossy(&resp.body)))),
+        }
+    }
+
+    fn try_once_at(&self, body: &[u8], deadline: Instant) -> Result<http::Response, TryError> {
+        let mut pooled_fallback = true;
+        loop {
+            let (stream, reused) = match self.checkout() {
+                Some(s) => {
+                    self.stats.reuses.fetch_add(1, Ordering::Relaxed);
+                    (s, true)
+                }
+                None => match self.open(deadline) {
+                    Ok(s) => (s, false),
+                    Err(e) if is_timeout(&e) => {
+                        return Err(TryError::Timeout(format!("connect: {e}")))
+                    }
+                    Err(e) => return Err(TryError::Retryable(format!("connect: {e}"))),
+                },
+            };
+            match self.exchange(&stream, body, deadline) {
+                Ok(resp) => {
+                    if resp.keep_alive {
+                        self.checkin(stream);
+                    }
+                    return Ok(resp);
+                }
+                Err(e) if is_timeout(&e) => return Err(TryError::Timeout(e.to_string())),
+                Err(e) => {
+                    if reused && pooled_fallback {
+                        pooled_fallback = false;
+                        continue;
+                    }
+                    return Err(TryError::Retryable(e.to_string()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasrail_workloads::{WorkloadId, WorkloadInput};
+    use std::net::TcpListener;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn request() -> InvocationRequest {
+        InvocationRequest {
+            workload: WorkloadId(7),
+            input: WorkloadInput::Pyaes { bytes: 4096 },
+            function_index: 0,
+            scheduled_at_ms: 0,
+        }
+    }
+
+    /// A canned server: answers each request on each connection with the
+    /// next status from `script` (repeating the last entry forever). `200`
+    /// carries a successful `InvocationResult`; everything else a plain
+    /// body. Returns (address, served-request counter).
+    fn canned_server(script: Vec<u16>) -> (String, Arc<AtomicUsize>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let served = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&served);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                let mut reader = BufReader::new(&stream);
+                while let Ok(Some(_req)) = http::read_request(&mut reader) {
+                    let n = counter.fetch_add(1, Ordering::SeqCst);
+                    let status =
+                        script.get(n).copied().or_else(|| script.last().copied()).unwrap_or(200);
+                    let ok = if status == 200 {
+                        serde_json::to_vec(&InvocationResult::success(2.5, false)).unwrap()
+                    } else {
+                        b"canned failure".to_vec()
+                    };
+                    if http::write_response(&mut (&stream), status, "application/json", &ok, true)
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            }
+        });
+        (addr, served)
+    }
+
+    fn fast_cfg(attempts: u32) -> HttpBackendConfig {
+        HttpBackendConfig {
+            connect_timeout: Duration::from_millis(500),
+            request_timeout: Duration::from_secs(5),
+            retry: RetryPolicy {
+                max_attempts: attempts,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(5),
+                jitter: 0.5,
+                jitter_seed: 7,
+            },
+            pool_capacity: 4,
+        }
+    }
+
+    #[test]
+    fn success_over_the_wire() {
+        let (addr, served) = canned_server(vec![200]);
+        let be = HttpBackend::connect(&addr, fast_cfg(3)).unwrap();
+        let res = be.invoke(&request());
+        assert!(res.ok);
+        assert_eq!(res.service_ms, 2.5);
+        assert_eq!(res.outcome(), OutcomeClass::Ok);
+        assert_eq!(served.load(Ordering::SeqCst), 1);
+        assert_eq!(be.stats().retries.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn pooled_connection_is_reused() {
+        let (addr, _served) = canned_server(vec![200]);
+        let be = HttpBackend::connect(&addr, fast_cfg(3)).unwrap();
+        assert!(be.invoke(&request()).ok);
+        assert!(be.invoke(&request()).ok);
+        assert_eq!(be.stats().connects.load(Ordering::Relaxed), 1, "second call reuses");
+        assert_eq!(be.stats().reuses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn app_failure_is_not_retried() {
+        // A 200 response whose body says ok=false: an application-level
+        // failure, which must not be retried (invocations are not assumed
+        // idempotent).
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let served = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&served);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                let mut reader = BufReader::new(&stream);
+                while let Ok(Some(_req)) = http::read_request(&mut reader) {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    let body =
+                        serde_json::to_vec(&InvocationResult::app_error(1.0, "boom")).unwrap();
+                    if http::write_response(&mut (&stream), 200, "application/json", &body, true)
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            }
+        });
+        let be = HttpBackend::connect(&addr, fast_cfg(5)).unwrap();
+        let res = be.invoke(&request());
+        assert!(!res.ok);
+        assert_eq!(res.outcome(), OutcomeClass::AppError);
+        assert_eq!(res.error.as_deref(), Some("boom"));
+        assert_eq!(served.load(Ordering::SeqCst), 1, "app failures are final");
+        assert_eq!(be.stats().retries.load(Ordering::Relaxed), 0);
+        assert_eq!(be.stats().app_errors.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn transient_5xx_is_retried_to_success() {
+        let (addr, served) = canned_server(vec![500, 500, 200]);
+        let be = HttpBackend::connect(&addr, fast_cfg(4)).unwrap();
+        let res = be.invoke(&request());
+        assert!(res.ok, "third attempt succeeds: {:?}", res.error);
+        assert_eq!(served.load(Ordering::SeqCst), 3);
+        assert_eq!(be.stats().retries.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn gives_up_after_attempt_budget() {
+        let (addr, served) = canned_server(vec![500]);
+        let be = HttpBackend::connect(&addr, fast_cfg(3)).unwrap();
+        let res = be.invoke(&request());
+        assert!(!res.ok);
+        assert_eq!(res.outcome(), OutcomeClass::Transport);
+        assert!(res.error.as_deref().unwrap_or("").contains("gave up after 3 attempts"));
+        assert_eq!(served.load(Ordering::SeqCst), 3, "exactly the attempt budget");
+        assert_eq!(be.stats().transport_errors.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn fourxx_is_fatal_without_retry() {
+        let (addr, served) = canned_server(vec![404]);
+        let be = HttpBackend::connect(&addr, fast_cfg(5)).unwrap();
+        let res = be.invoke(&request());
+        assert!(!res.ok);
+        assert_eq!(res.outcome(), OutcomeClass::Transport);
+        assert_eq!(served.load(Ordering::SeqCst), 1, "4xx is not retryable");
+    }
+
+    #[test]
+    fn unreachable_target_classifies_as_transport() {
+        // Bind then drop a listener so the port is (very likely) closed.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let be = HttpBackend::connect(&addr, fast_cfg(2)).unwrap();
+        let res = be.invoke(&request());
+        assert!(!res.ok);
+        assert!(matches!(res.outcome(), OutcomeClass::Transport | OutcomeClass::Timeout));
+    }
+
+    #[test]
+    fn deadline_exhaustion_classifies_as_timeout() {
+        // A server that accepts but never responds.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let mut held = Vec::new();
+            for stream in listener.incoming() {
+                held.push(stream); // keep the socket open, never reply
+            }
+        });
+        let cfg = HttpBackendConfig { request_timeout: Duration::from_millis(200), ..fast_cfg(3) };
+        let be = HttpBackend::connect(&addr, cfg).unwrap();
+        let res = be.invoke(&request());
+        assert!(!res.ok);
+        assert_eq!(res.outcome(), OutcomeClass::Timeout);
+        assert_eq!(be.stats().timeouts.load(Ordering::Relaxed), 1);
+    }
+}

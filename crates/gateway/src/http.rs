@@ -1,0 +1,314 @@
+//! Minimal, dependency-free HTTP/1.1 framing — exactly the subset the
+//! gateway needs: request/status lines, headers, `Content-Length` body
+//! framing, and keep-alive negotiation. Both sides are generic over
+//! [`BufRead`]/[`Write`] so the framing is unit-testable against in-memory
+//! buffers and reusable by the server and the client.
+
+use std::io::{self, BufRead, Read, Write};
+
+/// Cap on the total bytes of a request/status line plus headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Cap on a framed body.
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// A parsed inbound HTTP request (server side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+    pub body: Vec<u8>,
+}
+
+/// A parsed inbound HTTP response (client side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    pub status: u16,
+    pub keep_alive: bool,
+    pub body: Vec<u8>,
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Read one CRLF-terminated line, enforcing the shared head-size budget.
+/// Returns `None` on clean EOF before any byte.
+fn read_line<R: BufRead>(r: &mut R, budget: &mut usize) -> io::Result<Option<String>> {
+    let mut buf = Vec::new();
+    let mut take = Read::take(&mut *r, *budget as u64 + 1);
+    let n = take.read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if n > *budget {
+        return Err(invalid("header section too large"));
+    }
+    *budget -= n;
+    if buf.last() != Some(&b'\n') {
+        return Err(invalid("line not newline-terminated"));
+    }
+    buf.pop();
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map(Some).map_err(|_| invalid("non-UTF-8 header line"))
+}
+
+/// Shared header-section parse: returns `(content_length, keep_alive)`.
+/// `keep_alive` starts from the HTTP-version default and is overridden by a
+/// `Connection` header.
+fn read_headers<R: BufRead>(
+    r: &mut R,
+    budget: &mut usize,
+    version_keep_alive: bool,
+) -> io::Result<(usize, bool)> {
+    let mut content_length = 0usize;
+    let mut keep_alive = version_keep_alive;
+    loop {
+        let line = read_line(r, budget)?.ok_or_else(|| invalid("EOF inside headers"))?;
+        if line.is_empty() {
+            return Ok((content_length, keep_alive));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(invalid(format!("malformed header line: {line}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse::<usize>()
+                    .map_err(|_| invalid(format!("bad content-length: {value}")))?;
+                if content_length > MAX_BODY_BYTES {
+                    return Err(invalid("body too large"));
+                }
+            }
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v.contains("close") {
+                    keep_alive = false;
+                } else if v.contains("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn read_body<R: BufRead>(r: &mut R, len: usize) -> io::Result<Vec<u8>> {
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Parse one request off the connection. `Ok(None)` means the peer closed
+/// the connection cleanly between requests (normal keep-alive shutdown).
+pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<Option<Request>> {
+    let mut budget = MAX_HEAD_BYTES;
+    let Some(line) = read_line(r, &mut budget)? else {
+        return Ok(None);
+    };
+    let mut parts = line.split_ascii_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(invalid(format!("malformed request line: {line}")));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(invalid(format!("unsupported version: {version}")));
+    }
+    let version_keep_alive = version != "HTTP/1.0";
+    let (content_length, keep_alive) = read_headers(r, &mut budget, version_keep_alive)?;
+    let body = read_body(r, content_length)?;
+    Ok(Some(Request { method: method.to_string(), path: path.to_string(), keep_alive, body }))
+}
+
+/// Parse one response off the connection (client side).
+pub fn read_response<R: BufRead>(r: &mut R) -> io::Result<Response> {
+    let mut budget = MAX_HEAD_BYTES;
+    let line = read_line(r, &mut budget)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "EOF before status line"))?;
+    let mut parts = line.split_ascii_whitespace();
+    let (Some(version), Some(code)) = (parts.next(), parts.next()) else {
+        return Err(invalid(format!("malformed status line: {line}")));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(invalid(format!("unsupported version: {version}")));
+    }
+    let status = code.parse::<u16>().map_err(|_| invalid(format!("bad status code: {code}")))?;
+    let version_keep_alive = version != "HTTP/1.0";
+    let (content_length, keep_alive) = read_headers(r, &mut budget, version_keep_alive)?;
+    let body = read_body(r, content_length)?;
+    Ok(Response { status, keep_alive, body })
+}
+
+/// Canonical reason phrases for the statuses the gateway emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Status",
+    }
+}
+
+/// Serialize a response with `Content-Length` framing.
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status,
+        status_reason(status),
+        content_type,
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Serialize a request with `Content-Length` framing (client side).
+pub fn write_request<W: Write>(
+    w: &mut W,
+    method: &str,
+    path: &str,
+    host: &str,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {host}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: {}\r\n\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse_req(bytes: &[u8]) -> io::Result<Option<Request>> {
+        read_request(&mut Cursor::new(bytes.to_vec()))
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /invoke HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let req = parse_req(raw).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/invoke");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_get_without_body_and_connection_close() {
+        let raw = b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let req = parse_req(raw).unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.body, b"");
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn http10_defaults_to_close_unless_keep_alive() {
+        let raw = b"GET / HTTP/1.0\r\n\r\n";
+        assert!(!parse_req(raw).unwrap().unwrap().keep_alive);
+        let raw = b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        assert!(parse_req(raw).unwrap().unwrap().keep_alive);
+    }
+
+    #[test]
+    fn clean_eof_is_none_partial_is_error() {
+        assert!(parse_req(b"").unwrap().is_none(), "EOF before any byte");
+        assert!(parse_req(b"POST /invoke HTTP/1.1\r\nContent-").is_err(), "EOF mid-headers");
+        assert!(
+            parse_req(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").is_err(),
+            "EOF mid-body"
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(parse_req(b"NOT-HTTP\r\n\r\n").is_err());
+        assert!(parse_req(b"GET / SPDY/3\r\n\r\n").is_err());
+        assert!(parse_req(b"GET / HTTP/1.1\r\nbadheader\r\n\r\n").is_err());
+        assert!(parse_req(b"GET / HTTP/1.1\r\nContent-Length: lots\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn enforces_head_budget() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend(vec![b'a'; MAX_HEAD_BYTES + 10]);
+        raw.extend(b"\r\n\r\n");
+        assert!(parse_req(&raw).is_err());
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let mut buf = Vec::new();
+        write_response(&mut buf, 200, "application/json", b"{\"ok\":true}", true).unwrap();
+        let resp = read_response(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.keep_alive);
+        assert_eq!(resp.body, b"{\"ok\":true}");
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, "POST", "/invoke", "127.0.0.1:80", "application/json", b"{}", true)
+            .unwrap();
+        let req = read_request(&mut Cursor::new(buf)).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/invoke");
+        assert_eq!(req.body, b"{}");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn close_response_signals_no_reuse() {
+        let mut buf = Vec::new();
+        write_response(&mut buf, 500, "text/plain", b"injected", false).unwrap();
+        let resp = read_response(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(resp.status, 500);
+        assert!(!resp.keep_alive);
+        assert_eq!(resp.body, b"injected");
+    }
+
+    #[test]
+    fn two_pipelined_requests_parse_in_sequence() {
+        let mut raw = Vec::new();
+        write_request(&mut raw, "POST", "/invoke", "h", "application/json", b"one", true).unwrap();
+        write_request(&mut raw, "POST", "/invoke", "h", "application/json", b"two", false).unwrap();
+        let mut cur = Cursor::new(raw);
+        let a = read_request(&mut cur).unwrap().unwrap();
+        let b = read_request(&mut cur).unwrap().unwrap();
+        assert_eq!(a.body, b"one");
+        assert_eq!(b.body, b"two");
+        assert!(read_request(&mut cur).unwrap().is_none(), "then clean EOF");
+    }
+
+    #[test]
+    fn eof_before_status_line_is_unexpected_eof() {
+        let err = read_response(&mut Cursor::new(Vec::new())).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

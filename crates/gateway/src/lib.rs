@@ -1,0 +1,33 @@
+//! FaaSRail's networked invocation gateway.
+//!
+//! The load generator's [`Backend`](faasrail_loadgen::Backend) abstraction
+//! is synchronous and in-process; real serverless research setups put a
+//! network between the generator and the platform under test. This crate
+//! supplies both ends of that wire without adding any dependency beyond the
+//! workspace's:
+//!
+//! * [`Gateway`] — an HTTP/1.1 server (bounded thread pool over
+//!   `std::net::TcpListener`, keep-alive, `Content-Length` framing) that
+//!   exposes any `Backend` at `POST /invoke`, plus `GET /healthz` and
+//!   `GET /stats`;
+//! * [`HttpBackend`] — a `Backend` implementation that ships invocations to
+//!   such a gateway with connection pooling, per-request deadlines, and
+//!   seeded capped-exponential retry ([`RetryPolicy`]) for transport
+//!   failures and `5xx`s;
+//! * [`FaultConfig`] — deterministic, seeded fault injection on the server
+//!   side (dropped connections and injected `500`s) so retry behaviour is
+//!   testable under controlled fault rates.
+//!
+//! Loopback replay through the pair is distribution-preserving: the
+//! `tests/gateway_loopback.rs` integration test drives a full shrunk spec
+//! over `127.0.0.1` and checks the invocation-duration distribution against
+//! an in-process replay of the same spec (KS distance < 0.05).
+
+pub mod backoff;
+pub mod client;
+pub mod http;
+pub mod server;
+
+pub use backoff::{mix_fraction, RetryPolicy, SplitMix64};
+pub use client::{ClientStats, HttpBackend, HttpBackendConfig};
+pub use server::{FaultConfig, Gateway, GatewayConfig, GatewayHandle, GatewayStats};

@@ -1,0 +1,540 @@
+//! The gateway server: any [`Backend`] behind a real wire.
+//!
+//! A dependency-free HTTP/1.1 server over `std::net::TcpListener`:
+//! thread-per-connection handling drawn from a **bounded** worker pool (a
+//! full pool applies backpressure at `accept` instead of spawning without
+//! limit), keep-alive connections, and `Content-Length` framing. Endpoints:
+//!
+//! * `POST /invoke` — a [`InvocationRequest`] JSON body; replies `200` with
+//!   the backend's [`InvocationResult`] (application failures travel as
+//!   `ok: false` bodies, not HTTP errors);
+//! * `GET /healthz` — liveness probe;
+//! * `GET /stats` — aggregate and per-connection counters as JSON.
+//!
+//! A seeded [`FaultConfig`] can drop or 5xx a deterministic fraction of
+//! invocations — the harness for exercising client-side retry under
+//! controlled fault rates.
+
+use crate::backoff::mix_fraction;
+use crate::http;
+use faasrail_loadgen::{Backend, InvocationRequest};
+use std::io::{self, BufReader, ErrorKind};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Seeded fault injection: each invocation draws a deterministic uniform
+/// variate from (`seed`, invocation index); the lowest `drop_fraction` of
+/// the unit interval closes the connection without replying, the next
+/// `error_fraction` replies `500`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Fraction of invocations whose connection is dropped mid-request.
+    pub drop_fraction: f64,
+    /// Fraction of invocations answered with an injected `500`.
+    pub error_fraction: f64,
+    /// Seed for the fault stream.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig { drop_fraction: 0.0, error_fraction: 0.0, seed: 1 }
+    }
+}
+
+enum Fault {
+    None,
+    Drop,
+    Error,
+}
+
+impl FaultConfig {
+    fn decide(&self, invocation: u64) -> Fault {
+        if self.drop_fraction <= 0.0 && self.error_fraction <= 0.0 {
+            return Fault::None;
+        }
+        let u = mix_fraction(self.seed, invocation);
+        if u < self.drop_fraction {
+            Fault::Drop
+        } else if u < self.drop_fraction + self.error_fraction {
+            Fault::Error
+        } else {
+            Fault::None
+        }
+    }
+}
+
+/// Gateway server configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatewayConfig {
+    /// Connection-handler threads; also the accept backlog bound. Each
+    /// keep-alive connection occupies one worker for its lifetime, so size
+    /// this at or above the expected client concurrency.
+    pub workers: usize,
+    /// Idle keep-alive timeout: a connection with no request for this long
+    /// is closed (also bounds how long shutdown waits on idle peers).
+    pub read_timeout: Duration,
+    /// Fault injection (off by default).
+    pub fault: FaultConfig,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            workers: 64,
+            read_timeout: Duration::from_secs(30),
+            fault: FaultConfig::default(),
+        }
+    }
+}
+
+/// Aggregate and per-connection counters, updated lock-free.
+#[derive(Debug, Default)]
+pub struct GatewayStats {
+    pub connections_accepted: AtomicU64,
+    pub connections_active: AtomicU64,
+    pub connections_closed: AtomicU64,
+    /// All HTTP requests parsed (any endpoint).
+    pub requests: AtomicU64,
+    /// `POST /invoke` requests reaching the fault/backend stage.
+    pub invocations: AtomicU64,
+    pub invocations_ok: AtomicU64,
+    pub invocations_failed: AtomicU64,
+    pub faults_dropped: AtomicU64,
+    pub faults_errored: AtomicU64,
+    pub http_400: AtomicU64,
+    pub http_404: AtomicU64,
+    /// Most requests any single connection has served (keep-alive depth).
+    pub max_requests_per_connection: AtomicU64,
+}
+
+impl GatewayStats {
+    /// Render the counters as a flat JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        let closed = self.connections_closed.load(Ordering::Relaxed);
+        let requests = self.requests.load(Ordering::Relaxed);
+        let mean_per_conn = if closed == 0 { 0.0 } else { requests as f64 / closed as f64 };
+        format!(
+            concat!(
+                "{{\"connections_accepted\":{},\"connections_active\":{},",
+                "\"connections_closed\":{},\"requests\":{},\"invocations\":{},",
+                "\"invocations_ok\":{},\"invocations_failed\":{},",
+                "\"faults_dropped\":{},\"faults_errored\":{},",
+                "\"http_400\":{},\"http_404\":{},",
+                "\"max_requests_per_connection\":{},",
+                "\"mean_requests_per_closed_connection\":{:.3}}}"
+            ),
+            self.connections_accepted.load(Ordering::Relaxed),
+            self.connections_active.load(Ordering::Relaxed),
+            closed,
+            requests,
+            self.invocations.load(Ordering::Relaxed),
+            self.invocations_ok.load(Ordering::Relaxed),
+            self.invocations_failed.load(Ordering::Relaxed),
+            self.faults_dropped.load(Ordering::Relaxed),
+            self.faults_errored.load(Ordering::Relaxed),
+            self.http_400.load(Ordering::Relaxed),
+            self.http_404.load(Ordering::Relaxed),
+            self.max_requests_per_connection.load(Ordering::Relaxed),
+            mean_per_conn,
+        )
+    }
+}
+
+/// The gateway: a bound listener plus the backend it exposes.
+pub struct Gateway {
+    listener: TcpListener,
+    addr: SocketAddr,
+    backend: Arc<dyn Backend>,
+    cfg: GatewayConfig,
+    stats: Arc<GatewayStats>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Gateway {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) in front of
+    /// `backend`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        backend: Arc<dyn Backend>,
+        cfg: GatewayConfig,
+    ) -> io::Result<Gateway> {
+        assert!(cfg.workers > 0, "need at least one connection worker");
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Gateway {
+            listener,
+            addr,
+            backend,
+            cfg,
+            stats: Arc::new(GatewayStats::default()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared counters (live; safe to read while serving).
+    pub fn stats(&self) -> Arc<GatewayStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Serve until shut down, blocking the calling thread. Connections are
+    /// fanned out to `cfg.workers` handler threads through a bounded queue,
+    /// so a saturated pool pushes back on `accept` rather than growing
+    /// without limit.
+    pub fn run(self) {
+        let (tx, rx) = crossbeam::channel::bounded::<TcpStream>(self.cfg.workers);
+        std::thread::scope(|scope| {
+            for _ in 0..self.cfg.workers {
+                let rx = rx.clone();
+                let backend = Arc::clone(&self.backend);
+                let stats = Arc::clone(&self.stats);
+                let shutdown = Arc::clone(&self.shutdown);
+                let cfg = self.cfg;
+                scope.spawn(move || {
+                    while let Ok(stream) = rx.recv() {
+                        stats.connections_active.fetch_add(1, Ordering::Relaxed);
+                        let _ = handle_connection(stream, &*backend, &stats, &cfg, &shutdown);
+                        stats.connections_active.fetch_sub(1, Ordering::Relaxed);
+                        stats.connections_closed.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            drop(rx);
+
+            loop {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        self.stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                        if self.shutdown.load(Ordering::SeqCst) {
+                            break; // the shutdown wake-up connection itself
+                        }
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => continue,
+                    Err(_) => {
+                        if self.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                    }
+                }
+            }
+            drop(tx); // workers drain queued connections, then exit
+        });
+    }
+
+    /// Serve on a background thread; returns a handle for address, stats,
+    /// and shutdown.
+    pub fn spawn(self) -> GatewayHandle {
+        let addr = self.addr;
+        let stats = Arc::clone(&self.stats);
+        let shutdown = Arc::clone(&self.shutdown);
+        let join = std::thread::spawn(move || self.run());
+        GatewayHandle { addr, stats, shutdown, join }
+    }
+}
+
+/// Handle to a gateway serving on a background thread.
+pub struct GatewayHandle {
+    addr: SocketAddr,
+    stats: Arc<GatewayStats>,
+    shutdown: Arc<AtomicBool>,
+    join: std::thread::JoinHandle<()>,
+}
+
+impl GatewayHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> &GatewayStats {
+        &self.stats
+    }
+
+    /// Stop accepting, drain, and join the server thread.
+    ///
+    /// Open keep-alive connections are closed as soon as they go idle (at
+    /// the latest after `read_timeout`), so drop any client still holding
+    /// pooled connections before calling this to avoid waiting out the
+    /// timeout.
+    pub fn stop(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.join.join();
+    }
+}
+
+/// Serve one connection until it closes (client close, idle timeout,
+/// malformed request, injected drop, or shutdown).
+fn handle_connection(
+    stream: TcpStream,
+    backend: &dyn Backend,
+    stats: &GatewayStats,
+    cfg: &GatewayConfig,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(cfg.read_timeout)).ok();
+    let mut reader = BufReader::new(&stream);
+    let mut served_here: u64 = 0;
+
+    loop {
+        let req = match http::read_request(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => break, // clean close between requests
+            Err(e) if e.kind() == ErrorKind::InvalidData => {
+                stats.http_400.fetch_add(1, Ordering::Relaxed);
+                let _ = http::write_response(
+                    &mut (&stream),
+                    400,
+                    "text/plain",
+                    format!("bad request: {e}").as_bytes(),
+                    false,
+                );
+                break;
+            }
+            // Idle timeout, reset, or mid-request EOF: just close.
+            Err(_) => break,
+        };
+        served_here += 1;
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        let keep = req.keep_alive && !shutdown.load(Ordering::Relaxed);
+
+        match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/invoke") => {
+                let n = stats.invocations.fetch_add(1, Ordering::Relaxed);
+                match cfg.fault.decide(n) {
+                    Fault::Drop => {
+                        stats.faults_dropped.fetch_add(1, Ordering::Relaxed);
+                        break; // vanish without a response
+                    }
+                    Fault::Error => {
+                        stats.faults_errored.fetch_add(1, Ordering::Relaxed);
+                        http::write_response(
+                            &mut (&stream),
+                            500,
+                            "text/plain",
+                            b"injected fault",
+                            keep,
+                        )?;
+                    }
+                    Fault::None => match serde_json::from_slice::<InvocationRequest>(&req.body) {
+                        Ok(inv) => {
+                            let result = backend.invoke(&inv);
+                            if result.ok {
+                                stats.invocations_ok.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                stats.invocations_failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let body = serde_json::to_vec(&result)
+                                .unwrap_or_else(|_| b"{\"ok\":false}".to_vec());
+                            http::write_response(
+                                &mut (&stream),
+                                200,
+                                "application/json",
+                                &body,
+                                keep,
+                            )?;
+                        }
+                        Err(e) => {
+                            stats.http_400.fetch_add(1, Ordering::Relaxed);
+                            http::write_response(
+                                &mut (&stream),
+                                400,
+                                "text/plain",
+                                format!("bad invocation request: {e}").as_bytes(),
+                                keep,
+                            )?;
+                        }
+                    },
+                }
+            }
+            ("GET", "/healthz") => {
+                http::write_response(&mut (&stream), 200, "text/plain", b"ok", keep)?;
+            }
+            ("GET", "/stats") => {
+                stats.max_requests_per_connection.fetch_max(served_here, Ordering::Relaxed);
+                http::write_response(
+                    &mut (&stream),
+                    200,
+                    "application/json",
+                    stats.to_json().as_bytes(),
+                    keep,
+                )?;
+            }
+            _ => {
+                stats.http_404.fetch_add(1, Ordering::Relaxed);
+                http::write_response(&mut (&stream), 404, "text/plain", b"not found", keep)?;
+            }
+        }
+
+        if !keep {
+            break;
+        }
+    }
+    stats.max_requests_per_connection.fetch_max(served_here, Ordering::Relaxed);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{HttpBackend, HttpBackendConfig};
+    use faasrail_loadgen::{InvocationResult, NoopBackend, OutcomeClass};
+    use faasrail_workloads::{WorkloadId, WorkloadInput};
+    use std::io::BufReader;
+
+    fn test_cfg() -> GatewayConfig {
+        GatewayConfig {
+            workers: 4,
+            read_timeout: Duration::from_millis(500),
+            fault: FaultConfig::default(),
+        }
+    }
+
+    fn spawn_noop(cfg: GatewayConfig) -> GatewayHandle {
+        Gateway::bind("127.0.0.1:0", Arc::new(NoopBackend), cfg).unwrap().spawn()
+    }
+
+    fn request_json() -> Vec<u8> {
+        let req = InvocationRequest {
+            workload: WorkloadId(7),
+            input: WorkloadInput::Pyaes { bytes: 1024 },
+            function_index: 3,
+            scheduled_at_ms: 12,
+        };
+        serde_json::to_vec(&req).unwrap()
+    }
+
+    /// One raw request/response exchange on an existing connection.
+    fn roundtrip(stream: &TcpStream, method: &str, path: &str, body: &[u8]) -> http::Response {
+        http::write_request(&mut (&*stream), method, path, "test", "application/json", body, true)
+            .unwrap();
+        http::read_response(&mut BufReader::new(stream)).unwrap()
+    }
+
+    #[test]
+    fn healthz_stats_and_404_share_a_keep_alive_connection() {
+        let handle = spawn_noop(test_cfg());
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+
+        let resp = roundtrip(&stream, "GET", "/healthz", b"");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"ok");
+        assert!(resp.keep_alive);
+
+        let resp = roundtrip(&stream, "GET", "/nope", b"");
+        assert_eq!(resp.status, 404);
+
+        let resp = roundtrip(&stream, "GET", "/stats", b"");
+        assert_eq!(resp.status, 200);
+        let json = String::from_utf8(resp.body).unwrap();
+        assert!(json.contains("\"requests\":3"), "{json}");
+        assert!(json.contains("\"http_404\":1"), "{json}");
+        assert!(json.contains("\"connections_accepted\":1"), "{json}");
+
+        drop(stream);
+        handle.stop();
+    }
+
+    #[test]
+    fn invoke_executes_the_backend_over_the_wire() {
+        let handle = spawn_noop(test_cfg());
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let resp = roundtrip(&stream, "POST", "/invoke", &request_json());
+        assert_eq!(resp.status, 200);
+        let result: InvocationResult = serde_json::from_slice(&resp.body).unwrap();
+        assert!(result.ok);
+        assert_eq!(result.outcome(), OutcomeClass::Ok);
+        drop(stream);
+        let stats = handle.stats();
+        assert_eq!(stats.invocations.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.invocations_ok.load(Ordering::Relaxed), 1);
+        handle.stop();
+    }
+
+    #[test]
+    fn malformed_invocation_body_is_400_not_a_crash() {
+        let handle = spawn_noop(test_cfg());
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let resp = roundtrip(&stream, "POST", "/invoke", b"{ not json");
+        assert_eq!(resp.status, 400);
+        // The connection survives a body-level 400.
+        let resp = roundtrip(&stream, "GET", "/healthz", b"");
+        assert_eq!(resp.status, 200);
+        drop(stream);
+        assert_eq!(handle.stats().http_400.load(Ordering::Relaxed), 1);
+        handle.stop();
+    }
+
+    #[test]
+    fn injected_500s_surface_to_the_client_as_retryable() {
+        let cfg = GatewayConfig {
+            fault: FaultConfig { drop_fraction: 0.0, error_fraction: 1.0, seed: 3 },
+            ..test_cfg()
+        };
+        let handle = spawn_noop(cfg);
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let resp = roundtrip(&stream, "POST", "/invoke", &request_json());
+        assert_eq!(resp.status, 500);
+        drop(stream);
+        assert_eq!(handle.stats().faults_errored.load(Ordering::Relaxed), 1);
+        handle.stop();
+    }
+
+    #[test]
+    fn end_to_end_with_http_backend_client() {
+        let handle = spawn_noop(test_cfg());
+        let client =
+            HttpBackend::connect(&handle.addr().to_string(), HttpBackendConfig::default()).unwrap();
+        let req = InvocationRequest {
+            workload: WorkloadId(7),
+            input: WorkloadInput::Pyaes { bytes: 1024 },
+            function_index: 0,
+            scheduled_at_ms: 0,
+        };
+        for _ in 0..5 {
+            let r = faasrail_loadgen::Backend::invoke(&client, &req);
+            assert!(r.ok, "{:?}", r.error);
+        }
+        drop(client); // release pooled connections before stopping the server
+        let stats = handle.stats();
+        assert_eq!(stats.invocations_ok.load(Ordering::Relaxed), 5);
+        assert!(
+            stats.connections_accepted.load(Ordering::Relaxed) <= 2,
+            "keep-alive should confine 5 invocations to very few connections"
+        );
+        handle.stop();
+    }
+
+    #[test]
+    fn fault_decide_is_deterministic_and_proportional() {
+        let f = FaultConfig { drop_fraction: 0.1, error_fraction: 0.2, seed: 11 };
+        let classify = |n: u64| match f.decide(n) {
+            Fault::Drop => 0u8,
+            Fault::Error => 1,
+            Fault::None => 2,
+        };
+        let first: Vec<u8> = (0..2_000).map(classify).collect();
+        let second: Vec<u8> = (0..2_000).map(classify).collect();
+        assert_eq!(first, second, "same seed, same fault pattern");
+        let drops = first.iter().filter(|&&c| c == 0).count();
+        let errors = first.iter().filter(|&&c| c == 1).count();
+        assert!((100..300).contains(&drops), "~10% drops expected, got {drops}/2000");
+        assert!((250..550).contains(&errors), "~20% errors expected, got {errors}/2000");
+    }
+}

@@ -9,7 +9,7 @@ use faasrail_workloads::{WorkloadId, WorkloadInput};
 use serde::{Deserialize, Serialize};
 
 /// One invocation to serve.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct InvocationRequest {
     /// Pool id of the Workload.
     pub workload: WorkloadId,
@@ -21,8 +21,32 @@ pub struct InvocationRequest {
     pub scheduled_at_ms: u64,
 }
 
+/// Classification of a failed (or successful) invocation, for per-class
+/// accounting in [`crate::RunMetrics`]. Over a network path the three
+/// failure classes behave very differently — an application error already
+/// consumed backend resources, a timeout may still be executing, and a
+/// transport error may never have reached application code — so replay
+/// summaries report them separately.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum OutcomeClass {
+    /// Served successfully.
+    #[default]
+    Ok,
+    /// The backend executed the request and reported failure. Not
+    /// retryable: retrying would re-run (non-idempotent) application code.
+    AppError,
+    /// The per-request deadline expired before a response arrived.
+    Timeout,
+    /// Connect/read/write failure, or an error response from a gateway in
+    /// front of the backend; the request may never have reached
+    /// application code.
+    Transport,
+}
+
 /// What the backend reports back.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InvocationResult {
     /// Whether the invocation succeeded.
     pub ok: bool,
@@ -30,6 +54,67 @@ pub struct InvocationResult {
     pub service_ms: f64,
     /// Whether a sandbox had to be cold-started.
     pub cold_start: bool,
+    /// Human-readable failure detail; `None` on success. Carried over the
+    /// wire by `faasrail-gateway` so remote failures stay diagnosable.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub error: Option<String>,
+    /// Failure classification. Defaults to [`OutcomeClass::Ok`] when absent
+    /// (pre-gateway serialized results); use [`Self::outcome`] rather than
+    /// reading this field so unclassified failures count as app errors.
+    #[serde(default)]
+    pub class: OutcomeClass,
+}
+
+impl InvocationResult {
+    /// A successful invocation.
+    pub fn success(service_ms: f64, cold_start: bool) -> Self {
+        InvocationResult { ok: true, service_ms, cold_start, error: None, class: OutcomeClass::Ok }
+    }
+
+    /// An application-level failure (the backend ran the request and it
+    /// failed). Never retried by networked backends.
+    pub fn app_error(service_ms: f64, error: impl Into<String>) -> Self {
+        InvocationResult {
+            ok: false,
+            service_ms,
+            cold_start: false,
+            error: Some(error.into()),
+            class: OutcomeClass::AppError,
+        }
+    }
+
+    /// A deadline expiry: no response within the per-request budget.
+    pub fn timeout(error: impl Into<String>) -> Self {
+        InvocationResult {
+            ok: false,
+            service_ms: 0.0,
+            cold_start: false,
+            error: Some(error.into()),
+            class: OutcomeClass::Timeout,
+        }
+    }
+
+    /// A transport-level failure (connect/read/write error or gateway 5xx
+    /// after the retry budget was exhausted).
+    pub fn transport(error: impl Into<String>) -> Self {
+        InvocationResult {
+            ok: false,
+            service_ms: 0.0,
+            cold_start: false,
+            error: Some(error.into()),
+            class: OutcomeClass::Transport,
+        }
+    }
+
+    /// Effective outcome class: failures without an explicit classification
+    /// (results serialized before `class` existed) count as app errors.
+    pub fn outcome(&self) -> OutcomeClass {
+        match (self.ok, self.class) {
+            (true, _) => OutcomeClass::Ok,
+            (false, OutcomeClass::Ok) => OutcomeClass::AppError,
+            (false, class) => class,
+        }
+    }
 }
 
 /// A synchronous invocation sink.
@@ -48,6 +133,18 @@ pub trait Backend: Send + Sync {
     }
 }
 
+/// Sharing a backend between the replayer and a network gateway (or several
+/// gateways) only needs an `Arc`: the trait object keeps working behind it.
+impl<B: Backend + ?Sized> Backend for std::sync::Arc<B> {
+    fn invoke(&self, req: &InvocationRequest) -> InvocationResult {
+        (**self).invoke(req)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
 /// A trivial backend that acknowledges instantly — for testing the
 /// generator itself and for pacing-accuracy benchmarks.
 #[derive(Debug, Default)]
@@ -55,7 +152,7 @@ pub struct NoopBackend;
 
 impl Backend for NoopBackend {
     fn invoke(&self, _req: &InvocationRequest) -> InvocationResult {
-        InvocationResult { ok: true, service_ms: 0.0, cold_start: false }
+        InvocationResult::success(0.0, false)
     }
 
     fn name(&self) -> &str {
@@ -72,11 +169,7 @@ impl Backend for InProcessBackend {
     fn invoke(&self, req: &InvocationRequest) -> InvocationResult {
         let start = std::time::Instant::now();
         std::hint::black_box(faasrail_workloads::kernels::execute(&req.input));
-        InvocationResult {
-            ok: true,
-            service_ms: start.elapsed().as_secs_f64() * 1_000.0,
-            cold_start: false,
-        }
+        InvocationResult::success(start.elapsed().as_secs_f64() * 1_000.0, false)
     }
 
     fn name(&self) -> &str {
@@ -103,6 +196,8 @@ mod tests {
         assert!(r.ok);
         assert_eq!(r.service_ms, 0.0);
         assert!(!r.cold_start);
+        assert_eq!(r.error, None);
+        assert_eq!(r.outcome(), OutcomeClass::Ok);
     }
 
     #[test]
@@ -110,5 +205,62 @@ mod tests {
         let r = InProcessBackend.invoke(&req());
         assert!(r.ok);
         assert!(r.service_ms > 0.0);
+    }
+
+    #[test]
+    fn arc_shared_backend_still_invokes() {
+        let shared: std::sync::Arc<dyn Backend> = std::sync::Arc::new(NoopBackend);
+        let r = shared.invoke(&req());
+        assert!(r.ok);
+        assert_eq!(shared.name(), "noop");
+    }
+
+    #[test]
+    fn outcome_classification() {
+        assert_eq!(InvocationResult::success(1.0, true).outcome(), OutcomeClass::Ok);
+        assert_eq!(InvocationResult::app_error(1.0, "boom").outcome(), OutcomeClass::AppError);
+        assert_eq!(InvocationResult::timeout("deadline").outcome(), OutcomeClass::Timeout);
+        assert_eq!(InvocationResult::transport("refused").outcome(), OutcomeClass::Transport);
+        // A pre-classification failure (ok=false, class absent → Ok) counts
+        // as an application error.
+        let legacy = InvocationResult {
+            ok: false,
+            service_ms: 0.0,
+            cold_start: false,
+            error: None,
+            class: OutcomeClass::Ok,
+        };
+        assert_eq!(legacy.outcome(), OutcomeClass::AppError);
+    }
+
+    #[test]
+    fn request_roundtrips_through_json() {
+        let r = req();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: InvocationRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn result_error_field_is_optional_on_the_wire() {
+        // Success serializes without an `error` key at all.
+        let ok = InvocationResult::success(2.5, false);
+        let json = serde_json::to_string(&ok).unwrap();
+        assert!(!json.contains("error"), "{json}");
+        let back: InvocationResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(ok, back);
+
+        // A pre-`error`/`class` payload still deserializes (defaults).
+        let legacy = r#"{"ok":false,"service_ms":3.0,"cold_start":true}"#;
+        let back: InvocationResult = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.error, None);
+        assert_eq!(back.outcome(), OutcomeClass::AppError);
+
+        // Failures carry their message and class.
+        let t = InvocationResult::timeout("deadline exceeded");
+        let back: InvocationResult =
+            serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
+        assert_eq!(back.error.as_deref(), Some("deadline exceeded"));
+        assert_eq!(back.outcome(), OutcomeClass::Timeout);
     }
 }

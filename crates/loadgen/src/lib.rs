@@ -19,6 +19,8 @@ pub mod backend;
 pub mod metrics;
 pub mod replay;
 
-pub use backend::{Backend, InProcessBackend, InvocationRequest, InvocationResult, NoopBackend};
+pub use backend::{
+    Backend, InProcessBackend, InvocationRequest, InvocationResult, NoopBackend, OutcomeClass,
+};
 pub use metrics::RunMetrics;
 pub use replay::{replay, Pacing, ReplayConfig};

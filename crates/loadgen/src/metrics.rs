@@ -12,8 +12,18 @@ pub struct RunMetrics {
     pub issued: u64,
     /// Requests the backend reported as successful.
     pub completed: u64,
-    /// Requests the backend reported as failed.
+    /// Requests the backend reported as failed (all classes).
     pub errors: u64,
+    /// Failures the backend executed and rejected (not retryable).
+    /// `app_errors + timeouts + transport_errors == errors`.
+    #[serde(default)]
+    pub app_errors: u64,
+    /// Failures where the per-request deadline expired.
+    #[serde(default)]
+    pub timeouts: u64,
+    /// Failures in the network path (connect/read/write, gateway 5xx).
+    #[serde(default)]
+    pub transport_errors: u64,
     /// Cold starts reported by the backend.
     pub cold_starts: u64,
     /// End-to-end response time (dispatch → backend return), seconds.
@@ -43,6 +53,9 @@ impl RunMetrics {
             issued: 0,
             completed: 0,
             errors: 0,
+            app_errors: 0,
+            timeouts: 0,
+            transport_errors: 0,
             cold_starts: 0,
             response: LogHistogram::latency_seconds(),
             service: LogHistogram::latency_seconds(),
@@ -50,6 +63,35 @@ impl RunMetrics {
             per_kind: BTreeMap::new(),
             issued_per_minute: Vec::new(),
         }
+    }
+
+    /// Record one invocation result against the per-class outcome counters
+    /// (and `completed`/`errors`).
+    pub fn record_outcome(&mut self, result: &crate::backend::InvocationResult) {
+        use crate::backend::OutcomeClass;
+        match result.outcome() {
+            OutcomeClass::Ok => self.completed += 1,
+            OutcomeClass::AppError => {
+                self.errors += 1;
+                self.app_errors += 1;
+            }
+            OutcomeClass::Timeout => {
+                self.errors += 1;
+                self.timeouts += 1;
+            }
+            OutcomeClass::Transport => {
+                self.errors += 1;
+                self.transport_errors += 1;
+            }
+        }
+    }
+
+    /// One-line per-class outcome breakdown for replay summaries.
+    pub fn outcome_breakdown(&self) -> String {
+        format!(
+            "ok={} app-error={} timeout={} transport={}",
+            self.completed, self.app_errors, self.timeouts, self.transport_errors
+        )
     }
 
     /// Count one dispatched request against its scheduled minute.
@@ -67,6 +109,9 @@ impl RunMetrics {
         self.issued += other.issued;
         self.completed += other.completed;
         self.errors += other.errors;
+        self.app_errors += other.app_errors;
+        self.timeouts += other.timeouts;
+        self.transport_errors += other.transport_errors;
         self.cold_starts += other.cold_starts;
         self.response.merge(&other.response);
         self.service.merge(&other.service);
@@ -106,23 +151,48 @@ mod tests {
         a.issued = 10;
         a.completed = 9;
         a.errors = 1;
+        a.app_errors = 1;
         a.response.record(0.010);
         a.per_kind.insert(WorkloadKind::Pyaes, 5);
 
         let mut b = RunMetrics::new();
         b.issued = 5;
-        b.completed = 5;
+        b.completed = 3;
+        b.errors = 2;
+        b.timeouts = 1;
+        b.transport_errors = 1;
         b.response.record(0.020);
         b.per_kind.insert(WorkloadKind::Pyaes, 2);
         b.per_kind.insert(WorkloadKind::Matmul, 3);
 
         a.merge(&b);
         assert_eq!(a.issued, 15);
-        assert_eq!(a.completed, 14);
-        assert_eq!(a.errors, 1);
+        assert_eq!(a.completed, 12);
+        assert_eq!(a.errors, 3);
+        assert_eq!(a.app_errors, 1);
+        assert_eq!(a.timeouts, 1);
+        assert_eq!(a.transport_errors, 1);
         assert_eq!(a.response.total(), 2);
         assert_eq!(a.per_kind[&WorkloadKind::Pyaes], 7);
         assert_eq!(a.per_kind[&WorkloadKind::Matmul], 3);
+    }
+
+    #[test]
+    fn record_outcome_classifies() {
+        use crate::backend::InvocationResult;
+        let mut m = RunMetrics::new();
+        m.record_outcome(&InvocationResult::success(1.0, false));
+        m.record_outcome(&InvocationResult::app_error(1.0, "rejected"));
+        m.record_outcome(&InvocationResult::timeout("deadline"));
+        m.record_outcome(&InvocationResult::transport("refused"));
+        m.record_outcome(&InvocationResult::transport("reset"));
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.errors, 4);
+        assert_eq!(m.app_errors, 1);
+        assert_eq!(m.timeouts, 1);
+        assert_eq!(m.transport_errors, 2);
+        assert_eq!(m.app_errors + m.timeouts + m.transport_errors, m.errors);
+        assert_eq!(m.outcome_breakdown(), "ok=1 app-error=1 timeout=1 transport=2");
     }
 
     #[test]

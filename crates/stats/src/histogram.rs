@@ -191,7 +191,8 @@ impl LogHistogram {
     pub fn merge(&mut self, other: &LogHistogram) {
         assert_eq!(self.counts.len(), other.counts.len(), "bucket count mismatch");
         assert!(
-            (self.log_lo - other.log_lo).abs() < 1e-12 && (self.log_growth - other.log_growth).abs() < 1e-12,
+            (self.log_lo - other.log_lo).abs() < 1e-12
+                && (self.log_growth - other.log_growth).abs() < 1e-12,
             "bucket layout mismatch"
         );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {

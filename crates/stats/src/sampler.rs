@@ -224,9 +224,7 @@ impl Gamma {
             let v3 = v * v * v;
             let u = open_unit(rng);
             // Squeeze, then full acceptance test.
-            if u < 1.0 - 0.0331 * x.powi(4)
-                || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln())
-            {
+            if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
                 return d * v3;
             }
         }
@@ -554,10 +552,7 @@ mod tests {
         for k in [1u64, 2, 5, 10, 25, 50] {
             let got = counts[k as usize] as f64 / n as f64;
             let want = d.pmf(k);
-            assert!(
-                (got - want).abs() < 0.01 + want * 0.1,
-                "P({k}): got {got}, want {want}"
-            );
+            assert!((got - want).abs() < 0.01 + want * 0.1, "P({k}): got {got}, want {want}");
         }
     }
 

@@ -133,11 +133,7 @@ mod tests {
                 fact *= (n - 1) as f64;
             }
             let lg = ln_gamma(n as f64);
-            assert!(
-                (lg - fact.ln()).abs() < 1e-10,
-                "ln_gamma({n}) = {lg}, expected {}",
-                fact.ln()
-            );
+            assert!((lg - fact.ln()).abs() < 1e-10, "ln_gamma({n}) = {lg}, expected {}", fact.ln());
         }
     }
 

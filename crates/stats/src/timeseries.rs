@@ -26,12 +26,7 @@ use crate::summary::Summary;
 /// Panics if `groups == 0` or `groups > series.len()`.
 pub fn rebin_sum(series: &[u64], groups: usize) -> Vec<u64> {
     assert!(groups > 0, "rebin_sum requires at least one group");
-    assert!(
-        groups <= series.len(),
-        "cannot rebin {} points into {} groups",
-        series.len(),
-        groups
-    );
+    assert!(groups <= series.len(), "cannot rebin {} points into {} groups", series.len(), groups);
     let n = series.len();
     let mut out = Vec::with_capacity(groups);
     for g in 0..groups {
@@ -184,11 +179,7 @@ pub fn fano_factor(series: &[u64]) -> f64 {
 /// Index and value of the series maximum (first occurrence).
 /// Returns `None` for an empty series.
 pub fn peak(series: &[u64]) -> Option<(usize, u64)> {
-    series
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
-        .map(|(i, &v)| (i, v))
+    series.iter().enumerate().max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0))).map(|(i, &v)| (i, v))
 }
 
 /// Lag-`k` autocorrelation of a series (Pearson, biased denominator).

@@ -15,7 +15,9 @@
 //! * across the 14-day window, ~90 % of functions have day-to-day CVs of
 //!   execution time and invocation count below 1 (paper Fig. 3).
 
-use crate::model::{App, AppId, DayStats, FunctionId, Trace, TraceFunction, TraceKind, TriggerKind};
+use crate::model::{
+    App, AppId, DayStats, FunctionId, Trace, TraceFunction, TraceKind, TriggerKind,
+};
 use crate::synth;
 use faasrail_stats::sampler::{LogNormal, Sampler, Zipf};
 use faasrail_stats::seeded_rng;
@@ -131,8 +133,7 @@ pub fn generate(cfg: &AzureTraceConfig) -> Trace {
     let n = cfg.num_functions;
 
     // --- Popularity: Zipf–Mandelbrot weights by rank, apportioned exactly.
-    let weights =
-        synth::zipf_mandelbrot_weights(n, cfg.popularity_exponent, cfg.popularity_shift);
+    let weights = synth::zipf_mandelbrot_weights(n, cfg.popularity_exponent, cfg.popularity_shift);
     let planned_totals = apportion_weights(&weights, cfg.daily_invocations);
 
     // --- Durations: rank-coupled mixture, rounded to integer ms like the
@@ -322,11 +323,8 @@ mod tests {
     fn ninety_percent_rarely_invoked() {
         // Paper: ~90 % of functions are invoked once per minute or less.
         let t = small_trace();
-        let rare = t
-            .functions
-            .iter()
-            .filter(|f| f.total_invocations() <= MINUTES_PER_DAY as u64)
-            .count();
+        let rare =
+            t.functions.iter().filter(|f| f.total_invocations() <= MINUTES_PER_DAY as u64).count();
         let frac = rare as f64 / t.functions.len() as f64;
         assert!(frac > 0.75, "rare-function fraction = {frac}");
     }

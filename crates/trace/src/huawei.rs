@@ -62,8 +62,7 @@ pub fn generate(cfg: &HuaweiTraceConfig) -> Trace {
     let mut rng = seeded_rng(cfg.seed);
     let n = cfg.num_functions;
 
-    let weights =
-        synth::zipf_mandelbrot_weights(n, cfg.popularity_exponent, cfg.popularity_shift);
+    let weights = synth::zipf_mandelbrot_weights(n, cfg.popularity_exponent, cfg.popularity_shift);
     let planned_totals = apportion_weights(&weights, cfg.daily_invocations);
 
     // Durations: internal functions are very fast. Two-component mixture —
@@ -205,8 +204,7 @@ mod tests {
     }
 
     #[test]
-    fn distinct_durations_are_around_a_hundred()
-    {
+    fn distinct_durations_are_around_a_hundred() {
         // Paper: day 1 of the Huawei trace reports 104 distinct execution
         // times for 200 functions. Quantization to 0.1 ms over the narrow
         // fast range should collapse the 200 functions similarly.
@@ -215,10 +213,6 @@ mod tests {
             t.functions.iter().map(|f| (f.avg_duration_ms * 10.0).round() as u64).collect();
         keys.sort_unstable();
         keys.dedup();
-        assert!(
-            (60..=190).contains(&keys.len()),
-            "distinct duration count = {}",
-            keys.len()
-        );
+        assert!((60..=190).contains(&keys.len()), "distinct duration count = {}", keys.len());
     }
 }

@@ -94,9 +94,10 @@ fn parse_invocations<R: BufRead>(reader: R) -> Result<Vec<InvocationRow>, LoadEr
         }
         let mut counts = vec![0u64; MINUTES_PER_DAY];
         for (m, field) in fields[4..4 + MINUTES_PER_DAY].iter().enumerate() {
-            counts[m] = field.trim().parse::<u64>().map_err(|e| {
-                LoadError::Malformed(lineno + 1, format!("minute {}: {e}", m + 1))
-            })?;
+            counts[m] = field
+                .trim()
+                .parse::<u64>()
+                .map_err(|e| LoadError::Malformed(lineno + 1, format!("minute {}: {e}", m + 1)))?;
         }
         rows.push(InvocationRow {
             key: (fields[0].clone(), fields[1].clone(), fields[2].clone()),
@@ -192,10 +193,7 @@ pub fn load_azure_day<R1: BufRead, R2: BufRead, R3: BufRead>(
         let app_key = (row.key.0.clone(), row.key.1.clone());
         let app_id = *app_ids.entry(app_key.clone()).or_insert_with(|| {
             let id = AppId(apps.len() as u32);
-            apps.push(App {
-                id,
-                memory_mb: memory_by_app.get(&app_key).copied().unwrap_or(170.0),
-            });
+            apps.push(App { id, memory_mb: memory_by_app.get(&app_key).copied().unwrap_or(170.0) });
             id
         });
         let total = row.minutes.total();
@@ -209,13 +207,7 @@ pub fn load_azure_day<R1: BufRead, R2: BufRead, R3: BufRead>(
         });
     }
 
-    Ok(Trace {
-        kind: TraceKind::Azure,
-        selected_day: 0,
-        num_days: 1,
-        functions,
-        apps,
-    })
+    Ok(Trace { kind: TraceKind::Azure, selected_day: 0, num_days: 1, functions, apps })
 }
 
 /// Load several days of a real Azure-format trace.
@@ -258,11 +250,8 @@ pub fn load_azure_days<R1: BufRead, R2: BufRead, R3: BufRead>(
     }
 
     // Functions present on every day, in a deterministic order.
-    let mut keys: Vec<FnKey> = per_day[0]
-        .keys()
-        .filter(|k| per_day.iter().all(|d| d.contains_key(*k)))
-        .cloned()
-        .collect();
+    let mut keys: Vec<FnKey> =
+        per_day[0].keys().filter(|k| per_day.iter().all(|d| d.contains_key(*k))).cloned().collect();
     keys.sort();
 
     let mut app_ids: HashMap<(String, String), AppId> = HashMap::new();
@@ -272,10 +261,7 @@ pub fn load_azure_days<R1: BufRead, R2: BufRead, R3: BufRead>(
         let app_key = (key.0.clone(), key.1.clone());
         let app_id = *app_ids.entry(app_key.clone()).or_insert_with(|| {
             let id = AppId(apps.len() as u32);
-            apps.push(App {
-                id,
-                memory_mb: memory_by_app.get(&app_key).copied().unwrap_or(170.0),
-            });
+            apps.push(App { id, memory_mb: memory_by_app.get(&app_key).copied().unwrap_or(170.0) });
             id
         });
         let daily: Vec<DayStats> = per_day
@@ -318,9 +304,8 @@ pub fn load_huawei_day<R1: BufRead, R2: BufRead>(
         what: &str,
     ) -> Result<(Vec<String>, Vec<Vec<f64>>), LoadError> {
         let mut lines = reader.lines().enumerate();
-        let (_, header) = lines
-            .next()
-            .ok_or_else(|| LoadError::Malformed(1, format!("{what}: empty file")))?;
+        let (_, header) =
+            lines.next().ok_or_else(|| LoadError::Malformed(1, format!("{what}: empty file")))?;
         let header = header?;
         let names: Vec<String> =
             split_csv(&header).into_iter().skip(1).map(|s| s.trim().to_string()).collect();
@@ -394,13 +379,7 @@ pub fn load_huawei_day<R1: BufRead, R2: BufRead>(
         });
     }
 
-    Ok(Trace {
-        kind: TraceKind::HuaweiPrivate,
-        selected_day: 0,
-        num_days: 1,
-        functions,
-        apps,
-    })
+    Ok(Trace { kind: TraceKind::HuaweiPrivate, selected_day: 0, num_days: 1, functions, apps })
 }
 
 #[cfg(test)]

@@ -41,10 +41,7 @@ pub fn trigger_breakdown(trace: &Trace) -> BTreeMap<&'static str, f64> {
         *counts.entry(f.trigger.name()).or_insert(0) += t;
         total += t;
     }
-    counts
-        .into_iter()
-        .map(|(k, v)| (k, v as f64 / total.max(1) as f64))
-        .collect()
+    counts.into_iter().map(|(k, v)| (k, v as f64 / total.max(1) as f64)).collect()
 }
 
 /// Popularity curve (paper Figs. 1c, 10): for each prefix of functions
@@ -54,12 +51,8 @@ pub fn trigger_breakdown(trace: &Trace) -> BTreeMap<&'static str, f64> {
 /// Only functions invoked on the selected day participate (a function with
 /// zero invocations has no popularity).
 pub fn popularity_curve(trace: &Trace) -> Vec<(f64, f64)> {
-    let mut totals: Vec<u64> = trace
-        .functions
-        .iter()
-        .map(|f| f.total_invocations())
-        .filter(|&t| t > 0)
-        .collect();
+    let mut totals: Vec<u64> =
+        trace.functions.iter().map(|f| f.total_invocations()).filter(|&t| t > 0).collect();
     totals.sort_unstable_by(|a, b| b.cmp(a));
     let grand: u64 = totals.iter().sum();
     if grand == 0 {
@@ -96,8 +89,8 @@ pub fn top_share(trace: &Trace, frac: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{App, AppId, FunctionId, MinuteSeries, TraceKind, TriggerKind};
     use crate::model::TraceFunction;
+    use crate::model::{App, AppId, FunctionId, MinuteSeries, TraceKind, TriggerKind};
 
     fn mk(durations_and_counts: &[(f64, u32)]) -> Trace {
         let functions = durations_and_counts

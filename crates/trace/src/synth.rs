@@ -27,7 +27,8 @@ fn std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 pub fn diurnal_template<R: Rng + ?Sized>(rng: &mut R, base: f64, amplitude: f64) -> Vec<f64> {
     let phase1 = rng.gen::<f64>() * std::f64::consts::TAU;
     let phase2 = rng.gen::<f64>() * std::f64::consts::TAU;
-    let raw_noise: Vec<f64> = (0..MINUTES_PER_DAY).map(|_| std_normal(rng) * amplitude * 0.6).collect();
+    let raw_noise: Vec<f64> =
+        (0..MINUTES_PER_DAY).map(|_| std_normal(rng) * amplitude * 0.6).collect();
     let noise = moving_average(&raw_noise, 90);
     (0..MINUTES_PER_DAY)
         .map(|m| {
@@ -88,8 +89,7 @@ pub fn steady_series<R: Rng + ?Sized>(rng: &mut R, template: &[f64], total: u64)
 pub fn periodic_series<R: Rng + ?Sized>(rng: &mut R, period: u16, total: u64) -> MinuteSeries {
     assert!(period >= 1 && (period as usize) <= MINUTES_PER_DAY);
     let phase = rng.gen_range(0..period);
-    let spikes: Vec<u16> =
-        (phase..MINUTES_PER_DAY as u16).step_by(period as usize).collect();
+    let spikes: Vec<u16> = (phase..MINUTES_PER_DAY as u16).step_by(period as usize).collect();
     let per_spike = apportion_weights(&vec![1.0; spikes.len()], total);
     let mut counts = vec![0u64; MINUTES_PER_DAY];
     for (&m, &c) in spikes.iter().zip(&per_spike) {

@@ -84,8 +84,7 @@ mod tests {
         write_durations(&original, &mut dur).unwrap();
         write_memory(&original, &mut mem).unwrap();
 
-        let loaded =
-            load_azure_day(inv.as_slice(), dur.as_slice(), mem.as_slice()).expect("load");
+        let loaded = load_azure_day(inv.as_slice(), dur.as_slice(), mem.as_slice()).expect("load");
         assert_eq!(loaded.functions.len(), original.functions.len());
         assert_eq!(loaded.total_invocations(), original.total_invocations());
         // Functions may be renumbered; compare by sorted (duration, total,

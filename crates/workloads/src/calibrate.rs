@@ -196,6 +196,12 @@ mod tests {
     }
 
     #[test]
+    // TRACKING: environment-dependent. Measures real kernel wall-clock time
+    // and asserts a >4x scaling ratio between input sizes; on throttled or
+    // noisy machines (shared CI runners, low-power cores) the small-input
+    // measurement is dominated by constant overhead and the ratio collapses.
+    // Run explicitly with `cargo test -- --ignored` on quiet hardware.
+    #[ignore = "timing-sensitive: measures real kernel wall-clock scaling"]
     fn measured_times_scale_with_input() {
         // The whole premise of augmentation: bigger input, longer runtime.
         let opts = CalibrationOptions { warmups: 1, repeats: 3 };

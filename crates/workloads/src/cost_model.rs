@@ -40,22 +40,22 @@ impl CostModel {
         use WorkloadKind::*;
         let mut costs = BTreeMap::new();
         let entries: [(WorkloadKind, f64); 16] = [
-            (Chameleon, 120.0),      // per table cell (string formatting)
-            (CnnServing, 1.2),       // per MAC
-            (ImageProcessing, 1.0),  // per pixel-op
-            (JsonSerdes, 1_500.0),   // per record round-trip
-            (Matmul, 1.0),           // per FMA
-            (LrServing, 1.0),        // per feature multiply
-            (LrTraining, 2.0),       // per feature multiply (fwd+bwd)
-            (Pyaes, 12.0),           // per byte (software AES)
-            (RnnServing, 1.2),       // per MAC
-            (VideoProcessing, 1.0),  // per pixel-op
-            (Compression, 25.0),     // per input byte (match finding)
-            (GraphBfs, 12.0),        // per edge (hash + random access)
-            (PageRank, 10.0),        // per edge-iteration
-            (SortData, 8.0),         // per key·log(key) comparison unit
-            (TextSearch, 1.5),       // per byte·pattern scanned
-            (WordCount, 15.0),       // per byte (split + hash)
+            (Chameleon, 120.0),     // per table cell (string formatting)
+            (CnnServing, 1.2),      // per MAC
+            (ImageProcessing, 1.0), // per pixel-op
+            (JsonSerdes, 1_500.0),  // per record round-trip
+            (Matmul, 1.0),          // per FMA
+            (LrServing, 1.0),       // per feature multiply
+            (LrTraining, 2.0),      // per feature multiply (fwd+bwd)
+            (Pyaes, 12.0),          // per byte (software AES)
+            (RnnServing, 1.2),      // per MAC
+            (VideoProcessing, 1.0), // per pixel-op
+            (Compression, 25.0),    // per input byte (match finding)
+            (GraphBfs, 12.0),       // per edge (hash + random access)
+            (PageRank, 10.0),       // per edge-iteration
+            (SortData, 8.0),        // per key·log(key) comparison unit
+            (TextSearch, 1.5),      // per byte·pattern scanned
+            (WordCount, 15.0),      // per byte (split + hash)
         ];
         for (kind, ns_per_unit) in entries {
             costs.insert(kind, KindCost { overhead_us: 20.0, ns_per_unit });

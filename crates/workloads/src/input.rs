@@ -100,9 +100,7 @@ impl WorkloadInput {
             }
             WorkloadInput::Compression { bytes } => bytes as f64,
             WorkloadInput::GraphBfs { vertices, degree } => vertices as f64 * degree as f64,
-            WorkloadInput::PageRank { vertices, iters } => {
-                8.0 * vertices as f64 * iters as f64
-            }
+            WorkloadInput::PageRank { vertices, iters } => 8.0 * vertices as f64 * iters as f64,
             WorkloadInput::SortData { elements } => {
                 let n = elements as f64;
                 n * n.max(2.0).log2()
@@ -120,22 +118,16 @@ impl WorkloadInput {
     pub fn vanilla(kind: WorkloadKind) -> WorkloadInput {
         match kind {
             WorkloadKind::Chameleon => WorkloadInput::Chameleon { rows: 4_000, cols: 8 },
-            WorkloadKind::CnnServing => {
-                WorkloadInput::CnnServing { image_size: 224, filters: 64 }
-            }
+            WorkloadKind::CnnServing => WorkloadInput::CnnServing { image_size: 224, filters: 64 },
             WorkloadKind::ImageProcessing => WorkloadInput::ImageProcessing { size: 1_024 },
             WorkloadKind::JsonSerdes => WorkloadInput::JsonSerdes { records: 60_000 },
             WorkloadKind::Matmul => WorkloadInput::Matmul { n: 512 },
-            WorkloadKind::LrServing => {
-                WorkloadInput::LrServing { samples: 4_000, features: 64 }
-            }
+            WorkloadKind::LrServing => WorkloadInput::LrServing { samples: 4_000, features: 64 },
             WorkloadKind::LrTraining => {
                 WorkloadInput::LrTraining { epochs: 600, samples: 10_000, features: 64 }
             }
             WorkloadKind::Pyaes => WorkloadInput::Pyaes { bytes: 1 << 20 },
-            WorkloadKind::RnnServing => {
-                WorkloadInput::RnnServing { seq_len: 1_000, hidden: 128 }
-            }
+            WorkloadKind::RnnServing => WorkloadInput::RnnServing { seq_len: 1_000, hidden: 128 },
             WorkloadKind::VideoProcessing => {
                 WorkloadInput::VideoProcessing { frames: 2_000, size: 512 }
             }
@@ -164,9 +156,9 @@ impl WorkloadInput {
                 WorkloadInput::Chameleon { rows: ((units / 8.0).round() as u32).max(1), cols: 8 }
             }
             WorkloadKind::CnnServing => return None,
-            WorkloadKind::ImageProcessing => {
-                WorkloadInput::ImageProcessing { size: ((units / 14.0).sqrt().round() as u32).max(1) }
-            }
+            WorkloadKind::ImageProcessing => WorkloadInput::ImageProcessing {
+                size: ((units / 14.0).sqrt().round() as u32).max(1),
+            },
             WorkloadKind::JsonSerdes => {
                 WorkloadInput::JsonSerdes { records: (units.round() as u32).max(1) }
             }
@@ -230,10 +222,9 @@ impl WorkloadInput {
         let mb = 1024.0 * 1024.0;
         let (base, dynamic) = match *self {
             WorkloadInput::Chameleon { cols, .. } => (64.0, cols as f64 * 64.0 * 1_024.0 / mb),
-            WorkloadInput::CnnServing { image_size, filters } => (
-                256.0,
-                (image_size as f64).powi(2) * (3.0 + filters as f64) * 4.0 / mb,
-            ),
+            WorkloadInput::CnnServing { image_size, filters } => {
+                (256.0, (image_size as f64).powi(2) * (3.0 + filters as f64) * 4.0 / mb)
+            }
             WorkloadInput::ImageProcessing { size } => (96.0, size as f64 * 3.0 * 4.0 * 3.0 / mb),
             WorkloadInput::JsonSerdes { .. } => (64.0, 2.0),
             WorkloadInput::Matmul { n } => (48.0, 3.0 * (n as f64).powi(2) * 8.0 / mb),
@@ -296,10 +287,7 @@ mod tests {
             for target in [1e7, 1e8, 1e9] {
                 let input = WorkloadInput::for_work_units(k, target).unwrap();
                 let got = input.work_units();
-                assert!(
-                    (got / target - 1.0).abs() < 0.25,
-                    "{k}: target {target} got {got}"
-                );
+                assert!((got / target - 1.0).abs() < 0.25, "{k}: target {target} got {got}");
             }
         }
     }

@@ -22,8 +22,22 @@ const MAX_MATCH: usize = 64;
 /// vocabulary, so back-references actually occur.
 fn gen_text(rng: &mut SplitMix64, len: usize) -> Vec<u8> {
     const VOCAB: [&str; 16] = [
-        "request", "invoke", "lambda", "serverless", "function", "trace", "cold", "warm",
-        "queue", "sandbox", "memory", "scale", "burst", "idle", "node", "pool",
+        "request",
+        "invoke",
+        "lambda",
+        "serverless",
+        "function",
+        "trace",
+        "cold",
+        "warm",
+        "queue",
+        "sandbox",
+        "memory",
+        "scale",
+        "burst",
+        "idle",
+        "node",
+        "pool",
     ];
     let mut out = Vec::with_capacity(len + 16);
     while out.len() < len {

@@ -43,8 +43,9 @@ pub fn run_serving(samples: u32, features: u32) -> u64 {
 pub fn run_training(epochs: u32, samples: u32, features: u32) -> u64 {
     let m = samples as usize;
     let d = features as usize;
-    let mut rng =
-        SplitMix64::new(0x17A1 ^ ((epochs as u64) << 40 | (samples as u64) << 16 | features as u64));
+    let mut rng = SplitMix64::new(
+        0x17A1 ^ ((epochs as u64) << 40 | (samples as u64) << 16 | features as u64),
+    );
 
     // Synthetic dataset with a planted ground-truth separator, held in
     // memory like a real training job (bounded by the input grid).

@@ -151,11 +151,7 @@ mod tests {
         }
         seen_kinds.sort_unstable();
         seen_kinds.dedup();
-        assert_eq!(
-            seen_kinds.len(),
-            WorkloadKind::ALL_SUITES.len(),
-            "all sixteen kinds covered"
-        );
+        assert_eq!(seen_kinds.len(), WorkloadKind::ALL_SUITES.len(), "all sixteen kinds covered");
     }
 
     #[test]
@@ -186,9 +182,7 @@ mod tests {
                     WorkloadInput::LrTraining { epochs: s, samples: 16, features: 4 }
                 }
                 WorkloadKind::Pyaes => WorkloadInput::Pyaes { bytes: 64 * s },
-                WorkloadKind::RnnServing => {
-                    WorkloadInput::RnnServing { seq_len: s, hidden: 8 }
-                }
+                WorkloadKind::RnnServing => WorkloadInput::RnnServing { seq_len: s, hidden: 8 },
                 WorkloadKind::VideoProcessing => {
                     WorkloadInput::VideoProcessing { frames: s, size: 8 }
                 }

@@ -292,11 +292,7 @@ mod tests {
     fn pool_cardinality_near_paper() {
         // Target is 2291; integer-input dedup may collapse a few variants.
         let p = modelled();
-        assert!(
-            (2_100..=2_291).contains(&p.len()),
-            "pool cardinality = {}",
-            p.len()
-        );
+        assert!((2_100..=2_291).contains(&p.len()), "pool cardinality = {}", p.len());
     }
 
     #[test]
@@ -313,8 +309,7 @@ mod tests {
         // Paper §4.4: under the current augmentation pyaes dominates the
         // pool, especially among short-running workloads.
         let p = modelled();
-        let short: Vec<&Workload> =
-            p.workloads().iter().filter(|w| w.mean_ms < 10.0).collect();
+        let short: Vec<&Workload> = p.workloads().iter().filter(|w| w.mean_ms < 10.0).collect();
         assert!(!short.is_empty());
         let aes = short.iter().filter(|w| w.kind() == WorkloadKind::Pyaes).count();
         assert!(

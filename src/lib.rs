@@ -16,6 +16,7 @@
 //! | [`workloads`] | `faasrail-workloads` | Ten FunctionBench-equivalent kernels + the augmented pool |
 //! | [`core`] | `faasrail-core` | The shrink ray: aggregation, mapping, scaling, Smirnov mode |
 //! | [`loadgen`] | `faasrail-loadgen` | Open-loop real-time replayer |
+//! | [`gateway`] | `faasrail-gateway` | Networked invocation gateway: HTTP server + client backend |
 //! | [`sim`] | `faasrail-faas-sim` | Discrete-event FaaS cluster + warm-cache backend |
 //! | [`baselines`] | `faasrail-baselines` | Prior-work load generators (Fig. 1 comparators) |
 //!
@@ -43,6 +44,7 @@
 pub use faasrail_baselines as baselines;
 pub use faasrail_core as core;
 pub use faasrail_faas_sim as sim;
+pub use faasrail_gateway as gateway;
 pub use faasrail_loadgen as loadgen;
 pub use faasrail_stats as stats;
 pub use faasrail_trace as trace;
@@ -55,6 +57,7 @@ pub mod prelude {
         ShrinkRayConfig, SmirnovConfig, TimeScaling,
     };
     pub use faasrail_faas_sim::{simulate, ClusterConfig, SimOptions};
+    pub use faasrail_gateway::{Gateway, GatewayConfig, HttpBackend, HttpBackendConfig};
     pub use faasrail_loadgen::{replay, Backend, Pacing, ReplayConfig};
     pub use faasrail_trace::{Trace, TraceKind};
     pub use faasrail_workloads::{CostModel, WorkloadInput, WorkloadKind, WorkloadPool};

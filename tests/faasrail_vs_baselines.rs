@@ -39,8 +39,7 @@ fn faasrail_beats_baselines_on_runtime_distribution() {
     let rail = generate_requests(&spec, 1);
     let ks_rail = ks_distance_weighted(&target, &requests_wecdf(&rail, &s.pool));
 
-    let poisson =
-        poisson_emulation::generate(&s.vanilla, &PoissonEmulationConfig::paper_fig1(1));
+    let poisson = poisson_emulation::generate(&s.vanilla, &PoissonEmulationConfig::paper_fig1(1));
     let ks_poisson = ks_distance_weighted(&target, &requests_wecdf(&poisson, &s.vanilla));
 
     let sampling =
@@ -62,8 +61,7 @@ fn faasrail_beats_baselines_on_load_shape() {
 
     let (spec, _) = shrink(&s.trace, &s.pool, &ShrinkRayConfig::new(120, 20.0)).unwrap();
     let rail = generate_requests(&spec, 2);
-    let poisson =
-        poisson_emulation::generate(&s.vanilla, &PoissonEmulationConfig::paper_fig1(2));
+    let poisson = poisson_emulation::generate(&s.vanilla, &PoissonEmulationConfig::paper_fig1(2));
 
     let mae = |reqs: &RequestTrace| -> f64 {
         let have = normalize_peak(&reqs.per_minute_counts());
@@ -82,12 +80,8 @@ fn faasrail_beats_plain_poisson_on_popularity() {
     let s = setup();
     // Trace ground truth: share of invocations from the top 1% of functions.
     let curve = faasrail::trace::summarize::popularity_curve(&s.trace);
-    let trace_top1 = curve
-        .iter()
-        .take_while(|&&(f, _)| f <= 0.01)
-        .last()
-        .map(|&(_, v)| v)
-        .unwrap_or(0.0);
+    let trace_top1 =
+        curve.iter().take_while(|&&(f, _)| f <= 0.01).last().map(|&(_, v)| v).unwrap_or(0.0);
 
     let top1_share = |reqs: &RequestTrace| -> f64 {
         let mut by_fn: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
@@ -121,9 +115,8 @@ fn busy_loops_match_runtimes_but_run_nothing() {
     // type system shows: BusyLoopFunction has no workload input at all.
     let s = setup();
     let funcs = faasrail::baselines::busy_loops::fabricate(&s.trace, 2_000, 4);
-    let got = faasrail::stats::ecdf::Ecdf::new(
-        &funcs.iter().map(|f| f.duration_ms).collect::<Vec<_>>(),
-    );
+    let got =
+        faasrail::stats::ecdf::Ecdf::new(&funcs.iter().map(|f| f.duration_ms).collect::<Vec<_>>());
     let want = faasrail::trace::summarize::functions_duration_ecdf(&s.trace);
     let ks = faasrail::stats::ks_distance(&want, &got);
     assert!(ks < 0.06, "busy loops should track the per-function CDF, KS = {ks}");

@@ -1,0 +1,198 @@
+//! Over-the-wire replay through the gateway, end to end over loopback.
+//!
+//! Two acceptance properties for `faasrail-gateway`:
+//!
+//! 1. **Distribution preservation** — replaying a ≥1k-request generated
+//!    spec through `HttpBackend → 127.0.0.1 → Gateway → backend` completes
+//!    with zero transport failures and yields the same invocation-duration
+//!    distribution as replaying the identical requests in-process
+//!    (KS distance < 0.05). The backend is deterministic (it reports each
+//!    workload's modelled mean duration), so any distributional drift could
+//!    only come from the wire: lost, duplicated, or corrupted invocations.
+//!
+//! 2. **Fault recovery** — with the server dropping connections and
+//!    injecting `500`s at seeded fractions, client-side retry recovers
+//!    every retryable failure and the per-class outcome breakdown in the
+//!    replay metrics stays clean.
+
+use faasrail::gateway::{
+    FaultConfig, Gateway, GatewayConfig, HttpBackend, HttpBackendConfig, RetryPolicy,
+};
+use faasrail::loadgen::{
+    replay, Backend, InvocationRequest, InvocationResult, Pacing, ReplayConfig,
+};
+use faasrail::prelude::*;
+use faasrail::stats::{ks_distance, Ecdf};
+use faasrail::trace::azure::{generate as gen_azure, AzureTraceConfig};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Deterministic backend: reports each workload's modelled mean duration.
+/// Remote and in-process replays of the same requests therefore produce
+/// identical duration multisets unless the wire loses or corrupts some.
+struct ModelBackend {
+    pool: WorkloadPool,
+}
+
+impl Backend for ModelBackend {
+    fn invoke(&self, req: &InvocationRequest) -> InvocationResult {
+        match self.pool.get(req.workload) {
+            Some(w) => InvocationResult::success(w.mean_ms, false),
+            None => {
+                InvocationResult::app_error(0.0, format!("unknown workload {:?}", req.workload))
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "model"
+    }
+}
+
+/// Wrapper that records the service duration of every successful invocation.
+struct Recording<B> {
+    inner: B,
+    durations: Mutex<Vec<f64>>,
+}
+
+impl<B> Recording<B> {
+    fn new(inner: B) -> Self {
+        Recording { inner, durations: Mutex::new(Vec::new()) }
+    }
+
+    fn durations(&self) -> Vec<f64> {
+        self.durations.lock().unwrap().clone()
+    }
+}
+
+impl<B: Backend> Backend for Recording<B> {
+    fn invoke(&self, req: &InvocationRequest) -> InvocationResult {
+        let r = self.inner.invoke(req);
+        if r.ok {
+            self.durations.lock().unwrap().push(r.service_ms);
+        }
+        r
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// A generated spec with an exact request count (Smirnov mode).
+fn generated_requests(seed: u64, n: usize) -> (RequestTrace, WorkloadPool) {
+    let trace = gen_azure(&AzureTraceConfig::scaled(seed, 300, 60_000));
+    let pool = WorkloadPool::build_modelled(&CostModel::default_calibration());
+    let cfg = SmirnovConfig {
+        num_invocations: n,
+        rate_rps: 50.0,
+        iat: IatModel::Poisson,
+        mapping: MappingConfig::default(),
+        seed,
+    };
+    let (reqs, _) = faasrail::core::smirnov::generate(&trace, &pool, &cfg);
+    assert_eq!(reqs.len(), n);
+    (reqs, pool)
+}
+
+#[test]
+fn loopback_replay_preserves_invocation_durations() {
+    let (reqs, pool) = generated_requests(21, 1_200);
+
+    let handle = Gateway::bind(
+        "127.0.0.1:0",
+        Arc::new(ModelBackend { pool: pool.clone() }),
+        GatewayConfig { workers: 16, read_timeout: Duration::from_secs(1), ..Default::default() },
+    )
+    .expect("bind loopback gateway")
+    .spawn();
+
+    let client = HttpBackend::connect(&handle.addr().to_string(), HttpBackendConfig::default())
+        .expect("resolve gateway address");
+    let remote = Recording::new(client);
+    let replay_cfg = ReplayConfig { pacing: Pacing::Unpaced, workers: 8 };
+    let m = replay(&reqs, &pool, &remote, &replay_cfg);
+
+    assert_eq!(m.issued as usize, reqs.len());
+    assert_eq!(m.completed as usize, reqs.len(), "every invocation must come back");
+    assert_eq!(m.errors, 0, "breakdown: {}", m.outcome_breakdown());
+    assert_eq!(m.transport_errors, 0, "zero transport errors over loopback");
+    assert_eq!(m.timeouts, 0);
+
+    let remote_durations = remote.durations();
+    drop(remote); // release pooled connections before stopping the server
+    let server_stats = handle.stats();
+    assert_eq!(server_stats.invocations_ok.load(std::sync::atomic::Ordering::Relaxed), 1_200);
+    handle.stop();
+
+    // The same requests, replayed in-process.
+    let local = Recording::new(ModelBackend { pool: pool.clone() });
+    let lm = replay(&reqs, &pool, &local, &replay_cfg);
+    assert_eq!(lm.errors, 0);
+    let local_durations = local.durations();
+
+    assert_eq!(remote_durations.len(), local_durations.len());
+    let d = ks_distance(&Ecdf::new(&remote_durations), &Ecdf::new(&local_durations));
+    assert!(d < 0.05, "KS distance remote vs in-process = {d}");
+    // With a deterministic backend the distributions should in fact match
+    // exactly, not just within the acceptance bound.
+    assert!(d < 1e-12, "expected identical duration multisets, KS = {d}");
+}
+
+#[test]
+fn fault_injection_is_recovered_by_client_retry() {
+    let (reqs, pool) = generated_requests(22, 400);
+
+    // 5% dropped connections + 15% injected 500s, deterministically seeded.
+    let handle = Gateway::bind(
+        "127.0.0.1:0",
+        Arc::new(ModelBackend { pool: pool.clone() }),
+        GatewayConfig {
+            workers: 16,
+            read_timeout: Duration::from_secs(1),
+            fault: FaultConfig { drop_fraction: 0.05, error_fraction: 0.15, seed: 9 },
+        },
+    )
+    .expect("bind faulty gateway")
+    .spawn();
+
+    let client = HttpBackend::connect(
+        &handle.addr().to_string(),
+        HttpBackendConfig {
+            request_timeout: Duration::from_secs(10),
+            retry: RetryPolicy {
+                max_attempts: 8,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(20),
+                jitter: 0.5,
+                jitter_seed: 77,
+            },
+            ..Default::default()
+        },
+    )
+    .expect("resolve gateway address");
+
+    let m = replay(&reqs, &pool, &client, &ReplayConfig { pacing: Pacing::Unpaced, workers: 4 });
+
+    // Every retryable failure recovered: the replay sees only successes.
+    assert_eq!(m.completed as usize, reqs.len(), "breakdown: {}", m.outcome_breakdown());
+    assert_eq!(m.errors, 0);
+    assert_eq!(m.app_errors, 0);
+    assert_eq!(m.timeouts, 0);
+    assert_eq!(m.transport_errors, 0);
+
+    // The faults actually fired, and retries actually happened.
+    let retries = client.stats().retries.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(retries > 0, "expected some retries under 20% fault rate");
+    drop(client);
+    let stats = handle.stats();
+    let dropped = stats.faults_dropped.load(std::sync::atomic::Ordering::Relaxed);
+    let errored = stats.faults_errored.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(dropped > 0, "expected some dropped connections");
+    assert!(errored > 0, "expected some injected 500s");
+    assert!(
+        retries >= dropped + errored,
+        "each fault costs at least one retry: retries={retries} dropped={dropped} errored={errored}"
+    );
+    handle.stop();
+}

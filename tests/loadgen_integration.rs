@@ -20,16 +20,11 @@ fn generated_load_replays_against_warm_cache_backend() {
             capacity_mb: 2_048.0,
             ttl: Duration::from_secs(600),
             cold_start: ColdStartModel::snapshot(),
-            cold_scale: 0.0,       // don't sleep cold delays in tests
+            cold_scale: 0.0,        // don't sleep cold delays in tests
             execute_kernels: false, // account only; no real compute in CI
         },
     );
-    let m = replay(
-        &reqs,
-        &pool,
-        &backend,
-        &ReplayConfig { pacing: Pacing::Unpaced, workers: 4 },
-    );
+    let m = replay(&reqs, &pool, &backend, &ReplayConfig { pacing: Pacing::Unpaced, workers: 4 });
     assert_eq!(m.issued as usize, reqs.len());
     assert_eq!(m.completed as usize, reqs.len());
     assert_eq!(m.errors, 0);
@@ -53,12 +48,7 @@ fn per_kind_accounting_matches_request_mix() {
         pool.clone(),
         WarmCacheConfig { cold_scale: 0.0, execute_kernels: false, ..Default::default() },
     );
-    let m = replay(
-        &reqs,
-        &pool,
-        &backend,
-        &ReplayConfig { pacing: Pacing::Unpaced, workers: 2 },
-    );
+    let m = replay(&reqs, &pool, &backend, &ReplayConfig { pacing: Pacing::Unpaced, workers: 2 });
     let expect = reqs.counts_by_kind(&pool);
     assert_eq!(m.per_kind, expect, "replay-side per-kind counts must match the trace");
 }

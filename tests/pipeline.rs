@@ -45,8 +45,7 @@ fn full_pipeline_preserves_all_four_properties() {
     let mut counts: Vec<u64> = by_fn.into_values().collect();
     counts.sort_unstable_by(|a, b| b.cmp(a));
     let top10 = counts.len() / 10;
-    let share: f64 =
-        counts[..top10].iter().sum::<u64>() as f64 / counts.iter().sum::<u64>() as f64;
+    let share: f64 = counts[..top10].iter().sum::<u64>() as f64 / counts.iter().sum::<u64>() as f64;
     assert!(share > 0.5, "top-10% Function share = {share}");
 
     // Rate budget: no minute exceeds the target.
