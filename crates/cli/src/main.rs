@@ -13,11 +13,15 @@
 //! faasrail simulate   --requests r.json --pool p.json [--nodes N] [--cores N]
 //!                     [--policy fixed-ttl|lru|greedy-dual|hybrid-histogram]
 //!                     [--balancer round-robin|least-loaded|warm-first|hash]
+//!                     [--crash-node N --crash-at-ms T] [--slow-node N --slow-factor X]
 //! faasrail replay     --requests r.json --pool p.json [--compression X] [--workers N]
-//!                     [--target HOST:PORT [--timeout-ms N] [--attempts N]]
+//!                     [--target HOST:PORT [--timeout-ms N] [--attempts N]
+//!                      [--breaker-threshold N] [--breaker-open-ms T]]
 //! faasrail serve      [--addr 127.0.0.1:7471] [--backend warm-cache|in-process|noop]
-//!                     [--pool p.json] [--conn-workers N] [--read-timeout-s N]
-//!                     [--drop-frac X] [--error-frac X] [--fault-seed N]
+//!                     [--pool p.json] [--conn-workers N] [--queue-cap N]
+//!                     [--read-timeout-s N] [--drop-frac X] [--error-frac X]
+//!                     [--stall-frac X] [--stall-ms T] [--latency-frac X]
+//!                     [--latency-ms T] [--fault-seed N]
 //! faasrail calibrate  [--repeats N]
 //! faasrail analyze    --trace t.json
 //! faasrail compare    --a r1.json --b r2.json --pool p.json
@@ -37,7 +41,8 @@ use faasrail_core::{
 };
 use faasrail_faas_sim::{
     simulate, ClusterConfig, FixedTtl, GreedyDual, HashAffinity, KeepAlivePolicy, LeastLoaded,
-    LoadBalancer, LruPolicy, RoundRobin, SimOptions, WarmCacheBackend, WarmCacheConfig, WarmFirst,
+    LoadBalancer, LruPolicy, NodeFault, RoundRobin, SimOptions, WarmCacheBackend, WarmCacheConfig,
+    WarmFirst,
 };
 use faasrail_loadgen::{replay, Pacing, ReplayConfig};
 use faasrail_trace::azure::AzureTraceConfig;
@@ -385,17 +390,28 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     };
     let mut policy = parse_policy(args.get_or("policy", "fixed-ttl"))?;
     let mut balancer = parse_balancer(args.get_or("balancer", "warm-first"))?;
+    let mut node_faults = Vec::new();
+    if let Some(node) = args.get("crash-node") {
+        let node = node.parse().map_err(|_| "invalid --crash-node")?;
+        let at: u64 = args.num("crash-at-ms", 0u64)?;
+        node_faults.push(NodeFault { node, crash_at_ms: Some(at), ..Default::default() });
+    }
+    if let Some(node) = args.get("slow-node") {
+        let node = node.parse().map_err(|_| "invalid --slow-node")?;
+        let factor: f64 = args.num("slow-factor", 2.0f64)?;
+        node_faults.push(NodeFault { node, slow_factor: factor, ..Default::default() });
+    }
     let m = simulate(
         &reqs,
         &pool,
         &cluster,
         balancer.as_mut(),
         policy.as_mut(),
-        &SimOptions { service_jitter_sigma: args.num("jitter", 0.0f64)?, seed: 0 },
+        &SimOptions { service_jitter_sigma: args.num("jitter", 0.0f64)?, seed: 0, node_faults },
     );
     println!(
         "policy={} balancer={} completions={} cold={:.2}% p50={:.1}ms p99={:.1}ms \
-         util={:.1}% idle_mem={:.0}MiB starved={}",
+         util={:.1}% idle_mem={:.0}MiB starved={} killed={} sandboxes_lost={}",
         m.policy,
         m.balancer,
         m.completions,
@@ -404,7 +420,9 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         m.response.quantile(0.99) * 1_000.0,
         m.utilization() * 100.0,
         m.mean_idle_memory_mb(),
-        m.starved
+        m.starved,
+        m.killed,
+        m.sandboxes_lost
     );
     Ok(())
 }
@@ -417,13 +435,17 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
         workers: args.num("workers", 8usize)?,
     };
     let m = if let Some(target) = args.get("target") {
-        use faasrail_gateway::{HttpBackend, HttpBackendConfig, RetryPolicy};
+        use faasrail_gateway::{BreakerConfig, HttpBackend, HttpBackendConfig, RetryPolicy};
         let http_cfg = HttpBackendConfig {
             request_timeout: std::time::Duration::from_millis(args.num("timeout-ms", 30_000u64)?),
             retry: RetryPolicy {
                 max_attempts: args.num("attempts", 4u32)?,
                 ..RetryPolicy::default()
             },
+            breaker: BreakerConfig::tripping(
+                args.num("breaker-threshold", 0u32)?,
+                std::time::Duration::from_millis(args.num("breaker-open-ms", 1_000u64)?),
+            ),
             ..HttpBackendConfig::default()
         };
         let backend = HttpBackend::connect(target, http_cfg)
@@ -458,10 +480,15 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     use std::sync::Arc;
     let cfg = GatewayConfig {
         workers: args.num("conn-workers", 64usize)?,
+        queue_capacity: args.num("queue-cap", 64usize)?,
         read_timeout: std::time::Duration::from_secs(args.num("read-timeout-s", 30u64)?),
         fault: FaultConfig {
             drop_fraction: args.num("drop-frac", 0.0f64)?,
             error_fraction: args.num("error-frac", 0.0f64)?,
+            stall_fraction: args.num("stall-frac", 0.0f64)?,
+            stall_ms: args.num("stall-ms", 1_000u64)?,
+            latency_fraction: args.num("latency-frac", 0.0f64)?,
+            latency_ms: args.num("latency-ms", 100u64)?,
             seed: args.num("fault-seed", 1u64)?,
         },
     };

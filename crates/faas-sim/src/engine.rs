@@ -19,19 +19,48 @@ use faasrail_workloads::{WorkloadId, WorkloadPool};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-/// Engine options.
+/// A node-level fault injected into the virtual cluster — the simulator's
+/// counterpart of the gateway's seeded connection faults. Crashes model a
+/// worker machine dying mid-experiment (everything in flight lost, the
+/// warm-sandbox cache gone); slow factors model persistent stragglers
+/// (thermal throttling, noisy neighbours) that degrade service without
+/// failing outright.
 #[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeFault {
+    /// Which node (index into the cluster).
+    pub node: u32,
+    /// Crash the node at this virtual instant (ms from experiment start):
+    /// running invocations are killed, queued requests are lost, and all
+    /// idle sandboxes vanish. The node restarts immediately with cold
+    /// memory and keeps serving later arrivals.
+    pub crash_at_ms: Option<u64>,
+    /// Persistent service-time multiplier for this node (`1.0` = healthy,
+    /// `3.0` = three times slower). Applies to service time only — cold
+    /// start initialization is memory-bound, not core-bound, in this model.
+    pub slow_factor: f64,
+}
+
+impl Default for NodeFault {
+    fn default() -> Self {
+        NodeFault { node: 0, crash_at_ms: None, slow_factor: 1.0 }
+    }
+}
+
+/// Engine options.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimOptions {
     /// Log-normal sigma for per-invocation service-time jitter around the
     /// workload's mean (0 = deterministic service times).
     pub service_jitter_sigma: f64,
     /// RNG seed for the jitter.
     pub seed: u64,
+    /// Node-level faults (crashes, slow nodes); empty = healthy cluster.
+    pub node_faults: Vec<NodeFault>,
 }
 
 impl Default for SimOptions {
     fn default() -> Self {
-        SimOptions { service_jitter_sigma: 0.0, seed: 0 }
+        SimOptions { service_jitter_sigma: 0.0, seed: 0, node_faults: Vec::new() }
     }
 }
 
@@ -45,6 +74,8 @@ enum EventKind {
     Expire { node: u32, stamp: u64 },
     /// Predictively re-create a warm sandbox for `workload` on `node`.
     Prewarm { node: u32, workload: WorkloadId },
+    /// `node` crashes: in-flight and queued work is lost, warm state gone.
+    Crash { node: u32 },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -119,6 +150,21 @@ pub fn simulate(
         }));
     }
 
+    // Node-fault setup: per-node service slowdown, plus scheduled crashes.
+    let mut slow = vec![1.0f64; cluster.nodes];
+    for f in &opts.node_faults {
+        let Some(s) = slow.get_mut(f.node as usize) else { continue };
+        *s *= f.slow_factor;
+        if let Some(crash_ms) = f.crash_at_ms {
+            seq += 1;
+            heap.push(Reverse(Event {
+                at_us: crash_ms * 1_000,
+                seq,
+                kind: EventKind::Crash { node: f.node },
+            }));
+        }
+    }
+
     let mut metrics = SimMetrics::new(policy.name(), balancer.name());
     metrics.per_node_busy_ms = vec![0.0; cluster.nodes];
     let mut next_stamp = 0u64;
@@ -140,6 +186,7 @@ pub fn simulate(
         cluster: &ClusterConfig,
         policy: &mut dyn KeepAlivePolicy,
         jitter: &Option<LogNormal>,
+        slow: &[f64],
         rng: &mut rand::rngs::StdRng,
         metrics: &mut SimMetrics,
         heap: &mut BinaryHeap<Reverse<Event>>,
@@ -152,7 +199,7 @@ pub fn simulate(
             return false;
         }
         let w = pool.get(req.workload).expect("workload in pool");
-        let mut service_ms = w.mean_ms;
+        let mut service_ms = w.mean_ms * slow[node_idx];
         if let Some(j) = jitter {
             service_ms *= j.sample(rng);
         }
@@ -243,6 +290,7 @@ pub fn simulate(
         cluster: &ClusterConfig,
         policy: &mut dyn KeepAlivePolicy,
         jitter: &Option<LogNormal>,
+        slow: &[f64],
         rng: &mut rand::rngs::StdRng,
         metrics: &mut SimMetrics,
         heap: &mut BinaryHeap<Reverse<Event>>,
@@ -252,8 +300,8 @@ pub fn simulate(
     ) {
         while let Some(&front) = nodes[node_idx].queue.front() {
             let started = try_start(
-                nodes, node_idx, front, now_us, pool, cluster, policy, jitter, rng, metrics, heap,
-                seq, next_stamp, running,
+                nodes, node_idx, front, now_us, pool, cluster, policy, jitter, slow, rng, metrics,
+                heap, seq, next_stamp, running,
             );
             if started {
                 let waited = (now_us - front.arrived_us) as f64 / 1e6;
@@ -299,6 +347,7 @@ pub fn simulate(
                     cluster,
                     policy,
                     &jitter,
+                    &slow,
                     &mut rng,
                     &mut metrics,
                     &mut heap,
@@ -314,7 +363,9 @@ pub fn simulate(
                 }
             }
             EventKind::Finish { node, key } => {
-                let run = running.remove(&key).expect("running entry");
+                // A missing entry is a tombstone: the invocation was killed
+                // by a node crash before its finish event fired.
+                let Some(run) = running.remove(&key) else { continue };
                 debug_assert_eq!(run.node, node);
                 debug_assert!(run.started_cold || run.sandbox.uses >= 1);
                 let n = &mut nodes[node as usize];
@@ -349,6 +400,7 @@ pub fn simulate(
                     cluster,
                     policy,
                     &jitter,
+                    &slow,
                     &mut rng,
                     &mut metrics,
                     &mut heap,
@@ -391,6 +443,7 @@ pub fn simulate(
                         cluster,
                         policy,
                         &jitter,
+                        &slow,
                         &mut rng,
                         &mut metrics,
                         &mut heap,
@@ -426,6 +479,29 @@ pub fn simulate(
                         }));
                     }
                 }
+            }
+            EventKind::Crash { node } => {
+                let Some(n) = nodes.get_mut(node as usize) else { continue };
+                // In-flight invocations die with the node; their Finish
+                // events become tombstones (the Finish arm tolerates a
+                // missing `running` entry).
+                let doomed: Vec<u64> =
+                    running.iter().filter(|(_, r)| r.node == node).map(|(&k, _)| k).collect();
+                for key in doomed {
+                    running.remove(&key);
+                    metrics.killed += 1;
+                }
+                n.busy_cores = 0;
+                // Warm state is gone: account idle time up to the crash,
+                // then drop every sandbox.
+                for s in n.idle.drain(..) {
+                    metrics.idle_mb_ms += s.memory_mb * (now_us - s.last_used_us) as f64 / 1_000.0;
+                    metrics.sandboxes_lost += 1;
+                }
+                n.free_memory_mb = cluster.memory_mb_per_node;
+                // Queued work on the node is lost too.
+                metrics.killed += n.queue.len() as u64;
+                n.queue.clear();
             }
         }
     }
@@ -715,8 +791,144 @@ mod tests {
             &ClusterConfig::default(),
             &mut lb,
             &mut ka,
-            &SimOptions { service_jitter_sigma: 0.3, seed: 9 },
+            &SimOptions { service_jitter_sigma: 0.3, seed: 9, ..Default::default() },
         );
         assert_eq!(m.completions, 20);
+    }
+
+    #[test]
+    fn crash_kills_in_flight_request_but_node_recovers() {
+        // The request at t=0 is mid-flight (cold init alone exceeds 1 ms)
+        // when the node crashes; the request ten minutes later lands on the
+        // restarted node and must cold-start again.
+        let trace = trace_of(vec![(0, 7), (600_000, 7)]);
+        let mut lb = RoundRobin::default();
+        let mut ka = FixedTtl::ten_minutes();
+        let m = simulate(
+            &trace,
+            &pool(),
+            &ClusterConfig::single_node(4, 4_096.0),
+            &mut lb,
+            &mut ka,
+            &SimOptions {
+                node_faults: vec![NodeFault {
+                    node: 0,
+                    crash_at_ms: Some(1),
+                    ..Default::default()
+                }],
+                ..Default::default()
+            },
+        );
+        assert_eq!(m.arrivals, 2);
+        assert_eq!(m.killed, 1);
+        assert_eq!(m.completions, 1);
+        assert_eq!(m.cold_starts, 2, "restarted node has no warm state");
+        assert_eq!(m.completions + m.starved + m.killed, m.arrivals);
+    }
+
+    #[test]
+    fn crash_destroys_idle_sandboxes() {
+        // First request completes well before the crash at t=60s; its warm
+        // sandbox (ten-minute TTL) dies with the node, so the second
+        // request cold-starts even though it arrives inside the TTL.
+        let trace = trace_of(vec![(0, 7), (120_000, 7)]);
+        let mut lb = RoundRobin::default();
+        let mut ka = FixedTtl::ten_minutes();
+        let m = simulate(
+            &trace,
+            &pool(),
+            &ClusterConfig::single_node(4, 4_096.0),
+            &mut lb,
+            &mut ka,
+            &SimOptions {
+                node_faults: vec![NodeFault {
+                    node: 0,
+                    crash_at_ms: Some(60_000),
+                    ..Default::default()
+                }],
+                ..Default::default()
+            },
+        );
+        assert_eq!(m.killed, 0);
+        assert_eq!(m.sandboxes_lost, 1);
+        assert_eq!(m.completions, 2);
+        assert_eq!(m.cold_starts, 2, "warm cache lost in the crash");
+    }
+
+    #[test]
+    fn crash_loses_queued_requests_too() {
+        // 1 core, burst of 4: one running + three queued when the node
+        // dies. Nothing completes, nothing is left starved at drain — the
+        // crash accounts for all four.
+        let trace = trace_of(vec![(0, 4), (0, 4), (0, 4), (0, 4)]);
+        let mut lb = LeastLoaded;
+        let mut ka = FixedTtl::ten_minutes();
+        let m = simulate(
+            &trace,
+            &pool(),
+            &ClusterConfig::single_node(1, 4_096.0),
+            &mut lb,
+            &mut ka,
+            &SimOptions {
+                node_faults: vec![NodeFault {
+                    node: 0,
+                    crash_at_ms: Some(1),
+                    ..Default::default()
+                }],
+                ..Default::default()
+            },
+        );
+        assert_eq!(m.completions, 0);
+        assert_eq!(m.killed, 4);
+        assert_eq!(m.starved, 0);
+        assert_eq!(m.completions + m.starved + m.killed, m.arrivals);
+    }
+
+    #[test]
+    fn slow_node_inflates_busy_time_not_counts() {
+        let reqs: Vec<(u64, u32)> = (0..10).map(|i| (i * 2_000, 7)).collect();
+        let run = |faults: Vec<NodeFault>| {
+            let mut lb = RoundRobin::default();
+            let mut ka = FixedTtl::ten_minutes();
+            simulate(
+                &trace_of(reqs.clone()),
+                &pool(),
+                &ClusterConfig::single_node(4, 4_096.0),
+                &mut lb,
+                &mut ka,
+                &SimOptions { node_faults: faults, ..Default::default() },
+            )
+        };
+        let healthy = run(Vec::new());
+        let straggler = run(vec![NodeFault { node: 0, slow_factor: 4.0, ..Default::default() }]);
+        assert_eq!(straggler.completions, healthy.completions);
+        assert!(
+            straggler.busy_core_ms > 1.5 * healthy.busy_core_ms,
+            "slow node busy {} vs healthy {}",
+            straggler.busy_core_ms,
+            healthy.busy_core_ms
+        );
+        assert!(straggler.response.quantile(0.5) > healthy.response.quantile(0.5));
+    }
+
+    #[test]
+    fn out_of_range_fault_node_is_ignored() {
+        let trace = trace_of(vec![(0, 7), (1_000, 7)]);
+        let mut lb = RoundRobin::default();
+        let mut ka = FixedTtl::ten_minutes();
+        let m = simulate(
+            &trace,
+            &pool(),
+            &ClusterConfig::single_node(4, 4_096.0),
+            &mut lb,
+            &mut ka,
+            &SimOptions {
+                node_faults: vec![NodeFault { node: 99, crash_at_ms: Some(1), slow_factor: 10.0 }],
+                ..Default::default()
+            },
+        );
+        assert_eq!(m.completions, 2);
+        assert_eq!(m.killed, 0);
+        assert_eq!(m.sandboxes_lost, 0);
     }
 }

@@ -22,6 +22,13 @@ pub struct SimMetrics {
     pub prewarms: u64,
     /// Requests still queued when the simulation drained (cluster too small).
     pub starved: u64,
+    /// Requests lost to node crashes: in flight or queued on a node when a
+    /// scheduled fault killed it ([`NodeFault`](crate::NodeFault)).
+    #[serde(default)]
+    pub killed: u64,
+    /// Warm (idle) sandboxes destroyed by node crashes.
+    #[serde(default)]
+    pub sandboxes_lost: u64,
     /// Largest total queued count observed.
     pub max_queue: u64,
     /// End-to-end response time (arrival → completion), seconds.
@@ -55,6 +62,8 @@ impl SimMetrics {
             expirations: 0,
             prewarms: 0,
             starved: 0,
+            killed: 0,
+            sandboxes_lost: 0,
             max_queue: 0,
             response: LogHistogram::latency_seconds(),
             queue_wait: LogHistogram::new(1e-6, 3_600.0, 1.05),

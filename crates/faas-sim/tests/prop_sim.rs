@@ -69,6 +69,7 @@ proptest! {
         let opts = SimOptions {
             service_jitter_sigma: if jitter == 0 { 0.0 } else { 0.3 },
             seed: 7,
+            ..Default::default()
         };
         let m = simulate(&trace, &pool, &cluster, b.as_mut(), p.as_mut(), &opts);
 

@@ -13,13 +13,22 @@
 //!   (`request_timeout`); socket timeouts are continuously re-armed to the
 //!   remaining budget, and an exhausted budget classifies as
 //!   [`OutcomeClass::Timeout`];
-//! * **retry** — connect failures, transport errors, and `5xx` responses
-//!   are retried under a seeded capped-exponential [`RetryPolicy`];
-//!   application failures (`200` with `ok: false`) and `4xx` are **not**
-//!   retried — invocations are not assumed idempotent, and a `4xx` will not
-//!   get better by resending.
+//! * **retry** — connect failures, transport errors, `429` and `5xx`
+//!   responses are retried under a seeded capped-exponential
+//!   [`RetryPolicy`], with each backoff sleep clamped to the remaining
+//!   deadline (a retry can never overshoot the invocation budget);
+//!   application failures (`200` with `ok: false`) and other `4xx` are
+//!   **not** retried — invocations are not assumed idempotent, and a `404`
+//!   will not get better by resending;
+//! * **circuit breaker** — an optional [`CircuitBreaker`] shared across
+//!   worker threads trips on consecutive transport failures, timeouts, and
+//!   `429`/`5xx` responses; while open, invocations fail fast as
+//!   [`OutcomeClass::Shed`] without touching the network, and a `429` that
+//!   survives the retry budget also classifies as shed (the upstream
+//!   refused the work; nothing broke).
 
 use crate::backoff::{RetryPolicy, SplitMix64};
+use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::http;
 use faasrail_loadgen::{Backend, InvocationRequest, InvocationResult, OutcomeClass};
 use parking_lot::Mutex;
@@ -41,6 +50,8 @@ pub struct HttpBackendConfig {
     /// Max parked keep-alive connections; excess connections are closed on
     /// check-in rather than pooled.
     pub pool_capacity: usize,
+    /// Circuit breaker (disabled by default: `failure_threshold: 0`).
+    pub breaker: BreakerConfig,
 }
 
 impl Default for HttpBackendConfig {
@@ -50,6 +61,7 @@ impl Default for HttpBackendConfig {
             request_timeout: Duration::from_secs(30),
             retry: RetryPolicy::default(),
             pool_capacity: 64,
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -72,14 +84,20 @@ pub struct ClientStats {
     /// Invocations that exhausted retries or hit a non-retryable transport
     /// failure.
     pub transport_errors: AtomicU64,
+    /// Invocations shed: fast-failed by an open circuit breaker, or `429`
+    /// through the whole retry budget.
+    pub shed: AtomicU64,
 }
 
 enum TryError {
-    /// Worth another attempt (connect failure, broken exchange, 5xx).
-    Retryable(String),
+    /// Worth another attempt (connect failure, broken exchange, `429`,
+    /// 5xx). `shed` marks upstream overload refusals (`429`) so an
+    /// exhausted retry budget classifies as [`OutcomeClass::Shed`] rather
+    /// than transport; `retry_after` carries the server's backoff hint.
+    Retryable { msg: String, shed: bool, retry_after: Option<u64> },
     /// Deadline exhausted mid-attempt.
     Timeout(String),
-    /// Not worth retrying (e.g. 4xx).
+    /// Not worth retrying (e.g. a non-429 4xx).
     Fatal(String),
 }
 
@@ -91,6 +109,7 @@ pub struct HttpBackend {
     idle: Mutex<Vec<TcpStream>>,
     rng: Mutex<SplitMix64>,
     stats: ClientStats,
+    breaker: CircuitBreaker,
     name: String,
 }
 
@@ -108,6 +127,7 @@ impl HttpBackend {
             idle: Mutex::new(Vec::new()),
             rng: Mutex::new(SplitMix64::new(cfg.retry.jitter_seed)),
             stats: ClientStats::default(),
+            breaker: CircuitBreaker::new(cfg.breaker),
             name: format!("http:{target}"),
         })
     }
@@ -117,10 +137,16 @@ impl HttpBackend {
         &self.stats
     }
 
+    /// The shared circuit breaker (for diagnostics and tests).
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
     /// One-line transport summary for run reports.
     pub fn transport_summary(&self) -> String {
         format!(
-            "connects={} reuses={} retries={} ok={} app-error={} timeout={} transport={}",
+            "connects={} reuses={} retries={} ok={} app-error={} timeout={} transport={} \
+             shed={} breaker-trips={}",
             self.stats.connects.load(Ordering::Relaxed),
             self.stats.reuses.load(Ordering::Relaxed),
             self.stats.retries.load(Ordering::Relaxed),
@@ -128,6 +154,8 @@ impl HttpBackend {
             self.stats.app_errors.load(Ordering::Relaxed),
             self.stats.timeouts.load(Ordering::Relaxed),
             self.stats.transport_errors.load(Ordering::Relaxed),
+            self.stats.shed.load(Ordering::Relaxed),
+            self.breaker.trips.load(Ordering::Relaxed),
         )
     }
 
@@ -194,28 +222,56 @@ impl Backend for HttpBackend {
                 return InvocationResult::transport(format!("encode: {e}"));
             }
         };
+        if !self.breaker.allow() {
+            self.stats.shed.fetch_add(1, Ordering::Relaxed);
+            return InvocationResult::shed("circuit breaker open: failing fast");
+        }
         let deadline = Instant::now() + self.cfg.request_timeout;
         let attempts = self.cfg.retry.max_attempts.max(1);
         let mut last_err = String::new();
+        let mut last_shed = false;
+        let mut retry_after_hint: Option<u64> = None;
 
         for attempt in 0..attempts {
             if attempt > 0 {
-                let delay = {
+                let mut delay = {
                     let mut rng = self.rng.lock();
                     self.cfg.retry.delay(attempt - 1, &mut rng)
                 };
-                if deadline.saturating_duration_since(Instant::now()) <= delay {
-                    self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
-                    return InvocationResult::timeout(format!(
-                        "deadline before retry {attempt}: {last_err}"
-                    ));
+                if let Some(secs) = retry_after_hint.take() {
+                    // Honor the server's `Retry-After` hint: back off at
+                    // least that long (still subject to the deadline clamp
+                    // below).
+                    delay = delay.max(Duration::from_secs(secs));
                 }
-                std::thread::sleep(delay);
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining <= delay {
+                    // The backoff would overshoot the invocation budget:
+                    // give up now instead of sleeping past the deadline and
+                    // mislabeling the result a transport failure. A shed
+                    // request stays shed (the server refused it and asked
+                    // for more patience than the budget allows).
+                    return if last_shed {
+                        self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                        InvocationResult::shed(format!(
+                            "deadline before retry {attempt}: {last_err}"
+                        ))
+                    } else {
+                        self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                        InvocationResult::timeout(format!(
+                            "deadline before retry {attempt}: {last_err}"
+                        ))
+                    };
+                }
+                std::thread::sleep(delay.min(remaining));
                 self.stats.retries.fetch_add(1, Ordering::Relaxed);
             }
 
             match self.try_attempt(&body, deadline) {
                 Ok(result) => {
+                    // Any parsed 200 — success or application failure —
+                    // proves the transport path healthy.
+                    self.breaker.on_success();
                     if result.ok {
                         self.stats.ok.fetch_add(1, Ordering::Relaxed);
                     } else {
@@ -224,18 +280,32 @@ impl Backend for HttpBackend {
                     return result;
                 }
                 Err(TryError::Timeout(msg)) => {
+                    self.breaker.on_failure();
                     self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
                     return InvocationResult::timeout(msg);
                 }
                 Err(TryError::Fatal(msg)) => {
+                    // A non-429 4xx is a responsive server rejecting this
+                    // request — not a health signal against the transport.
+                    self.breaker.on_success();
                     self.stats.transport_errors.fetch_add(1, Ordering::Relaxed);
                     return InvocationResult::transport(msg);
                 }
-                Err(TryError::Retryable(msg)) => last_err = msg,
+                Err(TryError::Retryable { msg, shed, retry_after }) => {
+                    self.breaker.on_failure();
+                    last_err = msg;
+                    last_shed = shed;
+                    retry_after_hint = retry_after;
+                }
             }
         }
-        self.stats.transport_errors.fetch_add(1, Ordering::Relaxed);
-        InvocationResult::transport(format!("gave up after {attempts} attempts: {last_err}"))
+        if last_shed {
+            self.stats.shed.fetch_add(1, Ordering::Relaxed);
+            InvocationResult::shed(format!("shed after {attempts} attempts: {last_err}"))
+        } else {
+            self.stats.transport_errors.fetch_add(1, Ordering::Relaxed);
+            InvocationResult::transport(format!("gave up after {attempts} attempts: {last_err}"))
+        }
     }
 
     fn name(&self) -> &str {
@@ -245,16 +315,28 @@ impl Backend for HttpBackend {
 
 impl HttpBackend {
     /// One attempt including response interpretation: `200` parses into an
-    /// [`InvocationResult`], `5xx` is retryable, other statuses are fatal.
+    /// [`InvocationResult`], `429` is retryable-as-shed (honoring any
+    /// `Retry-After`), `5xx` is retryable, other statuses are fatal.
     fn try_attempt(&self, body: &[u8], deadline: Instant) -> Result<InvocationResult, TryError> {
         let resp = self.try_once_at(body, deadline)?;
         match resp.status {
-            200 => serde_json::from_slice::<InvocationResult>(&resp.body)
-                .map_err(|e| TryError::Retryable(format!("unparseable 200 body: {e}"))),
-            s if (500..600).contains(&s) => Err(TryError::Retryable(format!(
-                "HTTP {s}: {}",
-                String::from_utf8_lossy(&resp.body)
-            ))),
+            200 => serde_json::from_slice::<InvocationResult>(&resp.body).map_err(|e| {
+                TryError::Retryable {
+                    msg: format!("unparseable 200 body: {e}"),
+                    shed: false,
+                    retry_after: None,
+                }
+            }),
+            429 => Err(TryError::Retryable {
+                msg: format!("HTTP 429: {}", String::from_utf8_lossy(&resp.body)),
+                shed: true,
+                retry_after: resp.retry_after,
+            }),
+            s if (500..600).contains(&s) => Err(TryError::Retryable {
+                msg: format!("HTTP {s}: {}", String::from_utf8_lossy(&resp.body)),
+                shed: false,
+                retry_after: resp.retry_after,
+            }),
             s => Err(TryError::Fatal(format!("HTTP {s}: {}", String::from_utf8_lossy(&resp.body)))),
         }
     }
@@ -272,7 +354,13 @@ impl HttpBackend {
                     Err(e) if is_timeout(&e) => {
                         return Err(TryError::Timeout(format!("connect: {e}")))
                     }
-                    Err(e) => return Err(TryError::Retryable(format!("connect: {e}"))),
+                    Err(e) => {
+                        return Err(TryError::Retryable {
+                            msg: format!("connect: {e}"),
+                            shed: false,
+                            retry_after: None,
+                        })
+                    }
                 },
             };
             match self.exchange(&stream, body, deadline) {
@@ -288,7 +376,11 @@ impl HttpBackend {
                         pooled_fallback = false;
                         continue;
                     }
-                    return Err(TryError::Retryable(e.to_string()));
+                    return Err(TryError::Retryable {
+                        msg: e.to_string(),
+                        shed: false,
+                        retry_after: None,
+                    });
                 }
             }
         }
@@ -357,6 +449,7 @@ mod tests {
                 jitter_seed: 7,
             },
             pool_capacity: 4,
+            breaker: BreakerConfig::default(),
         }
     }
 
@@ -479,5 +572,129 @@ mod tests {
         assert!(!res.ok);
         assert_eq!(res.outcome(), OutcomeClass::Timeout);
         assert_eq!(be.stats().timeouts.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn exhausted_429s_classify_as_shed() {
+        let (addr, served) = canned_server(vec![429]);
+        let be = HttpBackend::connect(&addr, fast_cfg(3)).unwrap();
+        let res = be.invoke(&request());
+        assert!(!res.ok);
+        assert_eq!(res.outcome(), OutcomeClass::Shed, "{:?}", res.error);
+        assert!(res.error.as_deref().unwrap_or("").contains("shed after 3 attempts"));
+        assert_eq!(served.load(Ordering::SeqCst), 3, "429 is retried before shedding");
+        assert_eq!(be.stats().shed.load(Ordering::Relaxed), 1);
+        assert_eq!(be.stats().transport_errors.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn breaker_trips_on_consecutive_failures_and_fails_fast() {
+        let (addr, served) = canned_server(vec![500]);
+        let cfg = HttpBackendConfig {
+            retry: RetryPolicy { max_attempts: 1, ..fast_cfg(1).retry },
+            breaker: BreakerConfig::tripping(2, Duration::from_secs(30)),
+            ..fast_cfg(1)
+        };
+        let be = HttpBackend::connect(&addr, cfg).unwrap();
+        assert_eq!(be.invoke(&request()).outcome(), OutcomeClass::Transport);
+        assert_eq!(be.invoke(&request()).outcome(), OutcomeClass::Transport);
+        assert!(be.breaker().is_open(), "two consecutive failures trip the breaker");
+
+        let res = be.invoke(&request());
+        assert_eq!(res.outcome(), OutcomeClass::Shed);
+        assert!(res.error.as_deref().unwrap_or("").contains("circuit breaker open"));
+        assert_eq!(served.load(Ordering::SeqCst), 2, "fast fail never touched the network");
+        assert_eq!(be.stats().shed.load(Ordering::Relaxed), 1);
+        assert_eq!(be.breaker().trips.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn breaker_recovers_through_a_half_open_probe() {
+        let (addr, served) = canned_server(vec![500, 200]);
+        let cfg = HttpBackendConfig {
+            retry: RetryPolicy { max_attempts: 1, ..fast_cfg(1).retry },
+            breaker: BreakerConfig::tripping(1, Duration::from_millis(50)),
+            ..fast_cfg(1)
+        };
+        let be = HttpBackend::connect(&addr, cfg).unwrap();
+        assert_eq!(be.invoke(&request()).outcome(), OutcomeClass::Transport);
+        assert!(be.breaker().is_open());
+        assert_eq!(be.invoke(&request()).outcome(), OutcomeClass::Shed);
+
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(be.invoke(&request()).ok, "probe succeeds and closes the breaker");
+        assert!(!be.breaker().is_open());
+        assert!(be.invoke(&request()).ok);
+        assert_eq!(served.load(Ordering::SeqCst), 3, "one 500, one probe, one normal");
+        assert_eq!(be.breaker().trips.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn retry_backoff_never_overshoots_the_deadline() {
+        let (addr, _served) = canned_server(vec![500]);
+        let cfg = HttpBackendConfig {
+            request_timeout: Duration::from_millis(150),
+            retry: RetryPolicy {
+                max_attempts: 5,
+                base: Duration::from_millis(400),
+                cap: Duration::from_millis(400),
+                jitter: 0.0,
+                jitter_seed: 7,
+            },
+            ..fast_cfg(5)
+        };
+        let be = HttpBackend::connect(&addr, cfg).unwrap();
+        let start = Instant::now();
+        let res = be.invoke(&request());
+        let elapsed = start.elapsed();
+        assert_eq!(res.outcome(), OutcomeClass::Timeout, "{:?}", res.error);
+        assert!(
+            elapsed < Duration::from_millis(350),
+            "a 400 ms backoff must not be slept on a 150 ms budget: took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn retry_after_hint_delays_the_next_attempt() {
+        // First response: 429 with `Retry-After: 1`; then 200s. The second
+        // attempt must wait out the hint, not just the millisecond backoff.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                let mut reader = BufReader::new(&stream);
+                let mut first = true;
+                while let Ok(Some(_req)) = http::read_request(&mut reader) {
+                    let res = if first {
+                        first = false;
+                        http::write_response_with(
+                            &mut (&stream),
+                            429,
+                            "text/plain",
+                            &[("Retry-After", "1")],
+                            b"busy",
+                            true,
+                        )
+                    } else {
+                        let body =
+                            serde_json::to_vec(&InvocationResult::success(1.0, false)).unwrap();
+                        http::write_response(&mut (&stream), 200, "application/json", &body, true)
+                    };
+                    if res.is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        let be = HttpBackend::connect(&addr, fast_cfg(3)).unwrap();
+        let start = Instant::now();
+        let res = be.invoke(&request());
+        assert!(res.ok, "{:?}", res.error);
+        assert!(
+            start.elapsed() >= Duration::from_millis(950),
+            "Retry-After hint ignored: retried after {:?}",
+            start.elapsed()
+        );
     }
 }

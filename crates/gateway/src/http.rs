@@ -26,6 +26,9 @@ pub struct Request {
 pub struct Response {
     pub status: u16,
     pub keep_alive: bool,
+    /// Parsed `Retry-After` header (whole seconds), when the server sent
+    /// one — a shedding gateway's hint to back off.
+    pub retry_after: Option<u64>,
     pub body: Vec<u8>,
 }
 
@@ -56,20 +59,27 @@ fn read_line<R: BufRead>(r: &mut R, budget: &mut usize) -> io::Result<Option<Str
     String::from_utf8(buf).map(Some).map_err(|_| invalid("non-UTF-8 header line"))
 }
 
-/// Shared header-section parse: returns `(content_length, keep_alive)`.
-/// `keep_alive` starts from the HTTP-version default and is overridden by a
-/// `Connection` header.
+/// Parsed header-section summary shared by request and response paths.
+struct HeadInfo {
+    content_length: usize,
+    keep_alive: bool,
+    retry_after: Option<u64>,
+}
+
+/// Shared header-section parse. `keep_alive` starts from the HTTP-version
+/// default and is overridden by a `Connection` header; a `Retry-After`
+/// header (delta-seconds form only) is surfaced for client-side backoff.
 fn read_headers<R: BufRead>(
     r: &mut R,
     budget: &mut usize,
     version_keep_alive: bool,
-) -> io::Result<(usize, bool)> {
-    let mut content_length = 0usize;
-    let mut keep_alive = version_keep_alive;
+) -> io::Result<HeadInfo> {
+    let mut info =
+        HeadInfo { content_length: 0, keep_alive: version_keep_alive, retry_after: None };
     loop {
         let line = read_line(r, budget)?.ok_or_else(|| invalid("EOF inside headers"))?;
         if line.is_empty() {
-            return Ok((content_length, keep_alive));
+            return Ok(info);
         }
         let Some((name, value)) = line.split_once(':') else {
             return Err(invalid(format!("malformed header line: {line}")));
@@ -78,21 +88,23 @@ fn read_headers<R: BufRead>(
         let value = value.trim();
         match name.as_str() {
             "content-length" => {
-                content_length = value
+                info.content_length = value
                     .parse::<usize>()
                     .map_err(|_| invalid(format!("bad content-length: {value}")))?;
-                if content_length > MAX_BODY_BYTES {
+                if info.content_length > MAX_BODY_BYTES {
                     return Err(invalid("body too large"));
                 }
             }
             "connection" => {
                 let v = value.to_ascii_lowercase();
                 if v.contains("close") {
-                    keep_alive = false;
+                    info.keep_alive = false;
                 } else if v.contains("keep-alive") {
-                    keep_alive = true;
+                    info.keep_alive = true;
                 }
             }
+            // HTTP-date form is ignored (the gateway only emits seconds).
+            "retry-after" => info.retry_after = value.parse::<u64>().ok(),
             _ => {}
         }
     }
@@ -120,9 +132,14 @@ pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<Option<Request>> {
         return Err(invalid(format!("unsupported version: {version}")));
     }
     let version_keep_alive = version != "HTTP/1.0";
-    let (content_length, keep_alive) = read_headers(r, &mut budget, version_keep_alive)?;
-    let body = read_body(r, content_length)?;
-    Ok(Some(Request { method: method.to_string(), path: path.to_string(), keep_alive, body }))
+    let info = read_headers(r, &mut budget, version_keep_alive)?;
+    let body = read_body(r, info.content_length)?;
+    Ok(Some(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        keep_alive: info.keep_alive,
+        body,
+    }))
 }
 
 /// Parse one response off the connection (client side).
@@ -139,9 +156,9 @@ pub fn read_response<R: BufRead>(r: &mut R) -> io::Result<Response> {
     }
     let status = code.parse::<u16>().map_err(|_| invalid(format!("bad status code: {code}")))?;
     let version_keep_alive = version != "HTTP/1.0";
-    let (content_length, keep_alive) = read_headers(r, &mut budget, version_keep_alive)?;
-    let body = read_body(r, content_length)?;
-    Ok(Response { status, keep_alive, body })
+    let info = read_headers(r, &mut budget, version_keep_alive)?;
+    let body = read_body(r, info.content_length)?;
+    Ok(Response { status, keep_alive: info.keep_alive, retry_after: info.retry_after, body })
 }
 
 /// Canonical reason phrases for the statuses the gateway emits.
@@ -151,6 +168,7 @@ pub fn status_reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Status",
@@ -165,14 +183,33 @@ pub fn write_response<W: Write>(
     body: &[u8],
     keep_alive: bool,
 ) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+    write_response_with(w, status, content_type, &[], body, keep_alive)
+}
+
+/// [`write_response`], with extra headers (e.g. `Retry-After` on a `429`).
+pub fn write_response_with<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status,
         status_reason(status),
         content_type,
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     w.write_all(head.as_bytes())?;
     w.write_all(body)?;
     w.flush()
@@ -304,6 +341,32 @@ mod tests {
         assert_eq!(a.body, b"one");
         assert_eq!(b.body, b"two");
         assert!(read_request(&mut cur).unwrap().is_none(), "then clean EOF");
+    }
+
+    #[test]
+    fn retry_after_header_roundtrips() {
+        let mut buf = Vec::new();
+        write_response_with(&mut buf, 429, "text/plain", &[("Retry-After", "2")], b"shed", false)
+            .unwrap();
+        let head = String::from_utf8_lossy(&buf).to_string();
+        assert!(head.contains("429 Too Many Requests"), "{head}");
+        assert!(head.contains("Retry-After: 2\r\n"), "{head}");
+        let resp = read_response(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.retry_after, Some(2));
+        assert!(!resp.keep_alive);
+        assert_eq!(resp.body, b"shed");
+    }
+
+    #[test]
+    fn retry_after_absent_or_http_date_is_none() {
+        let mut buf = Vec::new();
+        write_response(&mut buf, 200, "text/plain", b"ok", true).unwrap();
+        assert_eq!(read_response(&mut Cursor::new(buf)).unwrap().retry_after, None);
+        // The HTTP-date form is tolerated but not interpreted.
+        let raw = b"HTTP/1.1 503 x\r\nRetry-After: Wed, 21 Oct 2015 07:28:00 GMT\r\n\
+                    Content-Length: 0\r\n\r\n";
+        assert_eq!(read_response(&mut Cursor::new(raw.to_vec())).unwrap().retry_after, None);
     }
 
     #[test]

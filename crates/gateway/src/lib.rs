@@ -11,12 +11,18 @@
 //!   exposes any `Backend` at `POST /invoke`, plus `GET /healthz` and
 //!   `GET /stats`;
 //! * [`HttpBackend`] — a `Backend` implementation that ships invocations to
-//!   such a gateway with connection pooling, per-request deadlines, and
-//!   seeded capped-exponential retry ([`RetryPolicy`]) for transport
-//!   failures and `5xx`s;
+//!   such a gateway with connection pooling, per-request deadlines, seeded
+//!   capped-exponential retry ([`RetryPolicy`]) for transport failures,
+//!   `429`s and `5xx`s, and an optional [`CircuitBreaker`] that fails fast
+//!   (as `OutcomeClass::Shed`) while the upstream is unhealthy;
 //! * [`FaultConfig`] — deterministic, seeded fault injection on the server
-//!   side (dropped connections and injected `500`s) so retry behaviour is
-//!   testable under controlled fault rates.
+//!   side (dropped connections, injected `500`s, black-hole stalls, and
+//!   straggler delays) so retry, deadline, and breaker behaviour are all
+//!   testable under controlled fault rates;
+//! * admission control — the server sheds connections with `429` +
+//!   `Retry-After` when its bounded pending-work queue is full
+//!   ([`GatewayConfig::queue_capacity`]), so overload is an explicit signal
+//!   instead of a stalled OS accept backlog.
 //!
 //! Loopback replay through the pair is distribution-preserving: the
 //! `tests/gateway_loopback.rs` integration test drives a full shrunk spec
@@ -24,10 +30,12 @@
 //! an in-process replay of the same spec (KS distance < 0.05).
 
 pub mod backoff;
+pub mod breaker;
 pub mod client;
 pub mod http;
 pub mod server;
 
 pub use backoff::{mix_fraction, RetryPolicy, SplitMix64};
+pub use breaker::{BreakerConfig, CircuitBreaker};
 pub use client::{ClientStats, HttpBackend, HttpBackendConfig};
 pub use server::{FaultConfig, Gateway, GatewayConfig, GatewayHandle, GatewayStats};

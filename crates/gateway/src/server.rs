@@ -25,22 +25,45 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// Seeded fault injection: each invocation draws a deterministic uniform
-/// variate from (`seed`, invocation index); the lowest `drop_fraction` of
-/// the unit interval closes the connection without replying, the next
-/// `error_fraction` replies `500`.
+/// variate from (`seed`, invocation index) and the unit interval is carved
+/// into consecutive fault bands — `drop_fraction` closes the connection
+/// without replying, then `error_fraction` replies `500`, then
+/// `stall_fraction` black-holes the connection (reads the request, holds
+/// the socket open for `stall_ms`, closes without a byte of response —
+/// exercising the client's deadline rather than its retry path), then
+/// `latency_fraction` delays the response by `latency_ms` but answers
+/// normally (a straggler, not a failure).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultConfig {
     /// Fraction of invocations whose connection is dropped mid-request.
     pub drop_fraction: f64,
     /// Fraction of invocations answered with an injected `500`.
     pub error_fraction: f64,
+    /// Fraction of invocations black-holed: the connection stays open,
+    /// silent, for `stall_ms`, then closes without a response.
+    pub stall_fraction: f64,
+    /// How long a stalled connection is held before closing, ms.
+    pub stall_ms: u64,
+    /// Fraction of invocations delayed by `latency_ms` before a normal
+    /// response (injected stragglers).
+    pub latency_fraction: f64,
+    /// Injected straggler delay, ms.
+    pub latency_ms: u64,
     /// Seed for the fault stream.
     pub seed: u64,
 }
 
 impl Default for FaultConfig {
     fn default() -> Self {
-        FaultConfig { drop_fraction: 0.0, error_fraction: 0.0, seed: 1 }
+        FaultConfig {
+            drop_fraction: 0.0,
+            error_fraction: 0.0,
+            stall_fraction: 0.0,
+            stall_ms: 1_000,
+            latency_fraction: 0.0,
+            latency_ms: 100,
+            seed: 1,
+        }
     }
 }
 
@@ -48,31 +71,51 @@ enum Fault {
     None,
     Drop,
     Error,
+    Stall,
+    Delay,
 }
 
 impl FaultConfig {
     fn decide(&self, invocation: u64) -> Fault {
-        if self.drop_fraction <= 0.0 && self.error_fraction <= 0.0 {
+        let total =
+            self.drop_fraction + self.error_fraction + self.stall_fraction + self.latency_fraction;
+        if total <= 0.0 {
             return Fault::None;
         }
         let u = mix_fraction(self.seed, invocation);
-        if u < self.drop_fraction {
-            Fault::Drop
-        } else if u < self.drop_fraction + self.error_fraction {
-            Fault::Error
-        } else {
-            Fault::None
+        let mut edge = self.drop_fraction;
+        if u < edge {
+            return Fault::Drop;
         }
+        edge += self.error_fraction;
+        if u < edge {
+            return Fault::Error;
+        }
+        edge += self.stall_fraction;
+        if u < edge {
+            return Fault::Stall;
+        }
+        edge += self.latency_fraction;
+        if u < edge {
+            return Fault::Delay;
+        }
+        Fault::None
     }
 }
 
 /// Gateway server configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GatewayConfig {
-    /// Connection-handler threads; also the accept backlog bound. Each
-    /// keep-alive connection occupies one worker for its lifetime, so size
-    /// this at or above the expected client concurrency.
+    /// Connection-handler threads. Each keep-alive connection occupies one
+    /// worker for its lifetime, so size this at or above the expected
+    /// client concurrency.
     pub workers: usize,
+    /// Bound on connections accepted but not yet picked up by a worker
+    /// (the admission-control queue). A connection arriving with the queue
+    /// full is *shed*: answered `429 Too Many Requests` with `Retry-After`
+    /// and closed, instead of letting accept backpressure stall the OS
+    /// backlog and silently time peers out.
+    pub queue_capacity: usize,
     /// Idle keep-alive timeout: a connection with no request for this long
     /// is closed (also bounds how long shutdown waits on idle peers).
     pub read_timeout: Duration,
@@ -84,6 +127,7 @@ impl Default for GatewayConfig {
     fn default() -> Self {
         GatewayConfig {
             workers: 64,
+            queue_capacity: 64,
             read_timeout: Duration::from_secs(30),
             fault: FaultConfig::default(),
         }
@@ -102,8 +146,14 @@ pub struct GatewayStats {
     pub invocations: AtomicU64,
     pub invocations_ok: AtomicU64,
     pub invocations_failed: AtomicU64,
+    /// Connections refused with `429` because the admission queue was full.
+    pub shed: AtomicU64,
+    /// Connections accepted but not yet picked up by a worker (gauge).
+    pub queue_depth: AtomicU64,
     pub faults_dropped: AtomicU64,
     pub faults_errored: AtomicU64,
+    pub faults_stalled: AtomicU64,
+    pub faults_delayed: AtomicU64,
     pub http_400: AtomicU64,
     pub http_404: AtomicU64,
     /// Most requests any single connection has served (keep-alive depth).
@@ -121,7 +171,9 @@ impl GatewayStats {
                 "{{\"connections_accepted\":{},\"connections_active\":{},",
                 "\"connections_closed\":{},\"requests\":{},\"invocations\":{},",
                 "\"invocations_ok\":{},\"invocations_failed\":{},",
+                "\"shed\":{},\"queue_depth\":{},",
                 "\"faults_dropped\":{},\"faults_errored\":{},",
+                "\"faults_stalled\":{},\"faults_delayed\":{},",
                 "\"http_400\":{},\"http_404\":{},",
                 "\"max_requests_per_connection\":{},",
                 "\"mean_requests_per_closed_connection\":{:.3}}}"
@@ -133,8 +185,12 @@ impl GatewayStats {
             self.invocations.load(Ordering::Relaxed),
             self.invocations_ok.load(Ordering::Relaxed),
             self.invocations_failed.load(Ordering::Relaxed),
+            self.shed.load(Ordering::Relaxed),
+            self.queue_depth.load(Ordering::Relaxed),
             self.faults_dropped.load(Ordering::Relaxed),
             self.faults_errored.load(Ordering::Relaxed),
+            self.faults_stalled.load(Ordering::Relaxed),
+            self.faults_delayed.load(Ordering::Relaxed),
             self.http_400.load(Ordering::Relaxed),
             self.http_404.load(Ordering::Relaxed),
             self.max_requests_per_connection.load(Ordering::Relaxed),
@@ -185,11 +241,14 @@ impl Gateway {
     }
 
     /// Serve until shut down, blocking the calling thread. Connections are
-    /// fanned out to `cfg.workers` handler threads through a bounded queue,
-    /// so a saturated pool pushes back on `accept` rather than growing
-    /// without limit.
+    /// fanned out to `cfg.workers` handler threads through a bounded queue
+    /// of `cfg.queue_capacity`; when the queue is full the connection is
+    /// shed with a `429` instead of stalling `accept` — overload surfaces
+    /// to clients as an explicit, immediate signal rather than as peers
+    /// silently timing out in the OS backlog.
     pub fn run(self) {
-        let (tx, rx) = crossbeam::channel::bounded::<TcpStream>(self.cfg.workers);
+        let capacity = self.cfg.queue_capacity.max(1);
+        let (tx, rx) = crossbeam::channel::bounded::<TcpStream>(capacity);
         std::thread::scope(|scope| {
             for _ in 0..self.cfg.workers {
                 let rx = rx.clone();
@@ -199,6 +258,7 @@ impl Gateway {
                 let cfg = self.cfg;
                 scope.spawn(move || {
                     while let Ok(stream) = rx.recv() {
+                        stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
                         stats.connections_active.fetch_add(1, Ordering::Relaxed);
                         let _ = handle_connection(stream, &*backend, &stats, &cfg, &shutdown);
                         stats.connections_active.fetch_sub(1, Ordering::Relaxed);
@@ -218,8 +278,15 @@ impl Gateway {
                         if self.shutdown.load(Ordering::SeqCst) {
                             break; // the shutdown wake-up connection itself
                         }
-                        if tx.send(stream).is_err() {
-                            break;
+                        self.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+                        match tx.try_send(stream) {
+                            Ok(()) => {}
+                            Err(crossbeam::channel::TrySendError::Full(stream)) => {
+                                self.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                                self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                                shed_connection(stream);
+                            }
+                            Err(crossbeam::channel::TrySendError::Disconnected(_)) => break,
                         }
                     }
                     Err(e) if e.kind() == ErrorKind::WouldBlock => continue,
@@ -278,6 +345,23 @@ impl GatewayHandle {
     }
 }
 
+/// Refuse a connection the admission queue has no room for: `429` with a
+/// `Retry-After` hint, then close. Runs on the accept thread, so the write
+/// gets a short timeout — a peer too slow to take a two-line response
+/// isn't worth stalling admission for.
+fn shed_connection(stream: TcpStream) {
+    stream.set_nodelay(true).ok();
+    stream.set_write_timeout(Some(Duration::from_millis(100))).ok();
+    let _ = http::write_response_with(
+        &mut (&stream),
+        429,
+        "text/plain",
+        &[("Retry-After", "1")],
+        b"shedding load: admission queue full",
+        false,
+    );
+}
+
 /// Serve one connection until it closes (client close, idle timeout,
 /// malformed request, injected drop, or shutdown).
 fn handle_connection(
@@ -317,10 +401,26 @@ fn handle_connection(
         match (req.method.as_str(), req.path.as_str()) {
             ("POST", "/invoke") => {
                 let n = stats.invocations.fetch_add(1, Ordering::Relaxed);
-                match cfg.fault.decide(n) {
+                let mut fault = cfg.fault.decide(n);
+                if let Fault::Delay = fault {
+                    // Injected straggler: delay, then serve normally.
+                    stats.faults_delayed.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(cfg.fault.latency_ms));
+                    fault = Fault::None;
+                }
+                match fault {
+                    Fault::Delay => unreachable!("rewritten to Fault::None above"),
                     Fault::Drop => {
                         stats.faults_dropped.fetch_add(1, Ordering::Relaxed);
                         break; // vanish without a response
+                    }
+                    Fault::Stall => {
+                        // Black hole: hold the socket open and silent, then
+                        // close without a response — the client's deadline,
+                        // not its retry logic, has to catch this.
+                        stats.faults_stalled.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(Duration::from_millis(cfg.fault.stall_ms));
+                        break;
                     }
                     Fault::Error => {
                         stats.faults_errored.fetch_add(1, Ordering::Relaxed);
@@ -401,6 +501,7 @@ mod tests {
     fn test_cfg() -> GatewayConfig {
         GatewayConfig {
             workers: 4,
+            queue_capacity: 4,
             read_timeout: Duration::from_millis(500),
             fault: FaultConfig::default(),
         }
@@ -484,7 +585,7 @@ mod tests {
     #[test]
     fn injected_500s_surface_to_the_client_as_retryable() {
         let cfg = GatewayConfig {
-            fault: FaultConfig { drop_fraction: 0.0, error_fraction: 1.0, seed: 3 },
+            fault: FaultConfig { error_fraction: 1.0, seed: 3, ..FaultConfig::default() },
             ..test_cfg()
         };
         let handle = spawn_noop(cfg);
@@ -523,18 +624,117 @@ mod tests {
 
     #[test]
     fn fault_decide_is_deterministic_and_proportional() {
-        let f = FaultConfig { drop_fraction: 0.1, error_fraction: 0.2, seed: 11 };
+        let f = FaultConfig {
+            drop_fraction: 0.1,
+            error_fraction: 0.2,
+            stall_fraction: 0.1,
+            latency_fraction: 0.1,
+            seed: 11,
+            ..FaultConfig::default()
+        };
         let classify = |n: u64| match f.decide(n) {
             Fault::Drop => 0u8,
             Fault::Error => 1,
-            Fault::None => 2,
+            Fault::Stall => 2,
+            Fault::Delay => 3,
+            Fault::None => 4,
         };
         let first: Vec<u8> = (0..2_000).map(classify).collect();
         let second: Vec<u8> = (0..2_000).map(classify).collect();
         assert_eq!(first, second, "same seed, same fault pattern");
-        let drops = first.iter().filter(|&&c| c == 0).count();
-        let errors = first.iter().filter(|&&c| c == 1).count();
+        let count = |c: u8| first.iter().filter(|&&x| x == c).count();
+        let (drops, errors, stalls, delays) = (count(0), count(1), count(2), count(3));
         assert!((100..300).contains(&drops), "~10% drops expected, got {drops}/2000");
         assert!((250..550).contains(&errors), "~20% errors expected, got {errors}/2000");
+        assert!((100..300).contains(&stalls), "~10% stalls expected, got {stalls}/2000");
+        assert!((100..300).contains(&delays), "~10% delays expected, got {delays}/2000");
+    }
+
+    #[test]
+    fn full_admission_queue_sheds_with_429_and_retry_after() {
+        // One worker, queue of one. Connection A occupies the worker (its
+        // keep-alive roundtrip proves a worker picked it up); B then sits in
+        // the queue; C must be shed with a 429 at admission.
+        let handle = spawn_noop(GatewayConfig { workers: 1, queue_capacity: 1, ..test_cfg() });
+        let a = TcpStream::connect(handle.addr()).unwrap();
+        assert_eq!(roundtrip(&a, "GET", "/healthz", b"").status, 200);
+
+        let b = TcpStream::connect(handle.addr()).unwrap();
+        // B is queued, not yet served; give the accept thread a moment to
+        // enqueue it before driving C.
+        std::thread::sleep(Duration::from_millis(50));
+
+        let c = TcpStream::connect(handle.addr()).unwrap();
+        let resp = http::read_response(&mut BufReader::new(&c)).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.retry_after, Some(1));
+        assert!(!resp.keep_alive);
+        drop(c);
+        assert_eq!(handle.stats().shed.load(Ordering::Relaxed), 1);
+
+        // Freeing the worker lets the queued connection B get served.
+        drop(a);
+        assert_eq!(roundtrip(&b, "GET", "/healthz", b"").status, 200);
+        let resp = roundtrip(&b, "GET", "/stats", b"");
+        let json = String::from_utf8(resp.body).unwrap();
+        assert!(json.contains("\"shed\":1"), "{json}");
+        assert!(json.contains("\"queue_depth\":0"), "{json}");
+        drop(b);
+        handle.stop();
+    }
+
+    #[test]
+    fn stall_fault_black_holes_the_connection() {
+        let cfg = GatewayConfig {
+            fault: FaultConfig {
+                stall_fraction: 1.0,
+                stall_ms: 50,
+                seed: 5,
+                ..FaultConfig::default()
+            },
+            ..test_cfg()
+        };
+        let handle = spawn_noop(cfg);
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let start = std::time::Instant::now();
+        http::write_request(
+            &mut (&stream),
+            "POST",
+            "/invoke",
+            "test",
+            "application/json",
+            &request_json(),
+            true,
+        )
+        .unwrap();
+        // No response ever arrives: the read ends in EOF after the stall.
+        let err = http::read_response(&mut BufReader::new(&stream)).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::UnexpectedEof);
+        assert!(start.elapsed() >= Duration::from_millis(45), "stall held the socket");
+        drop(stream);
+        assert_eq!(handle.stats().faults_stalled.load(Ordering::Relaxed), 1);
+        handle.stop();
+    }
+
+    #[test]
+    fn latency_fault_delays_but_still_answers() {
+        let cfg = GatewayConfig {
+            fault: FaultConfig {
+                latency_fraction: 1.0,
+                latency_ms: 60,
+                seed: 5,
+                ..FaultConfig::default()
+            },
+            ..test_cfg()
+        };
+        let handle = spawn_noop(cfg);
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let start = std::time::Instant::now();
+        let resp = roundtrip(&stream, "POST", "/invoke", &request_json());
+        assert_eq!(resp.status, 200, "a straggler is not a failure");
+        assert!(start.elapsed() >= Duration::from_millis(55), "delay was injected");
+        drop(stream);
+        assert_eq!(handle.stats().faults_delayed.load(Ordering::Relaxed), 1);
+        handle.stop();
     }
 }

@@ -43,6 +43,14 @@ pub enum OutcomeClass {
     /// front of the backend; the request may never have reached
     /// application code.
     Transport,
+    /// Rejected by overload protection before reaching application code: a
+    /// gateway shedding load (`429 Too Many Requests`) or the client-side
+    /// circuit breaker failing fast while open. Distinct from
+    /// [`OutcomeClass::Transport`] because the system under test made a
+    /// deliberate, healthy decision to refuse work — a load generator that
+    /// lumps shed requests in with broken sockets misreports overload
+    /// behaviour as infrastructure failure.
+    Shed,
 }
 
 /// What the backend reports back.
@@ -103,6 +111,18 @@ impl InvocationResult {
             cold_start: false,
             error: Some(error.into()),
             class: OutcomeClass::Transport,
+        }
+    }
+
+    /// A request refused by overload protection (gateway `429` or an open
+    /// client-side circuit breaker) without consuming backend resources.
+    pub fn shed(error: impl Into<String>) -> Self {
+        InvocationResult {
+            ok: false,
+            service_ms: 0.0,
+            cold_start: false,
+            error: Some(error.into()),
+            class: OutcomeClass::Shed,
         }
     }
 
@@ -221,6 +241,7 @@ mod tests {
         assert_eq!(InvocationResult::app_error(1.0, "boom").outcome(), OutcomeClass::AppError);
         assert_eq!(InvocationResult::timeout("deadline").outcome(), OutcomeClass::Timeout);
         assert_eq!(InvocationResult::transport("refused").outcome(), OutcomeClass::Transport);
+        assert_eq!(InvocationResult::shed("queue full").outcome(), OutcomeClass::Shed);
         // A pre-classification failure (ok=false, class absent → Ok) counts
         // as an application error.
         let legacy = InvocationResult {

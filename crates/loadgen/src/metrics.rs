@@ -15,7 +15,7 @@ pub struct RunMetrics {
     /// Requests the backend reported as failed (all classes).
     pub errors: u64,
     /// Failures the backend executed and rejected (not retryable).
-    /// `app_errors + timeouts + transport_errors == errors`.
+    /// `app_errors + timeouts + transport_errors + shed == errors`.
     #[serde(default)]
     pub app_errors: u64,
     /// Failures where the per-request deadline expired.
@@ -24,6 +24,14 @@ pub struct RunMetrics {
     /// Failures in the network path (connect/read/write, gateway 5xx).
     #[serde(default)]
     pub transport_errors: u64,
+    /// Requests refused by overload protection (gateway `429` load
+    /// shedding or an open client-side circuit breaker).
+    #[serde(default)]
+    pub shed: u64,
+    /// Whether the run was stopped early via the replay stop flag; the
+    /// counters then cover only the dispatched prefix of the trace.
+    #[serde(default)]
+    pub aborted: bool,
     /// Cold starts reported by the backend.
     pub cold_starts: u64,
     /// End-to-end response time (dispatch → backend return), seconds.
@@ -56,6 +64,8 @@ impl RunMetrics {
             app_errors: 0,
             timeouts: 0,
             transport_errors: 0,
+            shed: 0,
+            aborted: false,
             cold_starts: 0,
             response: LogHistogram::latency_seconds(),
             service: LogHistogram::latency_seconds(),
@@ -83,14 +93,18 @@ impl RunMetrics {
                 self.errors += 1;
                 self.transport_errors += 1;
             }
+            OutcomeClass::Shed => {
+                self.errors += 1;
+                self.shed += 1;
+            }
         }
     }
 
     /// One-line per-class outcome breakdown for replay summaries.
     pub fn outcome_breakdown(&self) -> String {
         format!(
-            "ok={} app-error={} timeout={} transport={}",
-            self.completed, self.app_errors, self.timeouts, self.transport_errors
+            "ok={} app-error={} timeout={} transport={} shed={}",
+            self.completed, self.app_errors, self.timeouts, self.transport_errors, self.shed
         )
     }
 
@@ -112,6 +126,8 @@ impl RunMetrics {
         self.app_errors += other.app_errors;
         self.timeouts += other.timeouts;
         self.transport_errors += other.transport_errors;
+        self.shed += other.shed;
+        self.aborted |= other.aborted;
         self.cold_starts += other.cold_starts;
         self.response.merge(&other.response);
         self.service.merge(&other.service);
@@ -157,21 +173,25 @@ mod tests {
 
         let mut b = RunMetrics::new();
         b.issued = 5;
-        b.completed = 3;
-        b.errors = 2;
+        b.completed = 2;
+        b.errors = 3;
         b.timeouts = 1;
         b.transport_errors = 1;
+        b.shed = 1;
+        b.aborted = true;
         b.response.record(0.020);
         b.per_kind.insert(WorkloadKind::Pyaes, 2);
         b.per_kind.insert(WorkloadKind::Matmul, 3);
 
         a.merge(&b);
         assert_eq!(a.issued, 15);
-        assert_eq!(a.completed, 12);
-        assert_eq!(a.errors, 3);
+        assert_eq!(a.completed, 11);
+        assert_eq!(a.errors, 4);
         assert_eq!(a.app_errors, 1);
         assert_eq!(a.timeouts, 1);
         assert_eq!(a.transport_errors, 1);
+        assert_eq!(a.shed, 1);
+        assert!(a.aborted, "aborted is sticky across merges");
         assert_eq!(a.response.total(), 2);
         assert_eq!(a.per_kind[&WorkloadKind::Pyaes], 7);
         assert_eq!(a.per_kind[&WorkloadKind::Matmul], 3);
@@ -186,13 +206,15 @@ mod tests {
         m.record_outcome(&InvocationResult::timeout("deadline"));
         m.record_outcome(&InvocationResult::transport("refused"));
         m.record_outcome(&InvocationResult::transport("reset"));
+        m.record_outcome(&InvocationResult::shed("circuit open"));
         assert_eq!(m.completed, 1);
-        assert_eq!(m.errors, 4);
+        assert_eq!(m.errors, 5);
         assert_eq!(m.app_errors, 1);
         assert_eq!(m.timeouts, 1);
         assert_eq!(m.transport_errors, 2);
-        assert_eq!(m.app_errors + m.timeouts + m.transport_errors, m.errors);
-        assert_eq!(m.outcome_breakdown(), "ok=1 app-error=1 timeout=1 transport=2");
+        assert_eq!(m.shed, 1);
+        assert_eq!(m.app_errors + m.timeouts + m.transport_errors + m.shed, m.errors);
+        assert_eq!(m.outcome_breakdown(), "ok=1 app-error=1 timeout=1 transport=2 shed=1");
     }
 
     #[test]

@@ -6,12 +6,27 @@
 //! against the [`Backend`]. The generator is *open-loop*: a slow backend
 //! never delays the schedule — requests queue, and the queueing shows up in
 //! response times, exactly like load on a saturated FaaS gateway.
+//!
+//! Two hardening properties matter for replaying against research FaaS
+//! stacks that crash and stall mid-experiment:
+//!
+//! * **panic isolation** — a backend (or workload kernel) that panics is
+//!   caught per-invocation and recorded as an application error; the worker
+//!   survives, the channel keeps draining, and the run still reports
+//!   complete metrics instead of deadlocking or aborting;
+//! * **graceful drain** — [`replay_until`] takes a stop flag: once set, the
+//!   pacer stops dispatching, the workers drain everything already
+//!   dispatched, and the partial [`RunMetrics`] (marked
+//!   [`aborted`](RunMetrics::aborted)) are still merged and returned, so an
+//!   interrupted experiment reports what actually happened.
 
-use crate::backend::{Backend, InvocationRequest};
+use crate::backend::{Backend, InvocationRequest, InvocationResult};
 use crate::metrics::RunMetrics;
 use crossbeam::channel;
 use faasrail_core::RequestTrace;
 use faasrail_workloads::WorkloadPool;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// How dispatch instants are derived from the trace timestamps.
@@ -53,18 +68,49 @@ struct Job {
 }
 
 /// Hybrid wait: coarse sleep until ~1 ms before the target, then spin.
-fn wait_until(target: Instant) {
+/// Sleeps are chunked so a raised stop flag is noticed within ~20 ms even
+/// mid-gap; returns `false` if the wait was interrupted by the flag.
+fn wait_until(target: Instant, stop: &AtomicBool) -> bool {
     loop {
+        if stop.load(Ordering::Relaxed) {
+            return false;
+        }
         let now = Instant::now();
         if now >= target {
-            return;
+            return true;
         }
         let remaining = target - now;
         if remaining > Duration::from_millis(2) {
-            std::thread::sleep(remaining - Duration::from_millis(1));
+            std::thread::sleep(
+                (remaining - Duration::from_millis(1)).min(Duration::from_millis(20)),
+            );
         } else {
             std::hint::spin_loop();
         }
+    }
+}
+
+/// Render a panic payload for the invocation's error message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Serve one invocation with panic isolation: a panicking backend (e.g. a
+/// workload kernel hitting a bug mid-replay) is recorded as an application
+/// error instead of killing the worker thread.
+fn invoke_isolated<B: Backend>(backend: &B, req: &InvocationRequest) -> InvocationResult {
+    match catch_unwind(AssertUnwindSafe(|| backend.invoke(req))) {
+        Ok(result) => result,
+        Err(payload) => InvocationResult::app_error(
+            0.0,
+            format!("backend panicked: {}", panic_message(payload)),
+        ),
     }
 }
 
@@ -94,13 +140,31 @@ pub fn replay<B: Backend>(
     backend: &B,
     cfg: &ReplayConfig,
 ) -> RunMetrics {
+    replay_until(trace, pool, backend, cfg, &AtomicBool::new(false))
+}
+
+/// [`replay`], with a graceful-stop flag.
+///
+/// When `stop` becomes `true` (set from any thread — a signal handler, a
+/// watchdog, an experiment controller), the pacer stops dispatching new
+/// requests, the workers drain everything already in flight, and the
+/// metrics for the dispatched prefix are merged and returned with
+/// [`RunMetrics::aborted`] set. Nothing already dispatched is lost:
+/// `completed + errors == issued` holds for the partial run too.
+pub fn replay_until<B: Backend>(
+    trace: &RequestTrace,
+    pool: &WorkloadPool,
+    backend: &B,
+    cfg: &ReplayConfig,
+    stop: &AtomicBool,
+) -> RunMetrics {
     assert!(cfg.workers > 0, "need at least one worker");
     if let Pacing::RealTime { compression } = cfg.pacing {
         assert!(compression > 0.0, "compression must be positive");
     }
 
     let (tx, rx) = channel::unbounded::<Job>();
-    let mut merged = std::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(cfg.workers);
         for _ in 0..cfg.workers {
             let rx = rx.clone();
@@ -109,7 +173,7 @@ pub fn replay<B: Backend>(
                 let from_pickup = matches!(cfg.pacing, Pacing::ClosedLoop);
                 while let Ok(job) = rx.recv() {
                     let picked_up = Instant::now();
-                    let result = backend.invoke(&job.req);
+                    let result = invoke_isolated(backend, &job.req);
                     let response_s = if from_pickup {
                         picked_up.elapsed().as_secs_f64()
                     } else {
@@ -129,15 +193,23 @@ pub fn replay<B: Backend>(
         }
         drop(rx);
 
-        // Pacer (this thread).
+        // Pacer (this thread). `issued` counts only what was actually
+        // dispatched, so a stopped run reports its true prefix.
         let mut pacer = RunMetrics::new();
         let start = Instant::now();
         for r in &trace.requests {
+            if stop.load(Ordering::Relaxed) {
+                pacer.aborted = true;
+                break;
+            }
             let workload = pool.get(r.workload).expect("request workload in pool");
             if let Pacing::RealTime { compression } = cfg.pacing {
                 let target =
                     start + Duration::from_secs_f64(r.at_ms as f64 / 1_000.0 / compression);
-                wait_until(target);
+                if !wait_until(target, stop) {
+                    pacer.aborted = true;
+                    break;
+                }
                 pacer
                     .lateness
                     .record((Instant::now().saturating_duration_since(target)).as_secs_f64());
@@ -156,23 +228,19 @@ pub fn replay<B: Backend>(
                 break; // all workers died; stop issuing
             }
         }
-        drop(tx);
+        drop(tx); // workers drain everything dispatched, then exit
 
         for h in handles {
             pacer.merge(&h.join().expect("worker panicked"));
         }
         pacer
-    });
-
-    // `issued` was counted by the pacer alone; worker merges added zeros.
-    merged.issued = trace.requests.len() as u64;
-    merged
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::backend::{InvocationResult, NoopBackend};
+    use crate::backend::{InvocationResult, NoopBackend, OutcomeClass};
     use faasrail_core::Request;
     use faasrail_workloads::{CostModel, WorkloadId, WorkloadPool};
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -207,20 +275,21 @@ mod tests {
         assert_eq!(m.issued, 200);
         assert_eq!(m.completed, 200);
         assert_eq!(m.errors, 0);
+        assert!(!m.aborted);
         assert_eq!(m.per_kind.values().sum::<u64>(), 200);
     }
 
     #[test]
-    // TRACKING: environment-dependent. Asserts sub-2ms median dispatch
-    // lateness, which holds on quiet hardware but flakes on loaded/virtualized
-    // CI runners where the scheduler can't honor millisecond sleeps. Pacing
-    // accuracy at CI tolerances is still covered by
-    // `realtime_pacing_meets_schedule_under_load` (tests/loadgen_integration).
-    // Run explicitly with `cargo test -- --ignored` on quiet hardware.
-    #[ignore = "timing-sensitive: asserts millisecond-scale pacing accuracy"]
+    // Re-enabled (was #[ignore]d as timing-sensitive): the tolerance is now
+    // CI-grade — tens of milliseconds of median lateness, not sub-2ms — so
+    // the test checks that pacing is *scheduled* rather than immediate
+    // without asserting quiet-hardware accuracy. Sub-millisecond accuracy
+    // on quiet machines is still observable via the recorded lateness
+    // histogram in any real run.
     fn realtime_pacing_is_accurate() {
-        // 50 requests spaced 4 ms apart: total 200 ms; lateness should stay
-        // well under a millisecond at p50.
+        // 50 requests spaced 4 ms apart: total 200 ms of schedule. The
+        // replay must take at least that long (it cannot finish early), and
+        // median lateness must stay within a loaded-CI-runner bound.
         let trace = tiny_trace(50, 4);
         let pool = vanilla_pool();
         let start = Instant::now();
@@ -234,7 +303,7 @@ mod tests {
         assert!(elapsed >= Duration::from_millis(190), "finished too early: {elapsed:?}");
         assert_eq!(m.issued, 50);
         let p50_lateness = m.lateness.quantile(0.5);
-        assert!(p50_lateness < 0.002, "median lateness {p50_lateness}s");
+        assert!(p50_lateness < 0.050, "median lateness {p50_lateness}s");
     }
 
     #[test]
@@ -280,6 +349,108 @@ mod tests {
         assert_eq!(m.app_errors, 50);
         assert_eq!(m.timeouts, 0);
         assert_eq!(m.transport_errors, 0);
+    }
+
+    #[test]
+    fn panicking_backend_is_an_app_error_not_an_abort() {
+        // Every 5th invocation panics mid-kernel. The run must complete,
+        // classify each panic as an application error, and lose nothing.
+        struct Exploding(AtomicU64);
+        impl Backend for Exploding {
+            fn invoke(&self, _req: &InvocationRequest) -> InvocationResult {
+                let n = self.0.fetch_add(1, Ordering::Relaxed);
+                if n % 5 == 4 {
+                    panic!("kernel assertion failed on invocation {n}");
+                }
+                InvocationResult::success(0.1, false)
+            }
+        }
+        let trace = tiny_trace(100, 0);
+        let pool = vanilla_pool();
+        let m = replay(
+            &trace,
+            &pool,
+            &Exploding(AtomicU64::new(0)),
+            &ReplayConfig { pacing: Pacing::Unpaced, workers: 4 },
+        );
+        assert_eq!(m.issued, 100);
+        assert_eq!(m.completed, 80);
+        assert_eq!(m.errors, 20);
+        assert_eq!(m.app_errors, 20, "panics classify as app errors");
+        assert_eq!(m.completed + m.errors, m.issued, "nothing lost to panics");
+        assert!(!m.aborted);
+    }
+
+    #[test]
+    fn panic_message_is_preserved() {
+        struct Bomb;
+        impl Backend for Bomb {
+            fn invoke(&self, _req: &InvocationRequest) -> InvocationResult {
+                panic!("boom with detail");
+            }
+        }
+        let r = invoke_isolated(
+            &Bomb,
+            &InvocationRequest {
+                workload: WorkloadId(7),
+                input: faasrail_workloads::WorkloadInput::Pyaes { bytes: 16 },
+                function_index: 0,
+                scheduled_at_ms: 0,
+            },
+        );
+        assert!(!r.ok);
+        assert_eq!(r.outcome(), OutcomeClass::AppError);
+        let msg = r.error.as_deref().unwrap_or("");
+        assert!(msg.contains("backend panicked"), "{msg}");
+        assert!(msg.contains("boom with detail"), "{msg}");
+    }
+
+    #[test]
+    fn stop_flag_drains_and_reports_partial_metrics() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        // A 100-second schedule that is stopped after ~60 ms: the replay
+        // must return promptly with the dispatched prefix fully accounted.
+        let trace = tiny_trace(10_000, 10);
+        let pool = vanilla_pool();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stopper = Arc::clone(&stop);
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(60));
+            stopper.store(true, Ordering::SeqCst);
+        });
+        let start = Instant::now();
+        let m = replay_until(
+            &trace,
+            &pool,
+            &NoopBackend,
+            &ReplayConfig { pacing: Pacing::RealTime { compression: 1.0 }, workers: 2 },
+            &stop,
+        );
+        let elapsed = start.elapsed();
+        killer.join().unwrap();
+        assert!(m.aborted, "stop flag must mark the run aborted");
+        assert!(m.issued > 0, "something was dispatched before the stop");
+        assert!(m.issued < 10_000, "the stop prevented the full schedule");
+        assert_eq!(m.completed + m.errors, m.issued, "drained prefix fully accounted");
+        assert!(elapsed < Duration::from_secs(10), "stop must not wait out the schedule");
+    }
+
+    #[test]
+    fn unset_stop_flag_changes_nothing() {
+        let trace = tiny_trace(50, 0);
+        let pool = vanilla_pool();
+        let stop = AtomicBool::new(false);
+        let m = replay_until(
+            &trace,
+            &pool,
+            &NoopBackend,
+            &ReplayConfig { pacing: Pacing::Unpaced, workers: 2 },
+            &stop,
+        );
+        assert_eq!(m.issued, 50);
+        assert_eq!(m.completed, 50);
+        assert!(!m.aborted);
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Property: the per-class outcome breakdown in [`RunMetrics`] is a true
+//! partition of the error count, and completions plus errors account for
+//! every recorded outcome — under any randomized sequence of outcomes,
+//! including merged (multi-worker) metrics.
+
+use faasrail_loadgen::{InvocationResult, RunMetrics};
+use proptest::prelude::*;
+
+/// One arbitrary invocation outcome.
+fn arb_outcome() -> impl Strategy<Value = InvocationResult> {
+    prop_oneof![
+        (0.0f64..1_000.0, any::<bool>()).prop_map(|(ms, cold)| InvocationResult::success(ms, cold)),
+        (0.0f64..1_000.0).prop_map(|ms| InvocationResult::app_error(ms, "app failed")),
+        Just(InvocationResult::timeout("deadline exceeded")),
+        Just(InvocationResult::transport("connection reset")),
+        Just(InvocationResult::shed("circuit breaker open")),
+    ]
+}
+
+fn classes_partition_errors(m: &RunMetrics) {
+    assert_eq!(
+        m.app_errors + m.timeouts + m.transport_errors + m.shed,
+        m.errors,
+        "breakdown: {}",
+        m.outcome_breakdown()
+    );
+}
+
+proptest! {
+    #[test]
+    fn outcome_classes_partition_errors(outcomes in prop::collection::vec(arb_outcome(), 0..200)) {
+        let mut m = RunMetrics::new();
+        for r in &outcomes {
+            m.record_issued(0);
+            m.record_outcome(r);
+        }
+        classes_partition_errors(&m);
+        prop_assert_eq!(m.completed + m.errors, m.issued);
+        prop_assert_eq!(m.issued as usize, outcomes.len());
+    }
+
+    #[test]
+    fn merge_preserves_the_partition(
+        a in prop::collection::vec(arb_outcome(), 0..100),
+        b in prop::collection::vec(arb_outcome(), 0..100),
+    ) {
+        // Per-worker metrics merged into one, as replay() does.
+        let mut ma = RunMetrics::new();
+        for r in &a {
+            ma.record_issued(0);
+            ma.record_outcome(r);
+        }
+        let mut mb = RunMetrics::new();
+        for r in &b {
+            mb.record_issued(0);
+            mb.record_outcome(r);
+        }
+        let mut merged = RunMetrics::new();
+        merged.merge(&ma);
+        merged.merge(&mb);
+        classes_partition_errors(&merged);
+        prop_assert_eq!(merged.completed + merged.errors, merged.issued);
+        prop_assert_eq!(merged.issued as usize, a.len() + b.len());
+    }
+}

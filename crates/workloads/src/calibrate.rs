@@ -196,22 +196,22 @@ mod tests {
     }
 
     #[test]
-    // TRACKING: environment-dependent. Measures real kernel wall-clock time
-    // and asserts a >4x scaling ratio between input sizes; on throttled or
-    // noisy machines (shared CI runners, low-power cores) the small-input
-    // measurement is dominated by constant overhead and the ratio collapses.
-    // Run explicitly with `cargo test -- --ignored` on quiet hardware.
-    #[ignore = "timing-sensitive: measures real kernel wall-clock scaling"]
     fn measured_times_scale_with_input() {
         // The whole premise of augmentation: bigger input, longer runtime.
-        let opts = CalibrationOptions { warmups: 1, repeats: 3 };
-        let small = measure(&WorkloadInput::Pyaes { bytes: 16 * 1024 }, &opts);
-        let large = measure(&WorkloadInput::Pyaes { bytes: 512 * 1024 }, &opts);
-        assert!(
-            large.median_ms > small.median_ms * 4.0,
-            "16K: {} ms, 512K: {} ms",
-            small.median_ms,
-            large.median_ms
-        );
+        // Environment-dependent by nature (real kernel wall-clock time), so
+        // it is deliberately forgiving: a 16x input gap only has to show a
+        // >2x median gap, the large input keeps the small one's constant
+        // overhead negligible, and a noisy round may be retried.
+        let opts = CalibrationOptions { warmups: 1, repeats: 5 };
+        let mut last = (0.0, 0.0);
+        for _attempt in 0..3 {
+            let small = measure(&WorkloadInput::Pyaes { bytes: 64 * 1024 }, &opts);
+            let large = measure(&WorkloadInput::Pyaes { bytes: 1024 * 1024 }, &opts);
+            last = (small.median_ms, large.median_ms);
+            if large.median_ms > small.median_ms * 2.0 {
+                return;
+            }
+        }
+        panic!("64K: {} ms, 1M: {} ms — scaling ratio stayed under 2x", last.0, last.1);
     }
 }

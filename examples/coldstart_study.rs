@@ -45,7 +45,11 @@ fn main() {
         &PoissonEmulationConfig { rate_rps: rate, duration_minutes: 20, seed: 1 },
     );
 
-    println!("load: faasrail {} reqs, baseline {} reqs @ {rate:.1} rps", faasrail_load.len(), baseline_load.len());
+    println!(
+        "load: faasrail {} reqs, baseline {} reqs @ {rate:.1} rps",
+        faasrail_load.len(),
+        baseline_load.len()
+    );
     println!();
     println!("{:<14} {:>22} {:>22}", "policy", "faasrail load", "plain-poisson load");
     println!("{:-<60}", "");

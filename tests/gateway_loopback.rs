@@ -150,7 +150,13 @@ fn fault_injection_is_recovered_by_client_retry() {
         GatewayConfig {
             workers: 16,
             read_timeout: Duration::from_secs(1),
-            fault: FaultConfig { drop_fraction: 0.05, error_fraction: 0.15, seed: 9 },
+            fault: FaultConfig {
+                drop_fraction: 0.05,
+                error_fraction: 0.15,
+                seed: 9,
+                ..FaultConfig::default()
+            },
+            ..Default::default()
         },
     )
     .expect("bind faulty gateway")
