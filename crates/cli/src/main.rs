@@ -17,6 +17,10 @@
 //! faasrail replay     --requests r.json --pool p.json [--compression X] [--workers N]
 //!                     [--target HOST:PORT [--timeout-ms N] [--attempts N]
 //!                      [--breaker-threshold N] [--breaker-open-ms T]]
+//!                     [--live-metrics [--window-s N]] [--events spans.jsonl]
+//!                     [--metrics-out metrics.json] [--prom-out metrics.prom]
+//! faasrail report     --events spans.jsonl [--metrics metrics.json]
+//!                     [--format markdown|json] [--out report.md]
 //! faasrail serve      [--addr 127.0.0.1:7471] [--backend warm-cache|in-process|noop]
 //!                     [--pool p.json] [--conn-workers N] [--queue-cap N]
 //!                     [--read-timeout-s N] [--drop-frac X] [--error-frac X]
@@ -44,7 +48,7 @@ use faasrail_faas_sim::{
     LoadBalancer, LruPolicy, NodeFault, RoundRobin, SimOptions, WarmCacheBackend, WarmCacheConfig,
     WarmFirst,
 };
-use faasrail_loadgen::{replay, Pacing, ReplayConfig};
+use faasrail_loadgen::{Pacing, ReplayConfig};
 use faasrail_trace::azure::AzureTraceConfig;
 use faasrail_trace::huawei::HuaweiTraceConfig;
 use faasrail_trace::Trace;
@@ -53,7 +57,7 @@ use faasrail_workloads::{CostModel, WorkloadKind, WorkloadPool};
 use std::fs;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: faasrail <gen-trace|build-pool|shrink|requests|smirnov|simulate|replay|serve|calibrate|analyze|compare|evaluate|export> [options]
+const USAGE: &str = "usage: faasrail <gen-trace|build-pool|shrink|requests|smirnov|simulate|replay|report|serve|calibrate|analyze|compare|evaluate|export> [options]
 run with a bad option to see each command's requirements; see crate docs for the full grammar";
 
 fn main() -> ExitCode {
@@ -92,6 +96,7 @@ fn run(args: &Args) -> Result<(), String> {
         "smirnov" => cmd_smirnov(args),
         "simulate" => cmd_simulate(args),
         "replay" => cmd_replay(args),
+        "report" => cmd_report(args),
         "serve" => cmd_serve(args),
         "calibrate" => cmd_calibrate(args),
         "analyze" => cmd_analyze(args),
@@ -428,37 +433,94 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_replay(args: &Args) -> Result<(), String> {
+    use faasrail_loadgen::{replay_observed, ReplayInstruments};
+    use faasrail_telemetry::{spawn_progress_printer, EventSink, JsonlSink, NullSink, Recorder};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
     let reqs: RequestTrace = read_json(args.require("requests")?)?;
     let pool: WorkloadPool = read_json(args.require("pool")?)?;
-    let cfg = ReplayConfig {
-        pacing: Pacing::RealTime { compression: args.num("compression", 1.0f64)? },
-        workers: args.num("workers", 8usize)?,
+    let compression = args.num("compression", 1.0f64)?;
+    let workers = args.num("workers", 8usize)?;
+    let cfg = ReplayConfig { pacing: Pacing::RealTime { compression }, workers };
+
+    // Observability: optional JSONL event log, optional live windowed
+    // metrics (one shard per worker plus one for the pacer).
+    let sink: Box<dyn EventSink> = match args.get("events") {
+        Some(path) => {
+            Box::new(JsonlSink::create(path).map_err(|e| format!("creating {path}: {e}"))?)
+        }
+        None => Box::new(NullSink),
     };
+    let live = args.flag("live-metrics");
+    let recorder =
+        (live || args.get("prom-out").is_some()).then(|| Arc::new(Recorder::new(workers + 1)));
+    let stop = Arc::new(AtomicBool::new(false));
+    let window_s = args.num("window-s", 5u64)?.max(1);
+    let printer = live.then(|| {
+        spawn_progress_printer(
+            Arc::clone(recorder.as_ref().expect("live metrics imply a recorder")),
+            std::time::Duration::from_secs(window_s),
+            Arc::clone(&stop),
+        )
+    });
+    let inst = ReplayInstruments { sink: sink.as_ref(), recorder: recorder.as_deref() };
+
+    eprintln!(
+        "replay: {} requests / {}-minute schedule; pacing=realtime compression={}x workers={} \
+         events={} live-metrics={}",
+        reqs.len(),
+        reqs.duration_minutes,
+        compression,
+        workers,
+        args.get_or("events", "off"),
+        if live { "on" } else { "off" },
+    );
+
     let m = if let Some(target) = args.get("target") {
         use faasrail_gateway::{BreakerConfig, HttpBackend, HttpBackendConfig, RetryPolicy};
+        let timeout_ms = args.num("timeout-ms", 30_000u64)?;
+        let attempts = args.num("attempts", 4u32)?;
+        let breaker_threshold = args.num("breaker-threshold", 0u32)?;
+        let breaker_open_ms = args.num("breaker-open-ms", 1_000u64)?;
         let http_cfg = HttpBackendConfig {
-            request_timeout: std::time::Duration::from_millis(args.num("timeout-ms", 30_000u64)?),
-            retry: RetryPolicy {
-                max_attempts: args.num("attempts", 4u32)?,
-                ..RetryPolicy::default()
-            },
+            request_timeout: std::time::Duration::from_millis(timeout_ms),
+            retry: RetryPolicy { max_attempts: attempts, ..RetryPolicy::default() },
             breaker: BreakerConfig::tripping(
-                args.num("breaker-threshold", 0u32)?,
-                std::time::Duration::from_millis(args.num("breaker-open-ms", 1_000u64)?),
+                breaker_threshold,
+                std::time::Duration::from_millis(breaker_open_ms),
             ),
             ..HttpBackendConfig::default()
         };
         let backend = HttpBackend::connect(target, http_cfg)
             .map_err(|e| format!("resolving {target}: {e}"))?;
-        eprintln!("replaying {} requests over the wire against {target}...", reqs.len());
-        let m = replay(&reqs, &pool, &backend, &cfg);
+        eprintln!(
+            "replay: target={target} timeout-ms={timeout_ms} attempts={attempts} \
+             breaker-threshold={breaker_threshold} breaker-open-ms={breaker_open_ms}"
+        );
+        let m = replay_observed(&reqs, &pool, &backend, &cfg, &stop, &inst);
         eprintln!("transport: {}", backend.transport_summary());
         m
     } else {
         let backend = WarmCacheBackend::new(pool.clone(), WarmCacheConfig::default());
-        eprintln!("replaying {} requests against the warm-cache backend...", reqs.len());
-        replay(&reqs, &pool, &backend, &cfg)
+        eprintln!("replay: backend=warm-cache (in-process)");
+        replay_observed(&reqs, &pool, &backend, &cfg, &stop, &inst)
     };
+    stop.store(true, Ordering::Relaxed);
+    if let Some(handle) = printer {
+        let _ = handle.join();
+    }
+
+    if let Some(path) = args.get("metrics-out") {
+        write_json(path, &m)?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = args.get("prom-out") {
+        let snap = recorder.as_ref().expect("prom-out implies a recorder").snapshot();
+        fs::write(path, snap.to_prometheus("faasrail_replay"))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
     println!(
         "issued={} completed={} errors={} cold={} p50={:.1}ms p99={:.1}ms lateness_p99={:.2}ms",
         m.issued,
@@ -470,6 +532,60 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
         m.lateness.quantile(0.99) * 1_000.0
     );
     println!("outcomes: {}", m.outcome_breakdown());
+    Ok(())
+}
+
+/// `faasrail report --events spans.jsonl [--metrics metrics.json]` —
+/// digest a JSONL telemetry log into a run report (markdown or JSON),
+/// optionally cross-checking the log against the replay's final
+/// `RunMetrics` so silent event loss is caught instead of papered over.
+fn cmd_report(args: &Args) -> Result<(), String> {
+    use faasrail_telemetry::{parse_jsonl, RunReport};
+    use std::io::BufReader;
+
+    let path = args.require("events")?;
+    let file = fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+    let events = parse_jsonl(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+    let report = RunReport::from_events(&events);
+
+    if let Some(mpath) = args.get("metrics") {
+        let m: faasrail_loadgen::RunMetrics = read_json(mpath)?;
+        let checks = [
+            ("issued", report.issued, m.issued),
+            ("completed", report.completed, m.completed),
+            ("app_errors", report.app_errors, m.app_errors),
+            ("timeouts", report.timeouts, m.timeouts),
+            ("transport_errors", report.transport_errors, m.transport_errors),
+            ("shed", report.shed, m.shed),
+            ("cold_starts", report.cold_starts, m.cold_starts),
+        ];
+        let mismatches: Vec<String> = checks
+            .iter()
+            .filter(|(_, from_log, from_metrics)| from_log != from_metrics)
+            .map(|(name, from_log, from_metrics)| {
+                format!("{name}: event log {from_log} vs metrics {from_metrics}")
+            })
+            .collect();
+        if !mismatches.is_empty() {
+            return Err(format!("event log disagrees with {mpath}: {}", mismatches.join("; ")));
+        }
+        eprintln!("event log agrees with {mpath} on every outcome counter");
+    }
+
+    let rendered = match args.get_or("format", "markdown") {
+        "markdown" | "md" => report.to_markdown(),
+        "json" => {
+            serde_json::to_string_pretty(&report).map_err(|e| format!("serializing report: {e}"))?
+        }
+        f => return Err(format!("unknown format {f} (try markdown|json)")),
+    };
+    match args.get("out") {
+        Some(out) => {
+            fs::write(out, rendered).map_err(|e| format!("writing {out}: {e}"))?;
+            eprintln!("wrote {out}");
+        }
+        None => print!("{rendered}"),
+    }
     Ok(())
 }
 
@@ -502,12 +618,29 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         b => return Err(format!("unknown backend {b} (try warm-cache|in-process|noop)")),
     };
     let name = backend.name().to_string();
+    let cfg_banner = format!(
+        "conn-workers={} queue-cap={} read-timeout-s={}",
+        cfg.workers,
+        cfg.queue_capacity,
+        cfg.read_timeout.as_secs()
+    );
+    let f = &cfg.fault;
+    let fault_banner = format!(
+        "faults: drop={} error={} stall={}@{}ms latency={}@{}ms seed={}",
+        f.drop_fraction,
+        f.error_fraction,
+        f.stall_fraction,
+        f.stall_ms,
+        f.latency_fraction,
+        f.latency_ms,
+        f.seed
+    );
     let gateway = Gateway::bind(args.get_or("addr", "127.0.0.1:7471"), backend, cfg)
         .map_err(|e| format!("binding gateway: {e}"))?;
+    eprintln!("serve: backend={name} at http://{} ({cfg_banner})", gateway.local_addr());
+    eprintln!("serve: {fault_banner}");
     eprintln!(
-        "serving backend `{name}` at http://{} (POST /invoke, GET /healthz, GET /stats); \
-         ctrl-c to stop",
-        gateway.local_addr()
+        "serve: endpoints POST /invoke, GET /healthz, GET /stats, GET /metrics; ctrl-c to stop"
     );
     gateway.run();
     Ok(())

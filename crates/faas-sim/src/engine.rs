@@ -15,6 +15,9 @@ use crate::scheduler::{LoadBalancer, NodeView};
 use faasrail_core::RequestTrace;
 use faasrail_stats::sampler::{LogNormal, Sampler};
 use faasrail_stats::seeded_rng;
+use faasrail_telemetry::{
+    EventSink, InvocationSpan, NullSink, OutcomeClass, RunInfo, RunSummary, TelemetryEvent,
+};
 use faasrail_workloads::{WorkloadId, WorkloadPool};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -97,6 +100,8 @@ struct Sandbox {
 
 #[derive(Debug, Clone, Copy)]
 struct QueuedReq {
+    /// Index into the trace's request vector (span sequence number).
+    index: u32,
     arrived_us: u64,
     workload: WorkloadId,
 }
@@ -105,7 +110,12 @@ struct QueuedReq {
 struct Running {
     node: u32,
     sandbox: Sandbox,
+    index: u32,
     arrived_us: u64,
+    /// Virtual instant the invocation left the queue and began executing.
+    started_us: u64,
+    /// Jitter/slowdown-adjusted service time (excludes cold-start init).
+    service_ms: f64,
     started_cold: bool,
 }
 
@@ -125,7 +135,39 @@ pub fn simulate(
     policy: &mut dyn KeepAlivePolicy,
     opts: &SimOptions,
 ) -> SimMetrics {
+    simulate_observed(trace, pool, cluster, balancer, policy, opts, &NullSink)
+}
+
+/// Run the simulation, emitting a telemetry event stream as it goes.
+///
+/// The emitted spans carry *virtual* timestamps (microseconds of simulated
+/// time since experiment start), so the same `faasrail report` pipeline
+/// that digests a wall-clock replay log works on simulator output:
+/// `dispatched_us` is the arrival instant (the simulator's open-loop
+/// schedule never lags), `picked_up_us` is when a core started executing
+/// the invocation (queue wait in between), and cold-start initialization
+/// shows up as overhead between pickup and completion beyond `service_ms`.
+/// Invocations killed by a node crash become [`OutcomeClass::Transport`]
+/// spans; requests still queued when a node dies (or starved at the end of
+/// the run) never started and get no span.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_observed(
+    trace: &RequestTrace,
+    pool: &WorkloadPool,
+    cluster: &ClusterConfig,
+    balancer: &mut dyn LoadBalancer,
+    policy: &mut dyn KeepAlivePolicy,
+    opts: &SimOptions,
+    sink: &dyn EventSink,
+) -> SimMetrics {
     cluster.validate().expect("invalid cluster");
+    sink.emit(&TelemetryEvent::RunStart(RunInfo {
+        requests: trace.len() as u64,
+        duration_minutes: trace.duration_minutes as u64,
+        workers: (cluster.nodes * cluster.cores_per_node) as u64,
+        pacing: "simulated".to_string(),
+        compression: 1.0,
+    }));
     let mut rng = seeded_rng(opts.seed);
     let jitter =
         (opts.service_jitter_sigma > 0.0).then(|| LogNormal::new(0.0, opts.service_jitter_sigma));
@@ -267,7 +309,10 @@ pub fn simulate(
             Running {
                 node: node_idx as u32,
                 sandbox,
+                index: req.index,
                 arrived_us: req.arrived_us,
+                started_us: now_us,
+                service_ms,
                 started_cold: cold,
             },
         );
@@ -337,7 +382,7 @@ pub fn simulate(
                     })
                     .collect();
                 let target = balancer.pick_node(r.workload, &views).min(nodes.len() - 1);
-                let req = QueuedReq { arrived_us: now_us, workload: r.workload };
+                let req = QueuedReq { index: i, arrived_us: now_us, workload: r.workload };
                 let started = try_start(
                     &mut nodes,
                     target,
@@ -374,6 +419,20 @@ pub fn simulate(
                 // Response includes queueing and (for cold starts) the
                 // sandbox creation delay by construction.
                 metrics.response.record(((now_us - run.arrived_us) as f64 / 1e6).max(1e-9));
+                sink.emit(&TelemetryEvent::Invocation(InvocationSpan {
+                    seq: run.index as u64,
+                    workload: run.sandbox.workload.0 as u64,
+                    function_index: trace.requests[run.index as usize].function_index,
+                    scheduled_ms: run.arrived_us / 1_000,
+                    target_us: run.arrived_us,
+                    dispatched_us: run.arrived_us,
+                    picked_up_us: run.started_us,
+                    completed_us: now_us,
+                    service_ms: run.service_ms,
+                    outcome: OutcomeClass::Ok,
+                    cold_start: run.started_cold,
+                    error: None,
+                }));
 
                 // Idle the sandbox.
                 next_stamp += 1;
@@ -488,8 +547,22 @@ pub fn simulate(
                 let doomed: Vec<u64> =
                     running.iter().filter(|(_, r)| r.node == node).map(|(&k, _)| k).collect();
                 for key in doomed {
-                    running.remove(&key);
+                    let Some(run) = running.remove(&key) else { continue };
                     metrics.killed += 1;
+                    sink.emit(&TelemetryEvent::Invocation(InvocationSpan {
+                        seq: run.index as u64,
+                        workload: run.sandbox.workload.0 as u64,
+                        function_index: trace.requests[run.index as usize].function_index,
+                        scheduled_ms: run.arrived_us / 1_000,
+                        target_us: run.arrived_us,
+                        dispatched_us: run.arrived_us,
+                        picked_up_us: run.started_us,
+                        completed_us: now_us,
+                        service_ms: 0.0,
+                        outcome: OutcomeClass::Transport,
+                        cold_start: run.started_cold,
+                        error: Some("node crash".to_string()),
+                    }));
                 }
                 n.busy_cores = 0;
                 // Warm state is gone: account idle time up to the crash,
@@ -516,6 +589,14 @@ pub fn simulate(
     }
     metrics.duration_ms = last_us as f64 / 1_000.0;
     metrics.total_cores = (cluster.nodes * cluster.cores_per_node) as u64;
+    sink.emit(&TelemetryEvent::RunEnd(RunSummary {
+        issued: metrics.arrivals,
+        completed: metrics.completions,
+        errors: metrics.killed + metrics.starved,
+        aborted: false,
+        wall_us: last_us,
+    }));
+    sink.flush();
     metrics
 }
 
@@ -909,6 +990,101 @@ mod tests {
             healthy.busy_core_ms
         );
         assert!(straggler.response.quantile(0.5) > healthy.response.quantile(0.5));
+    }
+
+    #[test]
+    fn observed_simulation_emits_sim_time_spans() {
+        use faasrail_telemetry::RingSink;
+        let trace = trace_of(vec![(0, 7), (5_000, 7)]);
+        let mut lb = RoundRobin::default();
+        let mut ka = FixedTtl::ten_minutes();
+        let sink = RingSink::with_capacity(16);
+        let m = simulate_observed(
+            &trace,
+            &pool(),
+            &ClusterConfig::single_node(4, 4_096.0),
+            &mut lb,
+            &mut ka,
+            &SimOptions::default(),
+            &sink,
+        );
+        let events = sink.events();
+        assert!(matches!(events.first(), Some(TelemetryEvent::RunStart(_))));
+        let Some(TelemetryEvent::RunEnd(end)) = events.last() else {
+            panic!("stream must end with run_end");
+        };
+        assert_eq!(end.issued, m.arrivals);
+        assert_eq!(end.completed, m.completions);
+        assert_eq!(end.errors, 0);
+
+        let spans: Vec<&InvocationSpan> = events
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::Invocation(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans.len() as u64, m.completions);
+        assert!(spans[0].cold_start && !spans[1].cold_start);
+        for s in &spans {
+            assert_eq!(s.outcome, OutcomeClass::Ok);
+            assert!(s.dispatched_us <= s.picked_up_us);
+            assert!(s.picked_up_us <= s.completed_us);
+            assert!(s.service_ms > 0.0);
+        }
+        // Cold-start init is visible as pickup→completion overhead beyond
+        // the service time; the warm invocation has none (virtual time, so
+        // the decomposition is exact up to microsecond truncation).
+        assert!(spans[0].overhead_s() > 0.0);
+        assert_eq!(spans[1].overhead_s(), 0.0);
+        // Idle cluster: no queue wait, dispatch == arrival.
+        assert_eq!(spans[1].dispatched_us, 5_000_000);
+        assert_eq!(spans[1].queue_wait_s(), 0.0);
+    }
+
+    #[test]
+    fn observed_simulation_records_crash_kills_as_transport_spans() {
+        use faasrail_telemetry::RingSink;
+        let trace = trace_of(vec![(0, 7), (600_000, 7)]);
+        let mut lb = RoundRobin::default();
+        let mut ka = FixedTtl::ten_minutes();
+        let sink = RingSink::with_capacity(16);
+        let m = simulate_observed(
+            &trace,
+            &pool(),
+            &ClusterConfig::single_node(4, 4_096.0),
+            &mut lb,
+            &mut ka,
+            &SimOptions {
+                node_faults: vec![NodeFault {
+                    node: 0,
+                    crash_at_ms: Some(1),
+                    ..Default::default()
+                }],
+                ..Default::default()
+            },
+            &sink,
+        );
+        assert_eq!(m.killed, 1);
+        let events = sink.events();
+        let spans: Vec<&InvocationSpan> = events
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::Invocation(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans.len(), 2);
+        let killed: Vec<_> =
+            spans.iter().filter(|s| s.outcome == OutcomeClass::Transport).collect();
+        assert_eq!(killed.len(), 1);
+        assert_eq!(killed[0].seq, 0, "the t=0 request died in the crash");
+        assert_eq!(killed[0].error.as_deref(), Some("node crash"));
+        assert_eq!(killed[0].completed_us, 1_000, "killed at the crash instant");
+        let Some(TelemetryEvent::RunEnd(end)) = events.last() else {
+            panic!("stream must end with run_end");
+        };
+        assert_eq!(end.errors, m.killed + m.starved);
     }
 
     #[test]

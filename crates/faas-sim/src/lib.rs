@@ -20,7 +20,7 @@ pub mod rt_backend;
 pub mod scheduler;
 
 pub use cluster::{ClusterConfig, ColdStartModel};
-pub use engine::{simulate, NodeFault, SimOptions};
+pub use engine::{simulate, simulate_observed, NodeFault, SimOptions};
 pub use keepalive::{
     FixedTtl, GreedyDual, HybridHistogram, IdleSandbox, KeepAlivePolicy, LruPolicy,
 };

@@ -29,6 +29,10 @@ pub struct Response {
     /// Parsed `Retry-After` header (whole seconds), when the server sent
     /// one — a shedding gateway's hint to back off.
     pub retry_after: Option<u64>,
+    /// The `Content-Type` header verbatim, when present — lets clients
+    /// (and tests) distinguish `application/json` bodies from the
+    /// Prometheus text format's versioned media type.
+    pub content_type: Option<String>,
     pub body: Vec<u8>,
 }
 
@@ -64,6 +68,7 @@ struct HeadInfo {
     content_length: usize,
     keep_alive: bool,
     retry_after: Option<u64>,
+    content_type: Option<String>,
 }
 
 /// Shared header-section parse. `keep_alive` starts from the HTTP-version
@@ -74,8 +79,12 @@ fn read_headers<R: BufRead>(
     budget: &mut usize,
     version_keep_alive: bool,
 ) -> io::Result<HeadInfo> {
-    let mut info =
-        HeadInfo { content_length: 0, keep_alive: version_keep_alive, retry_after: None };
+    let mut info = HeadInfo {
+        content_length: 0,
+        keep_alive: version_keep_alive,
+        retry_after: None,
+        content_type: None,
+    };
     loop {
         let line = read_line(r, budget)?.ok_or_else(|| invalid("EOF inside headers"))?;
         if line.is_empty() {
@@ -105,6 +114,7 @@ fn read_headers<R: BufRead>(
             }
             // HTTP-date form is ignored (the gateway only emits seconds).
             "retry-after" => info.retry_after = value.parse::<u64>().ok(),
+            "content-type" => info.content_type = Some(value.to_string()),
             _ => {}
         }
     }
@@ -158,7 +168,13 @@ pub fn read_response<R: BufRead>(r: &mut R) -> io::Result<Response> {
     let version_keep_alive = version != "HTTP/1.0";
     let info = read_headers(r, &mut budget, version_keep_alive)?;
     let body = read_body(r, info.content_length)?;
-    Ok(Response { status, keep_alive: info.keep_alive, retry_after: info.retry_after, body })
+    Ok(Response {
+        status,
+        keep_alive: info.keep_alive,
+        retry_after: info.retry_after,
+        content_type: info.content_type,
+        body,
+    })
 }
 
 /// Canonical reason phrases for the statuses the gateway emits.
@@ -305,7 +321,20 @@ mod tests {
         let resp = read_response(&mut Cursor::new(buf)).unwrap();
         assert_eq!(resp.status, 200);
         assert!(resp.keep_alive);
+        assert_eq!(resp.content_type.as_deref(), Some("application/json"));
         assert_eq!(resp.body, b"{\"ok\":true}");
+    }
+
+    #[test]
+    fn content_type_roundtrips_verbatim_including_parameters() {
+        let mut buf = Vec::new();
+        write_response(&mut buf, 200, "text/plain; version=0.0.4", b"x 1\n", true).unwrap();
+        let resp = read_response(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(resp.content_type.as_deref(), Some("text/plain; version=0.0.4"));
+        // Absent header parses to None.
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n";
+        let resp = read_response(&mut Cursor::new(raw.to_vec())).unwrap();
+        assert_eq!(resp.content_type, None);
     }
 
     #[test]

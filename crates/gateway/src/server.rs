@@ -9,7 +9,9 @@
 //!   the backend's [`InvocationResult`] (application failures travel as
 //!   `ok: false` bodies, not HTTP errors);
 //! * `GET /healthz` — liveness probe;
-//! * `GET /stats` — aggregate and per-connection counters as JSON.
+//! * `GET /stats` — aggregate and per-connection counters as JSON;
+//! * `GET /metrics` — the same counters in Prometheus text format (0.0.4),
+//!   scrapeable by standard monitoring tooling.
 //!
 //! A seeded [`FaultConfig`] can drop or 5xx a deterministic fraction of
 //! invocations — the harness for exercising client-side retry under
@@ -18,6 +20,7 @@
 use crate::backoff::mix_fraction;
 use crate::http;
 use faasrail_loadgen::{Backend, InvocationRequest};
+use faasrail_telemetry::PromText;
 use std::io::{self, BufReader, ErrorKind};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -196,6 +199,77 @@ impl GatewayStats {
             self.max_requests_per_connection.load(Ordering::Relaxed),
             mean_per_conn,
         )
+    }
+
+    /// Render the counters in Prometheus text format (0.0.4), for
+    /// `GET /metrics`.
+    pub fn to_prometheus(&self) -> String {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let mut p = PromText::new();
+        p.counter(
+            "faasrail_gateway_connections_accepted_total",
+            "TCP connections accepted.",
+            load(&self.connections_accepted),
+        );
+        p.counter(
+            "faasrail_gateway_connections_closed_total",
+            "Connections fully handled and closed.",
+            load(&self.connections_closed),
+        );
+        p.gauge(
+            "faasrail_gateway_connections_active",
+            "Connections currently held by a handler worker.",
+            load(&self.connections_active) as f64,
+        );
+        p.counter(
+            "faasrail_gateway_requests_total",
+            "HTTP requests parsed (any endpoint).",
+            load(&self.requests),
+        );
+        p.counter(
+            "faasrail_gateway_invocations_total",
+            "POST /invoke requests reaching the fault/backend stage.",
+            load(&self.invocations),
+        );
+        p.counter_vec(
+            "faasrail_gateway_invocation_results_total",
+            "Backend invocation outcomes.",
+            "result",
+            &[("ok", load(&self.invocations_ok)), ("failed", load(&self.invocations_failed))],
+        );
+        p.counter(
+            "faasrail_gateway_shed_total",
+            "Connections refused with 429 at admission.",
+            load(&self.shed),
+        );
+        p.gauge(
+            "faasrail_gateway_queue_depth",
+            "Connections accepted but not yet picked up by a worker.",
+            load(&self.queue_depth) as f64,
+        );
+        p.counter_vec(
+            "faasrail_gateway_faults_injected_total",
+            "Injected faults, by kind.",
+            "kind",
+            &[
+                ("drop", load(&self.faults_dropped)),
+                ("error", load(&self.faults_errored)),
+                ("stall", load(&self.faults_stalled)),
+                ("delay", load(&self.faults_delayed)),
+            ],
+        );
+        p.counter_vec(
+            "faasrail_gateway_http_errors_total",
+            "Error responses, by status code.",
+            "code",
+            &[("400", load(&self.http_400)), ("404", load(&self.http_404))],
+        );
+        p.gauge(
+            "faasrail_gateway_max_requests_per_connection",
+            "Most requests any single connection has served.",
+            load(&self.max_requests_per_connection) as f64,
+        );
+        p.finish()
     }
 }
 
@@ -476,6 +550,16 @@ fn handle_connection(
                     keep,
                 )?;
             }
+            ("GET", "/metrics") => {
+                stats.max_requests_per_connection.fetch_max(served_here, Ordering::Relaxed);
+                http::write_response(
+                    &mut (&stream),
+                    200,
+                    faasrail_telemetry::prometheus::CONTENT_TYPE,
+                    stats.to_prometheus().as_bytes(),
+                    keep,
+                )?;
+            }
             _ => {
                 stats.http_404.fetch_add(1, Ordering::Relaxed);
                 http::write_response(&mut (&stream), 404, "text/plain", b"not found", keep)?;
@@ -547,6 +631,33 @@ mod tests {
         assert!(json.contains("\"requests\":3"), "{json}");
         assert!(json.contains("\"http_404\":1"), "{json}");
         assert!(json.contains("\"connections_accepted\":1"), "{json}");
+
+        drop(stream);
+        handle.stop();
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let handle = spawn_noop(test_cfg());
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+
+        let resp = roundtrip(&stream, "POST", "/invoke", &request_json());
+        assert_eq!(resp.status, 200);
+
+        let resp = roundtrip(&stream, "GET", "/metrics", b"");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type.as_deref(), Some("text/plain; version=0.0.4"));
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("# TYPE faasrail_gateway_requests_total counter"), "{text}");
+        assert!(
+            text.contains("faasrail_gateway_invocation_results_total{result=\"ok\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("faasrail_gateway_connections_active 1"), "{text}");
+
+        // /stats stays JSON on the same connection.
+        let resp = roundtrip(&stream, "GET", "/stats", b"");
+        assert_eq!(resp.content_type.as_deref(), Some("application/json"));
 
         drop(stream);
         handle.stop();

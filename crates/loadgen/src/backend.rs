@@ -21,37 +21,11 @@ pub struct InvocationRequest {
     pub scheduled_at_ms: u64,
 }
 
-/// Classification of a failed (or successful) invocation, for per-class
-/// accounting in [`crate::RunMetrics`]. Over a network path the three
-/// failure classes behave very differently — an application error already
-/// consumed backend resources, a timeout may still be executing, and a
-/// transport error may never have reached application code — so replay
-/// summaries report them separately.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-pub enum OutcomeClass {
-    /// Served successfully.
-    #[default]
-    Ok,
-    /// The backend executed the request and reported failure. Not
-    /// retryable: retrying would re-run (non-idempotent) application code.
-    AppError,
-    /// The per-request deadline expired before a response arrived.
-    Timeout,
-    /// Connect/read/write failure, or an error response from a gateway in
-    /// front of the backend; the request may never have reached
-    /// application code.
-    Transport,
-    /// Rejected by overload protection before reaching application code: a
-    /// gateway shedding load (`429 Too Many Requests`) or the client-side
-    /// circuit breaker failing fast while open. Distinct from
-    /// [`OutcomeClass::Transport`] because the system under test made a
-    /// deliberate, healthy decision to refuse work — a load generator that
-    /// lumps shed requests in with broken sockets misreports overload
-    /// behaviour as infrastructure failure.
-    Shed,
-}
+/// Classification of a failed (or successful) invocation. The canonical
+/// definition lives in `faasrail-telemetry` (the observability substrate
+/// sits below this crate so spans and run metrics share one vocabulary);
+/// re-exported here because backends are the ones producing it.
+pub use faasrail_telemetry::OutcomeClass;
 
 /// What the backend reports back.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

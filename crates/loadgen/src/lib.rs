@@ -23,4 +23,4 @@ pub use backend::{
     Backend, InProcessBackend, InvocationRequest, InvocationResult, NoopBackend, OutcomeClass,
 };
 pub use metrics::RunMetrics;
-pub use replay::{replay, replay_until, Pacing, ReplayConfig};
+pub use replay::{replay, replay_observed, replay_until, Pacing, ReplayConfig, ReplayInstruments};

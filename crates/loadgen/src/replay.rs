@@ -24,6 +24,9 @@ use crate::backend::{Backend, InvocationRequest, InvocationResult};
 use crate::metrics::RunMetrics;
 use crossbeam::channel;
 use faasrail_core::RequestTrace;
+use faasrail_telemetry::{
+    EventSink, InvocationSpan, NullSink, Recorder, RunInfo, RunSummary, TelemetryEvent,
+};
 use faasrail_workloads::WorkloadPool;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -60,11 +63,43 @@ impl Default for ReplayConfig {
     }
 }
 
+/// Observability hooks threaded through a replay. The default is inert
+/// (null sink, no recorder), so un-instrumented replays pay nothing beyond
+/// a couple of branch tests per invocation.
+pub struct ReplayInstruments<'a> {
+    /// Destination for the run's event stream: one `run_start`, one
+    /// `invocation` span per dispatched request, one `run_end`.
+    pub sink: &'a dyn EventSink,
+    /// Optional live-metrics recorder. Worker `i` records into shard `i`
+    /// and the pacer into shard `workers`, so a recorder with
+    /// `workers + 1` shards is contention-free (any shard count still
+    /// works — indices wrap).
+    pub recorder: Option<&'a Recorder>,
+}
+
+static NULL_SINK: NullSink = NullSink;
+
+impl Default for ReplayInstruments<'_> {
+    fn default() -> Self {
+        ReplayInstruments { sink: &NULL_SINK, recorder: None }
+    }
+}
+
 struct Job {
     req: InvocationRequest,
     /// The instant the request was dispatched (for response-time
     /// accounting under real-time pacing).
     dispatched: Instant,
+    /// Dispatch sequence number, for span identity.
+    seq: u64,
+    /// Scheduled fire instant, µs from run start (= actual dispatch when
+    /// not pacing in real time).
+    target_us: u64,
+}
+
+/// Microseconds from `t0` to `t`, clamped at zero.
+fn us_since(t0: Instant, t: Instant) -> u64 {
+    t.saturating_duration_since(t0).as_micros() as u64
 }
 
 /// Hybrid wait: coarse sleep until ~1 ms before the target, then spin.
@@ -158,15 +193,45 @@ pub fn replay_until<B: Backend>(
     cfg: &ReplayConfig,
     stop: &AtomicBool,
 ) -> RunMetrics {
+    replay_observed(trace, pool, backend, cfg, stop, &ReplayInstruments::default())
+}
+
+/// [`replay_until`], with observability: every dispatched request is
+/// emitted as an [`InvocationSpan`] (bracketed by `run_start`/`run_end`
+/// events) through `inst.sink`, and, when present, `inst.recorder` is
+/// updated on the hot path for live windowed metrics. The returned
+/// [`RunMetrics`] are identical to an un-instrumented run's.
+pub fn replay_observed<B: Backend>(
+    trace: &RequestTrace,
+    pool: &WorkloadPool,
+    backend: &B,
+    cfg: &ReplayConfig,
+    stop: &AtomicBool,
+    inst: &ReplayInstruments<'_>,
+) -> RunMetrics {
     assert!(cfg.workers > 0, "need at least one worker");
     if let Pacing::RealTime { compression } = cfg.pacing {
         assert!(compression > 0.0, "compression must be positive");
     }
 
+    let (pacing_name, compression) = match cfg.pacing {
+        Pacing::RealTime { compression } => ("realtime", compression),
+        Pacing::Unpaced => ("unpaced", 1.0),
+        Pacing::ClosedLoop => ("closed-loop", 1.0),
+    };
+    inst.sink.emit(&TelemetryEvent::RunStart(RunInfo {
+        requests: trace.requests.len() as u64,
+        duration_minutes: trace.duration_minutes as u64,
+        workers: cfg.workers as u64,
+        pacing: pacing_name.to_string(),
+        compression,
+    }));
+
+    let start = Instant::now();
     let (tx, rx) = channel::unbounded::<Job>();
-    std::thread::scope(|scope| {
+    let metrics = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(cfg.workers);
-        for _ in 0..cfg.workers {
+        for worker in 0..cfg.workers {
             let rx = rx.clone();
             handles.push(scope.spawn(move || {
                 let mut local = RunMetrics::new();
@@ -174,19 +239,43 @@ pub fn replay_until<B: Backend>(
                 while let Ok(job) = rx.recv() {
                     let picked_up = Instant::now();
                     let result = invoke_isolated(backend, &job.req);
+                    let completed = Instant::now();
                     let response_s = if from_pickup {
-                        picked_up.elapsed().as_secs_f64()
+                        completed.duration_since(picked_up).as_secs_f64()
                     } else {
-                        job.dispatched.elapsed().as_secs_f64()
+                        completed.duration_since(job.dispatched).as_secs_f64()
                     };
+                    let response_recorded = response_s.max(result.service_ms / 1_000.0);
                     local.record_outcome(&result);
                     if result.cold_start {
                         local.cold_starts += 1;
                     }
-                    local.response.record(response_s.max(result.service_ms / 1_000.0));
+                    local.response.record(response_recorded);
                     local.service.record(result.service_ms / 1_000.0);
                     let kind = job.req.input.kind();
                     *local.per_kind.entry(kind).or_insert(0) += 1;
+                    if let Some(recorder) = inst.recorder {
+                        recorder.record_outcome(
+                            worker,
+                            result.outcome(),
+                            response_recorded,
+                            result.cold_start,
+                        );
+                    }
+                    inst.sink.emit(&TelemetryEvent::Invocation(InvocationSpan {
+                        seq: job.seq,
+                        workload: job.req.workload.0 as u64,
+                        function_index: job.req.function_index,
+                        scheduled_ms: job.req.scheduled_at_ms,
+                        target_us: job.target_us,
+                        dispatched_us: us_since(start, job.dispatched),
+                        picked_up_us: us_since(start, picked_up),
+                        completed_us: us_since(start, completed),
+                        service_ms: result.service_ms,
+                        outcome: result.outcome(),
+                        cold_start: result.cold_start,
+                        error: result.error,
+                    }));
                 }
                 local
             }));
@@ -195,14 +284,16 @@ pub fn replay_until<B: Backend>(
 
         // Pacer (this thread). `issued` counts only what was actually
         // dispatched, so a stopped run reports its true prefix.
+        let pacer_shard = cfg.workers;
         let mut pacer = RunMetrics::new();
-        let start = Instant::now();
+        let mut seq = 0u64;
         for r in &trace.requests {
             if stop.load(Ordering::Relaxed) {
                 pacer.aborted = true;
                 break;
             }
             let workload = pool.get(r.workload).expect("request workload in pool");
+            let mut target_us = None;
             if let Pacing::RealTime { compression } = cfg.pacing {
                 let target =
                     start + Duration::from_secs_f64(r.at_ms as f64 / 1_000.0 / compression);
@@ -213,8 +304,13 @@ pub fn replay_until<B: Backend>(
                 pacer
                     .lateness
                     .record((Instant::now().saturating_duration_since(target)).as_secs_f64());
+                target_us = Some(us_since(start, target));
             }
             pacer.record_issued(r.at_ms);
+            if let Some(recorder) = inst.recorder {
+                recorder.record_issued(pacer_shard);
+            }
+            let dispatched = Instant::now();
             let job = Job {
                 req: InvocationRequest {
                     workload: r.workload,
@@ -222,8 +318,13 @@ pub fn replay_until<B: Backend>(
                     function_index: r.function_index,
                     scheduled_at_ms: r.at_ms,
                 },
-                dispatched: Instant::now(),
+                dispatched,
+                seq,
+                // Unpaced/closed-loop dispatch is its own schedule: zero
+                // lateness by construction.
+                target_us: target_us.unwrap_or_else(|| us_since(start, dispatched)),
             };
+            seq += 1;
             if tx.send(job).is_err() {
                 break; // all workers died; stop issuing
             }
@@ -234,7 +335,17 @@ pub fn replay_until<B: Backend>(
             pacer.merge(&h.join().expect("worker panicked"));
         }
         pacer
-    })
+    });
+
+    inst.sink.emit(&TelemetryEvent::RunEnd(RunSummary {
+        issued: metrics.issued,
+        completed: metrics.completed,
+        errors: metrics.errors,
+        aborted: metrics.aborted,
+        wall_us: us_since(start, Instant::now()),
+    }));
+    inst.sink.flush();
+    metrics
 }
 
 #[cfg(test)]
@@ -243,6 +354,7 @@ mod tests {
     use crate::backend::{InvocationResult, NoopBackend, OutcomeClass};
     use faasrail_core::Request;
     use faasrail_workloads::{CostModel, WorkloadId, WorkloadPool};
+    use proptest::prelude::*;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn tiny_trace(n: u64, spacing_ms: u64) -> RequestTrace {
@@ -535,5 +647,166 @@ mod tests {
         let trace = tiny_trace(1, 1);
         let pool = vanilla_pool();
         replay(&trace, &pool, &NoopBackend, &ReplayConfig { pacing: Pacing::Unpaced, workers: 0 });
+    }
+
+    #[test]
+    fn observed_replay_emits_one_span_per_request() {
+        use faasrail_telemetry::{RingSink, TelemetryEvent};
+        struct Flaky(AtomicU64);
+        impl Backend for Flaky {
+            fn invoke(&self, _req: &InvocationRequest) -> InvocationResult {
+                if self.0.fetch_add(1, Ordering::Relaxed) % 3 == 0 {
+                    InvocationResult::timeout("deadline")
+                } else {
+                    InvocationResult::success(0.1, false)
+                }
+            }
+        }
+        let trace = tiny_trace(90, 0);
+        let pool = vanilla_pool();
+        let sink = RingSink::with_capacity(200);
+        let inst = ReplayInstruments { sink: &sink, recorder: None };
+        let m = replay_observed(
+            &trace,
+            &pool,
+            &Flaky(AtomicU64::new(0)),
+            &ReplayConfig { pacing: Pacing::Unpaced, workers: 3 },
+            &AtomicBool::new(false),
+            &inst,
+        );
+
+        let events = sink.events();
+        assert!(matches!(events.first(), Some(TelemetryEvent::RunStart(_))));
+        assert!(matches!(events.last(), Some(TelemetryEvent::RunEnd(_))));
+        let spans: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::Invocation(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans.len() as u64, m.issued);
+        // Sequence numbers are a permutation of 0..issued.
+        let mut seqs: Vec<u64> = spans.iter().map(|s| s.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..m.issued).collect::<Vec<_>>());
+        // The span outcome partition matches the final metrics exactly.
+        let ok = spans.iter().filter(|s| s.outcome == OutcomeClass::Ok).count() as u64;
+        let timeouts = spans.iter().filter(|s| s.outcome == OutcomeClass::Timeout).count() as u64;
+        assert_eq!(ok, m.completed);
+        assert_eq!(timeouts, m.timeouts);
+        // Failed spans carry the error message; successful ones don't.
+        assert!(spans.iter().all(|s| (s.outcome == OutcomeClass::Ok) == s.error.is_none()));
+        // Stage timestamps are ordered for every span.
+        for s in &spans {
+            assert!(s.dispatched_us <= s.picked_up_us, "{s:?}");
+            assert!(s.picked_up_us <= s.completed_us, "{s:?}");
+        }
+        if let Some(TelemetryEvent::RunEnd(end)) = events.last() {
+            assert_eq!(end.issued, m.issued);
+            assert_eq!(end.completed, m.completed);
+            assert_eq!(end.errors, m.errors);
+        }
+    }
+
+    #[test]
+    fn observed_replay_metrics_match_plain_replay_counters() {
+        use faasrail_telemetry::Recorder;
+        let trace = tiny_trace(120, 0);
+        let pool = vanilla_pool();
+        let recorder = Recorder::new(3); // workers + 1
+        let inst =
+            ReplayInstruments { sink: &faasrail_telemetry::NullSink, recorder: Some(&recorder) };
+        let m = replay_observed(
+            &trace,
+            &pool,
+            &NoopBackend,
+            &ReplayConfig { pacing: Pacing::Unpaced, workers: 2 },
+            &AtomicBool::new(false),
+            &inst,
+        );
+        let snap = recorder.snapshot();
+        assert_eq!(snap.issued, m.issued);
+        assert_eq!(snap.completed, m.completed);
+        assert_eq!(snap.errors_total(), m.errors);
+        assert_eq!(snap.response.total(), m.response.total());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        // Windowed snapshots are lossless: deltas between any chain of
+        // snapshots taken *while the replay runs* telescope to the final
+        // cumulative snapshot, which in turn equals the RunMetrics counters.
+        #[test]
+        fn recorder_window_deltas_sum_to_run_metrics(n in 1u64..150, err_mod in 2u64..6) {
+            use faasrail_telemetry::{Recorder, Snapshot};
+            use std::sync::Arc;
+
+            struct Flaky(AtomicU64, u64);
+            impl Backend for Flaky {
+                fn invoke(&self, _req: &InvocationRequest) -> InvocationResult {
+                    let i = self.0.fetch_add(1, Ordering::Relaxed);
+                    if i % self.1 == 0 {
+                        InvocationResult::transport("refused")
+                    } else {
+                        InvocationResult::success(0.05, i % 7 == 0)
+                    }
+                }
+            }
+
+            let trace = tiny_trace(n, 0);
+            let pool = vanilla_pool();
+            let recorder = Arc::new(Recorder::new(3));
+            let sampling = Arc::new(AtomicBool::new(true));
+
+            let sampler = {
+                let recorder = Arc::clone(&recorder);
+                let sampling = Arc::clone(&sampling);
+                std::thread::spawn(move || {
+                    let mut snaps = Vec::new();
+                    while sampling.load(Ordering::Relaxed) {
+                        snaps.push(recorder.snapshot());
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    snaps
+                })
+            };
+
+            let inst = ReplayInstruments {
+                sink: &faasrail_telemetry::NullSink,
+                recorder: Some(&recorder),
+            };
+            let m = replay_observed(
+                &trace,
+                &pool,
+                &Flaky(AtomicU64::new(0), err_mod),
+                &ReplayConfig { pacing: Pacing::Unpaced, workers: 2 },
+                &AtomicBool::new(false),
+                &inst,
+            );
+            sampling.store(false, Ordering::Relaxed);
+            let mut snaps = sampler.join().unwrap();
+            snaps.push(recorder.snapshot()); // final cumulative state
+
+            // Sum the per-window deltas across the whole snapshot chain.
+            let mut acc = Snapshot::default();
+            let mut prev = Snapshot::default();
+            for s in &snaps {
+                let w = s.delta(&prev);
+                acc.issued += w.issued;
+                acc.completed += w.completed;
+                for (a, b) in acc.errors.iter_mut().zip(&w.errors) { *a += b; }
+                acc.cold_starts += w.cold_starts;
+                acc.response.merge(&w.response);
+                prev = s.clone();
+            }
+
+            prop_assert_eq!(acc.issued, m.issued);
+            prop_assert_eq!(acc.completed, m.completed);
+            prop_assert_eq!(acc.errors_total(), m.errors);
+            prop_assert_eq!(acc.errors[2], m.transport_errors);
+            prop_assert_eq!(acc.cold_starts, m.cold_starts);
+            prop_assert_eq!(acc.response.total(), m.response.total());
+        }
     }
 }

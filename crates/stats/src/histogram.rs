@@ -184,6 +184,42 @@ impl LogHistogram {
         self.max_seen
     }
 
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi` (past the last bucket).
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The histogram of observations recorded since `earlier` was captured,
+    /// where `earlier` is a prior clone/snapshot of this histogram.
+    /// Per-bucket and under/overflow counts subtract (saturating, so a
+    /// mismatched pair degrades rather than panics); `min`/`max` stay the
+    /// cumulative extremes, since exact windowed extremes are not
+    /// recoverable from two snapshots.
+    ///
+    /// # Panics
+    /// Panics on bucket layout mismatch.
+    pub fn delta(&self, earlier: &LogHistogram) -> LogHistogram {
+        assert_eq!(self.counts.len(), earlier.counts.len(), "bucket count mismatch");
+        assert!(
+            (self.log_lo - earlier.log_lo).abs() < 1e-12
+                && (self.log_growth - earlier.log_growth).abs() < 1e-12,
+            "bucket layout mismatch"
+        );
+        let mut out = self.clone();
+        for (a, b) in out.counts.iter_mut().zip(&earlier.counts) {
+            *a = a.saturating_sub(*b);
+        }
+        out.underflow = out.underflow.saturating_sub(earlier.underflow);
+        out.overflow = out.overflow.saturating_sub(earlier.overflow);
+        out.total = out.total.saturating_sub(earlier.total);
+        out
+    }
+
     /// Merge another histogram with identical bucket layout.
     ///
     /// # Panics
@@ -273,6 +309,29 @@ mod tests {
         assert_eq!(a.total(), 100);
         let p50 = a.quantile(0.5);
         assert!((p50 / 50.0 - 1.0).abs() < 0.12, "p50 = {p50}");
+    }
+
+    #[test]
+    fn log_histogram_delta_recovers_the_window() {
+        let mut h = LogHistogram::new(1.0, 1000.0, 1.1);
+        for i in 1..=50 {
+            h.record(i as f64);
+        }
+        let snap = h.clone();
+        h.record(0.5); // underflow
+        h.record(5000.0); // overflow
+        for i in 51..=100 {
+            h.record(i as f64);
+        }
+        let d = h.delta(&snap);
+        assert_eq!(d.total(), 52);
+        assert_eq!(d.underflow(), 1);
+        assert_eq!(d.overflow(), 1);
+        assert_eq!(d.counts().iter().sum::<u64>(), 50);
+        // An empty window deltas to zero.
+        let z = h.delta(&h.clone());
+        assert_eq!(z.total(), 0);
+        assert_eq!(z.counts().iter().sum::<u64>(), 0);
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! FaaSRail's observability substrate.
+//!
+//! FaaSRail's whole claim is *representativeness* — that the replayed load
+//! matches the downscaled trace minute by minute — so the measurement layer
+//! is part of the methodology, not an afterthought. This crate provides
+//! that layer for every runtime component:
+//!
+//! * [`InvocationSpan`] — a lightweight, allocation-conscious record of one
+//!   request's lifecycle (scheduled → dispatched → queued → executing →
+//!   completed/failed), with per-stage timestamps, [`OutcomeClass`], and
+//!   the cold-start flag. Spans travel as [`TelemetryEvent`]s through a
+//!   pluggable [`EventSink`]: a null sink for zero overhead, a bounded
+//!   in-memory [`RingSink`] for tests and live inspection, and a buffered
+//!   [`JsonlSink`] writer for post-hoc analysis;
+//! * [`Recorder`] — a sharded, lock-light live-metrics recorder that
+//!   workers update on the hot path; periodic [`Snapshot`] deltas yield
+//!   per-window issued/completed/errors-by-class, response quantiles, and
+//!   offered-vs-achieved RPS for a once-per-interval progress line;
+//! * [`PromText`] — a Prometheus text-format (0.0.4) encoder for counters,
+//!   gauges, and [`LogHistogram`](faasrail_stats::LogHistogram)s, so any
+//!   run can be scraped by standard tooling (`GET /metrics` on the
+//!   gateway);
+//! * [`RunReport`] — consumes a JSONL event log and reconstructs the
+//!   latency decomposition (pacer lateness vs queue wait vs service vs
+//!   network overhead) and the per-minute offered/achieved series the
+//!   paper's fidelity argument rests on, rendered as JSON or Markdown.
+//!
+//! The crate sits directly above `faasrail-stats`; the load generator, the
+//! gateway, and the simulator all emit into it, which is what makes one
+//! event log comparable across in-process, over-the-wire, and simulated
+//! runs.
+
+pub mod prometheus;
+pub mod recorder;
+pub mod report;
+pub mod sink;
+pub mod span;
+
+pub use prometheus::PromText;
+pub use recorder::{spawn_progress_printer, Recorder, Snapshot};
+pub use report::{parse_jsonl, LatencyDecomposition, LatencyStat, RunReport};
+pub use sink::{EventSink, JsonlSink, NullSink, RingSink};
+pub use span::{InvocationSpan, OutcomeClass, RunInfo, RunSummary, TelemetryEvent};

@@ -1,0 +1,209 @@
+//! Prometheus text exposition format (version 0.0.4) encoder.
+//!
+//! A tiny hand-rolled encoder — the format is line-oriented and simple
+//! enough that pulling in a client library would cost more than it saves.
+//! Each metric family is written as `# HELP` and `# TYPE` comment lines
+//! followed by one sample line per (labelled) series.
+//! [`LogHistogram`](faasrail_stats::LogHistogram)s are rendered as native
+//! Prometheus histograms with cumulative `le` buckets; only non-empty
+//! buckets get a line (plus the mandatory `+Inf`), so the output stays
+//! compact even for a 5%-resolution latency recorder with hundreds of
+//! buckets. `_sum` is approximated from bucket midpoints (and exact
+//! min/max for under/overflow), which is the precision the histogram
+//! itself offers.
+
+use std::fmt::Write;
+
+use faasrail_stats::LogHistogram;
+
+/// Incremental builder for a Prometheus text-format (0.0.4) payload.
+///
+/// ```
+/// use faasrail_telemetry::PromText;
+/// let mut p = PromText::new();
+/// p.counter("faasrail_requests_total", "Total requests.", 42);
+/// p.gauge("faasrail_queue_depth", "Requests waiting.", 3.0);
+/// let body = p.finish();
+/// assert!(body.starts_with("# HELP faasrail_requests_total"));
+/// ```
+#[derive(Debug, Default)]
+pub struct PromText {
+    buf: String,
+}
+
+/// The `Content-Type` a server must send with this payload.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+impl PromText {
+    pub fn new() -> Self {
+        PromText::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        debug_assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        let _ = writeln!(self.buf, "# HELP {name} {}", escape_help(help));
+        let _ = writeln!(self.buf, "# TYPE {name} {kind}");
+    }
+
+    /// A single monotonically increasing counter.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        let _ = writeln!(self.buf, "{name} {value}");
+    }
+
+    /// A counter family with one label dimension; every listed series is
+    /// emitted, including zero-valued ones, so scrapes always expose the
+    /// full class partition.
+    pub fn counter_vec(&mut self, name: &str, help: &str, label: &str, series: &[(&str, u64)]) {
+        self.header(name, help, "counter");
+        for (value, count) in series {
+            let _ = writeln!(self.buf, "{name}{{{label}=\"{value}\"}} {count}");
+        }
+    }
+
+    /// A single gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.buf, "{name} {value}");
+    }
+
+    /// A [`LogHistogram`] as a native Prometheus histogram: cumulative
+    /// `<name>_bucket{le="..."}` lines for each non-empty bucket, the
+    /// mandatory `le="+Inf"` bucket, and approximate `_sum` / exact
+    /// `_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, hist: &LogHistogram) {
+        self.header(name, help, "histogram");
+        let mut cumulative = 0u64;
+        let mut sum = 0.0f64;
+        if hist.underflow() > 0 {
+            cumulative += hist.underflow();
+            // Everything below the first bucket edge sits at the exact min.
+            sum += hist.underflow() as f64 * hist.min();
+            let le = hist.bucket_lo(0);
+            let _ = writeln!(self.buf, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        for (i, &c) in hist.counts().iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cumulative += c;
+            sum += c as f64 * hist.bucket_mid(i);
+            let le = hist.bucket_lo(i + 1);
+            let _ = writeln!(self.buf, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        if hist.overflow() > 0 {
+            sum += hist.overflow() as f64 * hist.max();
+        }
+        let total = hist.total();
+        let _ = writeln!(self.buf, "{name}_bucket{{le=\"+Inf\"}} {total}");
+        if total == 0 {
+            sum = 0.0; // avoid -0.0 / NaN artefacts on empty histograms
+        }
+        let _ = writeln!(self.buf, "{name}_sum {sum}");
+        let _ = writeln!(self.buf, "{name}_count {total}");
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    /// Consume the builder, returning the payload.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_families() {
+        let mut p = PromText::new();
+        p.counter("x_total", "Things.", 7);
+        p.gauge("depth", "Waiting.", 2.5);
+        let out = p.finish();
+        assert!(out.contains("# HELP x_total Things.\n# TYPE x_total counter\nx_total 7\n"));
+        assert!(out.contains("# TYPE depth gauge\ndepth 2.5\n"));
+    }
+
+    #[test]
+    fn counter_vec_emits_every_series() {
+        let mut p = PromText::new();
+        p.counter_vec("e_total", "Errors.", "class", &[("timeout", 3), ("shed", 0)]);
+        let out = p.finish();
+        assert!(out.contains("e_total{class=\"timeout\"} 3\n"), "{out}");
+        assert!(out.contains("e_total{class=\"shed\"} 0\n"), "{out}");
+    }
+
+    #[test]
+    fn help_text_is_escaped() {
+        let mut p = PromText::new();
+        p.counter("a", "line\nbreak \\ slash", 1);
+        let out = p.finish();
+        assert!(out.contains("# HELP a line\\nbreak \\\\ slash\n"), "{out}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_with_inf() {
+        let mut h = LogHistogram::new(1.0, 100.0, 2.0);
+        h.record(0.5); // underflow
+        h.record(1.5);
+        h.record(1.6);
+        h.record(50.0);
+        h.record(1000.0); // overflow
+        let mut p = PromText::new();
+        p.histogram("lat_seconds", "Latency.", &h);
+        let out = p.finish();
+
+        let mut last = 0u64;
+        let mut inf_seen = false;
+        for line in out.lines().filter(|l| l.contains("_bucket")) {
+            let count: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(count >= last, "buckets must be cumulative: {out}");
+            last = count;
+            if line.contains("le=\"+Inf\"") {
+                inf_seen = true;
+                assert_eq!(count, h.total());
+            }
+        }
+        assert!(inf_seen, "{out}");
+        assert!(out.contains("lat_seconds_count 5"), "{out}");
+        // _sum approximation: min*1 + mid-buckets + max*1 stays in range.
+        let sum_line = out.lines().find(|l| l.starts_with("lat_seconds_sum")).unwrap();
+        let sum: f64 = sum_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(sum > 1000.0 && sum < 1200.0, "{sum_line}");
+    }
+
+    #[test]
+    fn empty_histogram_is_still_valid() {
+        let h = LogHistogram::latency_seconds();
+        let mut p = PromText::new();
+        p.histogram("empty_seconds", "Nothing.", &h);
+        let out = p.finish();
+        assert!(out.contains("empty_seconds_bucket{le=\"+Inf\"} 0\n"), "{out}");
+        assert!(out.contains("empty_seconds_sum 0\n"), "{out}");
+        assert!(out.contains("empty_seconds_count 0\n"), "{out}");
+    }
+
+    #[test]
+    fn metric_name_validation() {
+        assert!(valid_metric_name("faasrail_requests_total"));
+        assert!(valid_metric_name("a:b_c1"));
+        assert!(!valid_metric_name(""));
+        assert!(!valid_metric_name("1abc"));
+        assert!(!valid_metric_name("has space"));
+        assert!(!valid_metric_name("dash-ed"));
+    }
+}

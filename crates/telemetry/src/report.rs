@@ -1,0 +1,394 @@
+//! Post-hoc run reports from JSONL event logs.
+//!
+//! [`RunReport::from_events`] folds a telemetry event stream back into the
+//! quantities the paper's fidelity argument rests on: the outcome
+//! partition (completed + per-class errors must equal issued), a latency
+//! decomposition separating pacer lateness, queue wait, backend service
+//! time, and client/network overhead, and the per-minute offered vs
+//! achieved series. Reports render as JSON (machine) or Markdown (human);
+//! both are NaN-free so they survive `serde_json` round-trips.
+
+use std::io::BufRead;
+
+use serde::{Deserialize, Serialize};
+
+use faasrail_stats::LogHistogram;
+
+use crate::span::{InvocationSpan, OutcomeClass, RunInfo, RunSummary, TelemetryEvent};
+
+/// Histogram plus exact sum, so reports can show a true mean alongside
+/// approximate quantiles.
+struct StatAcc {
+    hist: LogHistogram,
+    sum_s: f64,
+}
+
+impl StatAcc {
+    fn new(hist: LogHistogram) -> Self {
+        StatAcc { hist, sum_s: 0.0 }
+    }
+
+    fn latency() -> Self {
+        Self::new(LogHistogram::latency_seconds())
+    }
+
+    fn record(&mut self, x_s: f64) {
+        self.hist.record(x_s);
+        self.sum_s += x_s;
+    }
+
+    fn stat(&self) -> LatencyStat {
+        let count = self.hist.total();
+        if count == 0 {
+            return LatencyStat::default();
+        }
+        LatencyStat {
+            count,
+            mean_ms: self.sum_s / count as f64 * 1e3,
+            p50_ms: self.hist.quantile(0.50) * 1e3,
+            p95_ms: self.hist.quantile(0.95) * 1e3,
+            p99_ms: self.hist.quantile(0.99) * 1e3,
+            max_ms: self.hist.max() * 1e3,
+        }
+    }
+}
+
+/// Summary statistics for one latency component, in milliseconds. All
+/// fields are `0.0` when `count == 0` (never NaN, so JSON stays lossless).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStat {
+    pub count: u64,
+    pub mean_ms: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub max_ms: f64,
+}
+
+/// Where the time went: per-stage latency statistics. `lateness`,
+/// `queue_wait`, and `response` cover every span; `service` and `overhead`
+/// only successful ones, since failed invocations report no meaningful
+/// service time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyDecomposition {
+    /// Pacer lateness: actual minus scheduled dispatch.
+    pub lateness: LatencyStat,
+    /// Dispatch → worker pickup.
+    pub queue_wait: LatencyStat,
+    /// Backend-reported pure execution time (successful spans).
+    pub service: LatencyStat,
+    /// Pickup → completion time beyond service (successful spans).
+    pub overhead: LatencyStat,
+    /// Dispatch → completion.
+    pub response: LatencyStat,
+}
+
+/// A full run report reconstructed from a telemetry event stream.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Run configuration, if the log carried a `run_start` event.
+    pub run: Option<RunInfo>,
+    /// Final totals, if the log carried a `run_end` event.
+    pub end: Option<RunSummary>,
+    /// Invocation spans seen (the log's own count of issued requests).
+    pub issued: u64,
+    pub completed: u64,
+    pub errors: u64,
+    pub app_errors: u64,
+    pub timeouts: u64,
+    pub transport_errors: u64,
+    pub shed: u64,
+    pub cold_starts: u64,
+    pub decomposition: LatencyDecomposition,
+    /// Spans per scheduled experiment minute (offered load).
+    pub issued_per_minute: Vec<u64>,
+    /// Successful spans per scheduled minute (achieved load).
+    pub completed_per_minute: Vec<u64>,
+    /// Failed spans per scheduled minute.
+    pub errors_per_minute: Vec<u64>,
+}
+
+fn bump(v: &mut Vec<u64>, minute: usize) {
+    if v.len() <= minute {
+        v.resize(minute + 1, 0);
+    }
+    v[minute] += 1;
+}
+
+impl RunReport {
+    /// Fold an event stream into a report. Order-insensitive apart from
+    /// `run_start`/`run_end`, where the last one seen wins.
+    pub fn from_events<'a, I>(events: I) -> RunReport
+    where
+        I: IntoIterator<Item = &'a TelemetryEvent>,
+    {
+        let mut report = RunReport::default();
+        let mut lateness = StatAcc::new(LogHistogram::new(1e-6, 60.0, 1.05));
+        let mut queue_wait = StatAcc::latency();
+        let mut service = StatAcc::latency();
+        let mut overhead = StatAcc::latency();
+        let mut response = StatAcc::latency();
+
+        for event in events {
+            match event {
+                TelemetryEvent::RunStart(info) => report.run = Some(info.clone()),
+                TelemetryEvent::RunEnd(summary) => report.end = Some(*summary),
+                TelemetryEvent::Invocation(span) => {
+                    report.tally(span);
+                    lateness.record(span.lateness_s());
+                    queue_wait.record(span.queue_wait_s());
+                    response.record(span.response_s());
+                    if span.outcome == OutcomeClass::Ok {
+                        service.record(span.service_s());
+                        overhead.record(span.overhead_s());
+                    }
+                }
+            }
+        }
+
+        report.decomposition = LatencyDecomposition {
+            lateness: lateness.stat(),
+            queue_wait: queue_wait.stat(),
+            service: service.stat(),
+            overhead: overhead.stat(),
+            response: response.stat(),
+        };
+        report
+    }
+
+    fn tally(&mut self, span: &InvocationSpan) {
+        self.issued += 1;
+        if span.cold_start {
+            self.cold_starts += 1;
+        }
+        let minute = span.scheduled_minute();
+        bump(&mut self.issued_per_minute, minute);
+        match span.outcome {
+            OutcomeClass::Ok => {
+                self.completed += 1;
+                bump(&mut self.completed_per_minute, minute);
+                return;
+            }
+            OutcomeClass::AppError => self.app_errors += 1,
+            OutcomeClass::Timeout => self.timeouts += 1,
+            OutcomeClass::Transport => self.transport_errors += 1,
+            OutcomeClass::Shed => self.shed += 1,
+        }
+        self.errors += 1;
+        bump(&mut self.errors_per_minute, minute);
+    }
+
+    /// Render as a Markdown document.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("# FaaSRail run report\n\n");
+
+        if let Some(run) = &self.run {
+            out.push_str("## Run\n\n");
+            out.push_str(&format!(
+                "- requests scheduled: {}\n- duration: {} min\n- workers: {}\n- pacing: {} (compression {}x)\n\n",
+                run.requests, run.duration_minutes, run.workers, run.pacing, run.compression,
+            ));
+        }
+
+        out.push_str("## Outcomes\n\n");
+        out.push_str("| outcome | count | share |\n|---|---:|---:|\n");
+        let share = |n: u64| {
+            if self.issued == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.2}%", n as f64 / self.issued as f64 * 100.0)
+            }
+        };
+        for (label, n) in [
+            ("issued", self.issued),
+            ("completed", self.completed),
+            ("app errors", self.app_errors),
+            ("timeouts", self.timeouts),
+            ("transport errors", self.transport_errors),
+            ("shed", self.shed),
+            ("cold starts", self.cold_starts),
+        ] {
+            out.push_str(&format!("| {label} | {n} | {} |\n", share(n)));
+        }
+        out.push('\n');
+
+        out.push_str("## Latency decomposition\n\n");
+        out.push_str("| stage | count | mean | p50 | p95 | p99 | max |\n|---|---:|---:|---:|---:|---:|---:|\n");
+        for (label, s) in [
+            ("pacer lateness", self.decomposition.lateness),
+            ("queue wait", self.decomposition.queue_wait),
+            ("service", self.decomposition.service),
+            ("network overhead", self.decomposition.overhead),
+            ("response", self.decomposition.response),
+        ] {
+            out.push_str(&format!(
+                "| {label} | {} | {:.2} ms | {:.2} ms | {:.2} ms | {:.2} ms | {:.2} ms |\n",
+                s.count, s.mean_ms, s.p50_ms, s.p95_ms, s.p99_ms, s.max_ms,
+            ));
+        }
+        out.push('\n');
+
+        out.push_str("## Per-minute offered vs achieved\n\n");
+        out.push_str("| minute | offered | achieved | errors |\n|---:|---:|---:|---:|\n");
+        let minutes = self
+            .issued_per_minute
+            .len()
+            .max(self.completed_per_minute.len())
+            .max(self.errors_per_minute.len());
+        for m in 0..minutes {
+            let get = |v: &Vec<u64>| v.get(m).copied().unwrap_or(0);
+            out.push_str(&format!(
+                "| {m} | {} | {} | {} |\n",
+                get(&self.issued_per_minute),
+                get(&self.completed_per_minute),
+                get(&self.errors_per_minute),
+            ));
+        }
+
+        if let Some(end) = &self.end {
+            out.push_str(&format!(
+                "\n## Totals (from run_end)\n\n- issued: {}\n- completed: {}\n- errors: {}\n- aborted: {}\n- wall time: {:.2} s\n",
+                end.issued,
+                end.completed,
+                end.errors,
+                end.aborted,
+                end.wall_us as f64 / 1e6,
+            ));
+        }
+        out
+    }
+}
+
+/// Parse a JSONL event log, skipping blank lines. Errors carry the
+/// 1-based line number of the offending line.
+pub fn parse_jsonl<R: BufRead>(reader: R) -> Result<Vec<TelemetryEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: read error: {e}", i + 1))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event: TelemetryEvent =
+            serde_json::from_str(&line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn span(seq: u64, minute: u64, outcome: OutcomeClass) -> TelemetryEvent {
+        TelemetryEvent::Invocation(InvocationSpan {
+            seq,
+            workload: 1,
+            function_index: 0,
+            scheduled_ms: minute * 60_000 + 10,
+            target_us: 1_000,
+            dispatched_us: 2_000,
+            picked_up_us: 3_000,
+            completed_us: 23_000,
+            service_ms: 15.0,
+            outcome,
+            cold_start: seq == 0,
+            error: (outcome != OutcomeClass::Ok).then(|| "boom".to_string()),
+        })
+    }
+
+    #[test]
+    fn report_partitions_outcomes_exactly() {
+        let events = vec![
+            span(0, 0, OutcomeClass::Ok),
+            span(1, 0, OutcomeClass::Ok),
+            span(2, 1, OutcomeClass::AppError),
+            span(3, 1, OutcomeClass::Timeout),
+            span(4, 2, OutcomeClass::Transport),
+            span(5, 2, OutcomeClass::Shed),
+        ];
+        let r = RunReport::from_events(&events);
+        assert_eq!(r.issued, 6);
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.errors, 4);
+        assert_eq!(r.completed + r.app_errors + r.timeouts + r.transport_errors + r.shed, r.issued);
+        assert_eq!(r.cold_starts, 1);
+        assert_eq!(r.issued_per_minute, [2, 2, 2]);
+        assert_eq!(r.completed_per_minute, [2]);
+        assert_eq!(r.errors_per_minute, [0, 2, 2]);
+        // service/overhead only cover successful spans.
+        assert_eq!(r.decomposition.service.count, 2);
+        assert_eq!(r.decomposition.response.count, 6);
+    }
+
+    #[test]
+    fn empty_report_is_nan_free_json() {
+        let r = RunReport::from_events(std::iter::empty());
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(!json.contains("null") || r.run.is_none(), "{json}");
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+        assert_eq!(back.decomposition.response.mean_ms, 0.0);
+    }
+
+    #[test]
+    fn decomposition_math_matches_span_helpers() {
+        let events = vec![span(0, 0, OutcomeClass::Ok)];
+        let r = RunReport::from_events(&events);
+        // dispatched 2000µs vs target 1000µs → 1 ms late.
+        assert!((r.decomposition.lateness.mean_ms - 1.0).abs() < 1e-9);
+        // picked up 3000µs → 1 ms queue wait.
+        assert!((r.decomposition.queue_wait.mean_ms - 1.0).abs() < 1e-9);
+        // completed 23000µs, picked up 3000µs, service 15 ms → 5 ms overhead.
+        assert!((r.decomposition.overhead.mean_ms - 5.0).abs() < 1e-9);
+        // response = 21 ms.
+        assert!((r.decomposition.response.mean_ms - 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_and_errors() {
+        let events = vec![
+            TelemetryEvent::RunStart(RunInfo {
+                requests: 2,
+                duration_minutes: 1,
+                workers: 1,
+                pacing: "unpaced".to_string(),
+                compression: 1.0,
+            }),
+            span(0, 0, OutcomeClass::Ok),
+            TelemetryEvent::RunEnd(RunSummary {
+                issued: 1,
+                completed: 1,
+                errors: 0,
+                aborted: false,
+                wall_us: 42,
+            }),
+        ];
+        let mut log = String::new();
+        for e in &events {
+            log.push_str(&serde_json::to_string(e).unwrap());
+            log.push('\n');
+        }
+        log.push('\n'); // trailing blank line is fine
+        let parsed = parse_jsonl(Cursor::new(log)).unwrap();
+        assert_eq!(parsed, events);
+        let r = RunReport::from_events(&parsed);
+        assert!(r.run.is_some());
+        assert_eq!(r.end.unwrap().issued, 1);
+
+        let err = parse_jsonl(Cursor::new("{\"event\":\"run_end\"\n")).unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+    }
+
+    #[test]
+    fn markdown_has_all_sections() {
+        let events = vec![span(0, 0, OutcomeClass::Ok), span(1, 1, OutcomeClass::Timeout)];
+        let md = RunReport::from_events(&events).to_markdown();
+        assert!(md.contains("## Outcomes"), "{md}");
+        assert!(md.contains("## Latency decomposition"), "{md}");
+        assert!(md.contains("## Per-minute offered vs achieved"), "{md}");
+        assert!(md.contains("| pacer lateness |"), "{md}");
+        assert!(md.contains("| 1 | 1 | 0 | 1 |"), "{md}");
+    }
+}

@@ -1,0 +1,221 @@
+//! Pluggable event sinks.
+//!
+//! The replayer and simulator emit [`TelemetryEvent`]s through a
+//! `&dyn EventSink`, so the observability cost is chosen by the caller:
+//! [`NullSink`] for none, [`RingSink`] for bounded in-memory capture
+//! (tests, live inspection), [`JsonlSink`] for a buffered line-delimited
+//! JSON log on disk. Sinks must be `Sync` — workers emit concurrently.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::span::TelemetryEvent;
+
+/// A destination for telemetry events. `emit` is called from replay worker
+/// threads on the hot path; implementations should be cheap and must never
+/// panic (a broken sink must not kill a run).
+pub trait EventSink: Send + Sync {
+    fn emit(&self, event: &TelemetryEvent);
+
+    /// Flush any buffered state. Called once at the end of a run.
+    fn flush(&self) {}
+}
+
+/// Discards every event. The zero-overhead default.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&self, _event: &TelemetryEvent) {}
+}
+
+/// Bounded in-memory buffer keeping the most recent events; older events
+/// are evicted (and counted) once capacity is reached.
+pub struct RingSink {
+    cap: usize,
+    buf: Mutex<VecDeque<TelemetryEvent>>,
+    dropped: AtomicU64,
+}
+
+impl RingSink {
+    /// `cap` must be non-zero.
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap > 0, "RingSink capacity must be non-zero");
+        RingSink { cap, buf: Mutex::new(VecDeque::with_capacity(cap)), dropped: AtomicU64::new(0) }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TelemetryEvent> {
+        self.buf.lock().iter().cloned().collect()
+    }
+
+    /// Events evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.lock().is_empty()
+    }
+}
+
+impl EventSink for RingSink {
+    fn emit(&self, event: &TelemetryEvent) {
+        let mut buf = self.buf.lock();
+        if buf.len() == self.cap {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+/// Buffered JSON-lines writer: one event per line, flushed on demand and on
+/// drop. Write errors are counted, not propagated — a full disk degrades
+/// the log, never the run.
+pub struct JsonlSink<W: Write + Send> {
+    inner: Mutex<BufWriter<W>>,
+    write_errors: AtomicU64,
+}
+
+impl JsonlSink<File> {
+    /// Create (truncating) an event log at `path`.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<JsonlSink<File>> {
+        Ok(JsonlSink::new(File::create(path)?))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    pub fn new(writer: W) -> Self {
+        JsonlSink { inner: Mutex::new(BufWriter::new(writer)), write_errors: AtomicU64::new(0) }
+    }
+
+    /// Serialization/IO failures swallowed so far.
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+}
+
+impl<W: Write + Send> EventSink for JsonlSink<W> {
+    fn emit(&self, event: &TelemetryEvent) {
+        let mut w = self.inner.lock();
+        let ok = serde_json::to_writer(&mut *w, event).is_ok() && w.write_all(b"\n").is_ok();
+        if !ok {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn flush(&self) {
+        if self.inner.lock().flush().is_err() {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        let _ = self.inner.lock().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{OutcomeClass, RunSummary};
+
+    fn end(issued: u64) -> TelemetryEvent {
+        TelemetryEvent::RunEnd(RunSummary {
+            issued,
+            completed: issued,
+            errors: 0,
+            aborted: false,
+            wall_us: 1,
+        })
+    }
+
+    #[test]
+    fn ring_sink_keeps_most_recent_and_counts_evictions() {
+        let sink = RingSink::with_capacity(3);
+        assert!(sink.is_empty());
+        for i in 0..5 {
+            sink.emit(&end(i));
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        let kept: Vec<u64> = sink
+            .events()
+            .iter()
+            .map(|e| match e {
+                TelemetryEvent::RunEnd(s) => s.issued,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kept, [2, 3, 4]);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_event_per_line() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.emit(&end(1));
+        sink.emit(&end(2));
+        sink.flush();
+        assert_eq!(sink.write_errors(), 0);
+        let bytes = sink.inner.into_inner().into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let e: TelemetryEvent = serde_json::from_str(line).unwrap();
+            assert!(matches!(e, TelemetryEvent::RunEnd(_)));
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_counts_write_errors_instead_of_panicking() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Err(io::Error::other("disk full"))
+            }
+        }
+        let sink = JsonlSink::new(Broken);
+        // BufWriter buffers the first small write; force IO with flush.
+        sink.emit(&end(1));
+        sink.flush();
+        assert!(sink.write_errors() >= 1);
+    }
+
+    #[test]
+    fn null_sink_is_sync_and_silent() {
+        fn assert_sink<S: EventSink>(_s: &S) {}
+        let s = NullSink;
+        assert_sink(&s);
+        s.emit(&TelemetryEvent::Invocation(crate::span::InvocationSpan {
+            seq: 0,
+            workload: 0,
+            function_index: 0,
+            scheduled_ms: 0,
+            target_us: 0,
+            dispatched_us: 0,
+            picked_up_us: 0,
+            completed_us: 0,
+            service_ms: 0.0,
+            outcome: OutcomeClass::Ok,
+            cold_start: false,
+            error: None,
+        }));
+        s.flush();
+    }
+}

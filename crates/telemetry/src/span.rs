@@ -1,0 +1,279 @@
+//! Per-invocation event spans: the unit of FaaSRail observability.
+//!
+//! A span records the lifecycle of one request — scheduled → dispatched →
+//! (queued | breaker-shed) → executing → completed/failed — as a handful of
+//! run-relative microsecond timestamps plus the outcome classification. All
+//! derived quantities (pacer lateness, queue wait, network overhead,
+//! end-to-end response) are methods, not stored fields, so the hot-path
+//! record stays small and allocation-free on success.
+
+use serde::{Deserialize, Serialize};
+
+/// Classification of a failed (or successful) invocation, for per-class
+/// accounting in run metrics and telemetry. Over a network path the
+/// failure classes behave very differently — an application error already
+/// consumed backend resources, a timeout may still be executing, and a
+/// transport error may never have reached application code — so replay
+/// summaries report them separately.
+///
+/// This is the canonical definition; `faasrail-loadgen` re-exports it so
+/// backends keep using `faasrail_loadgen::OutcomeClass`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum OutcomeClass {
+    /// Served successfully.
+    #[default]
+    Ok,
+    /// The backend executed the request and reported failure. Not
+    /// retryable: retrying would re-run (non-idempotent) application code.
+    AppError,
+    /// The per-request deadline expired before a response arrived.
+    Timeout,
+    /// Connect/read/write failure, or an error response from a gateway in
+    /// front of the backend; the request may never have reached
+    /// application code.
+    Transport,
+    /// Rejected by overload protection before reaching application code: a
+    /// gateway shedding load (`429 Too Many Requests`) or the client-side
+    /// circuit breaker failing fast while open. Distinct from
+    /// [`OutcomeClass::Transport`] because the system under test made a
+    /// deliberate, healthy decision to refuse work — a load generator that
+    /// lumps shed requests in with broken sockets misreports overload
+    /// behaviour as infrastructure failure.
+    Shed,
+}
+
+impl OutcomeClass {
+    /// Every class, in partition order.
+    pub const ALL: [OutcomeClass; 5] = [
+        OutcomeClass::Ok,
+        OutcomeClass::AppError,
+        OutcomeClass::Timeout,
+        OutcomeClass::Transport,
+        OutcomeClass::Shed,
+    ];
+
+    /// Stable lower-case name (metric label value).
+    pub fn name(self) -> &'static str {
+        match self {
+            OutcomeClass::Ok => "ok",
+            OutcomeClass::AppError => "app_error",
+            OutcomeClass::Timeout => "timeout",
+            OutcomeClass::Transport => "transport",
+            OutcomeClass::Shed => "shed",
+        }
+    }
+
+    /// Index into a `[u64; 4]` per-error-class counter array
+    /// (`[app_error, timeout, transport, shed]`); `None` for [`Self::Ok`].
+    pub fn error_index(self) -> Option<usize> {
+        match self {
+            OutcomeClass::Ok => None,
+            OutcomeClass::AppError => Some(0),
+            OutcomeClass::Timeout => Some(1),
+            OutcomeClass::Transport => Some(2),
+            OutcomeClass::Shed => Some(3),
+        }
+    }
+}
+
+/// The lifecycle of one invocation, timestamped in microseconds relative to
+/// the run start (wall clock for the replayer, virtual time for the
+/// simulator).
+///
+/// Stage semantics: the request was *scheduled* to fire at `target_us`
+/// (trace time over compression), actually *dispatched* at `dispatched_us`,
+/// sat in the worker queue until `picked_up_us`, and finished at
+/// `completed_us`. The backend-reported pure execution time is
+/// `service_ms`; everything between pickup and completion beyond it is
+/// client/network overhead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InvocationSpan {
+    /// Dispatch sequence number within the run (0-based).
+    pub seq: u64,
+    /// Raw pool id of the workload executed.
+    pub workload: u64,
+    /// Originating (aggregated) Function index.
+    pub function_index: u32,
+    /// Scheduled fire time, trace milliseconds (per-minute bucketing key).
+    pub scheduled_ms: u64,
+    /// Scheduled fire instant, µs from run start (trace time ÷ compression
+    /// under real-time pacing; equals `dispatched_us` when unpaced).
+    pub target_us: u64,
+    /// Actual dispatch instant, µs from run start.
+    pub dispatched_us: u64,
+    /// Worker pickup instant (end of queue wait), µs from run start.
+    pub picked_up_us: u64,
+    /// Completion instant, µs from run start.
+    pub completed_us: u64,
+    /// Backend-reported pure service (execution) time, milliseconds.
+    pub service_ms: f64,
+    /// Outcome classification.
+    pub outcome: OutcomeClass,
+    /// Whether a sandbox had to be cold-started.
+    pub cold_start: bool,
+    /// Failure detail, absent on success (kept out of the hot path: only
+    /// failed invocations pay the allocation).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub error: Option<String>,
+}
+
+impl InvocationSpan {
+    /// Pacer lateness: actual minus scheduled dispatch, seconds.
+    pub fn lateness_s(&self) -> f64 {
+        self.dispatched_us.saturating_sub(self.target_us) as f64 / 1e6
+    }
+
+    /// Queue wait between dispatch and worker pickup, seconds.
+    pub fn queue_wait_s(&self) -> f64 {
+        self.picked_up_us.saturating_sub(self.dispatched_us) as f64 / 1e6
+    }
+
+    /// Backend-reported pure service time, seconds.
+    pub fn service_s(&self) -> f64 {
+        self.service_ms / 1e3
+    }
+
+    /// Client/network overhead: pickup → completion time not accounted for
+    /// by the backend's service time, seconds (clamped at zero).
+    pub fn overhead_s(&self) -> f64 {
+        (self.completed_us.saturating_sub(self.picked_up_us) as f64 / 1e6 - self.service_s())
+            .max(0.0)
+    }
+
+    /// End-to-end response time (dispatch → completion), seconds.
+    pub fn response_s(&self) -> f64 {
+        self.completed_us.saturating_sub(self.dispatched_us) as f64 / 1e6
+    }
+
+    /// The scheduled experiment minute this span counts against.
+    pub fn scheduled_minute(&self) -> usize {
+        (self.scheduled_ms / 60_000) as usize
+    }
+}
+
+/// Run-level configuration echoed at the head of an event stream so the
+/// log is self-describing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunInfo {
+    /// Requests in the schedule.
+    pub requests: u64,
+    /// Scheduled experiment duration, minutes.
+    pub duration_minutes: u64,
+    /// Replay worker threads.
+    pub workers: u64,
+    /// Pacing mode (`"realtime"`, `"unpaced"`, `"closed-loop"`, or
+    /// `"simulated"` for virtual-time runs).
+    pub pacing: String,
+    /// Time compression under real-time pacing (1.0 otherwise).
+    pub compression: f64,
+}
+
+/// Run-level totals emitted at the tail of an event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    pub issued: u64,
+    pub completed: u64,
+    pub errors: u64,
+    pub aborted: bool,
+    /// Wall-clock (or virtual) run duration, microseconds.
+    pub wall_us: u64,
+}
+
+/// One telemetry event. Serialized as JSONL with an `event` tag, so logs
+/// are grep-able and stream-parseable line by line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "event", rename_all = "snake_case")]
+pub enum TelemetryEvent {
+    RunStart(RunInfo),
+    Invocation(InvocationSpan),
+    RunEnd(RunSummary),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span() -> InvocationSpan {
+        InvocationSpan {
+            seq: 3,
+            workload: 7,
+            function_index: 2,
+            scheduled_ms: 61_000,
+            target_us: 100_000,
+            dispatched_us: 101_500,
+            picked_up_us: 111_500,
+            completed_us: 161_500,
+            service_ms: 30.0,
+            outcome: OutcomeClass::Ok,
+            cold_start: true,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn derived_stages_decompose_the_response() {
+        let s = span();
+        assert!((s.lateness_s() - 0.0015).abs() < 1e-9);
+        assert!((s.queue_wait_s() - 0.010).abs() < 1e-9);
+        assert!((s.service_s() - 0.030).abs() < 1e-9);
+        assert!((s.overhead_s() - 0.020).abs() < 1e-9);
+        assert!((s.response_s() - 0.060).abs() < 1e-9);
+        // queue wait + service + overhead == response (for completed spans).
+        assert!((s.queue_wait_s() + s.service_s() + s.overhead_s() - s.response_s()).abs() < 1e-9);
+        assert_eq!(s.scheduled_minute(), 1);
+    }
+
+    #[test]
+    fn overhead_clamps_at_zero() {
+        let mut s = span();
+        s.service_ms = 500.0; // backend claims more than the wall interval
+        assert_eq!(s.overhead_s(), 0.0);
+    }
+
+    #[test]
+    fn events_roundtrip_as_tagged_jsonl() {
+        let events = vec![
+            TelemetryEvent::RunStart(RunInfo {
+                requests: 10,
+                duration_minutes: 1,
+                workers: 2,
+                pacing: "unpaced".to_string(),
+                compression: 1.0,
+            }),
+            TelemetryEvent::Invocation(span()),
+            TelemetryEvent::RunEnd(RunSummary {
+                issued: 10,
+                completed: 9,
+                errors: 1,
+                aborted: false,
+                wall_us: 1_000_000,
+            }),
+        ];
+        for e in &events {
+            let line = serde_json::to_string(e).unwrap();
+            assert!(line.contains("\"event\""), "{line}");
+            let back: TelemetryEvent = serde_json::from_str(&line).unwrap();
+            assert_eq!(*e, back);
+        }
+        let line = serde_json::to_string(&events[1]).unwrap();
+        assert!(line.contains("\"event\":\"invocation\""), "{line}");
+    }
+
+    #[test]
+    fn error_string_is_skipped_on_success() {
+        let line = serde_json::to_string(&TelemetryEvent::Invocation(span())).unwrap();
+        assert!(!line.contains("\"error\""), "{line}");
+    }
+
+    #[test]
+    fn outcome_class_names_and_indices() {
+        assert_eq!(OutcomeClass::ALL.len(), 5);
+        assert_eq!(OutcomeClass::Ok.error_index(), None);
+        assert_eq!(OutcomeClass::AppError.error_index(), Some(0));
+        assert_eq!(OutcomeClass::Shed.error_index(), Some(3));
+        let names: Vec<&str> = OutcomeClass::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names, ["ok", "app_error", "timeout", "transport", "shed"]);
+    }
+}

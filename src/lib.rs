@@ -17,6 +17,7 @@
 //! | [`core`] | `faasrail-core` | The shrink ray: aggregation, mapping, scaling, Smirnov mode |
 //! | [`loadgen`] | `faasrail-loadgen` | Open-loop real-time replayer |
 //! | [`gateway`] | `faasrail-gateway` | Networked invocation gateway: HTTP server + client backend |
+//! | [`telemetry`] | `faasrail-telemetry` | Event spans, live windowed metrics, Prometheus export, run reports |
 //! | [`sim`] | `faasrail-faas-sim` | Discrete-event FaaS cluster + warm-cache backend |
 //! | [`baselines`] | `faasrail-baselines` | Prior-work load generators (Fig. 1 comparators) |
 //!
@@ -47,6 +48,7 @@ pub use faasrail_faas_sim as sim;
 pub use faasrail_gateway as gateway;
 pub use faasrail_loadgen as loadgen;
 pub use faasrail_stats as stats;
+pub use faasrail_telemetry as telemetry;
 pub use faasrail_trace as trace;
 pub use faasrail_workloads as workloads;
 
@@ -59,6 +61,7 @@ pub mod prelude {
     pub use faasrail_faas_sim::{simulate, ClusterConfig, SimOptions};
     pub use faasrail_gateway::{Gateway, GatewayConfig, HttpBackend, HttpBackendConfig};
     pub use faasrail_loadgen::{replay, Backend, Pacing, ReplayConfig};
+    pub use faasrail_telemetry::{EventSink, InvocationSpan, OutcomeClass, TelemetryEvent};
     pub use faasrail_trace::{Trace, TraceKind};
     pub use faasrail_workloads::{CostModel, WorkloadInput, WorkloadKind, WorkloadPool};
 }

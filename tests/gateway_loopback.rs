@@ -14,7 +14,12 @@
 //!    injecting `500`s at seeded fractions, client-side retry recovers
 //!    every retryable failure and the per-class outcome breakdown in the
 //!    replay metrics stays clean.
+//!
+//! 3. **Observability endpoints** — `GET /stats` answers with
+//!    `application/json` and `GET /metrics` with Prometheus text format
+//!    (`text/plain; version=0.0.4`), both over a real loopback connection.
 
+use faasrail::gateway::http::{read_response, write_request};
 use faasrail::gateway::{
     FaultConfig, Gateway, GatewayConfig, HttpBackend, HttpBackendConfig, RetryPolicy,
 };
@@ -24,6 +29,8 @@ use faasrail::loadgen::{
 use faasrail::prelude::*;
 use faasrail::stats::{ks_distance, Ecdf};
 use faasrail::trace::azure::{generate as gen_azure, AzureTraceConfig};
+use std::io::BufReader;
+use std::net::TcpStream;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -200,5 +207,53 @@ fn fault_injection_is_recovered_by_client_retry() {
         retries >= dropped + errored,
         "each fault costs at least one retry: retries={retries} dropped={dropped} errored={errored}"
     );
+    handle.stop();
+}
+
+#[test]
+fn stats_and_metrics_endpoints_set_correct_content_types() {
+    let (reqs, pool) = generated_requests(23, 32);
+
+    let handle = Gateway::bind(
+        "127.0.0.1:0",
+        Arc::new(ModelBackend { pool: pool.clone() }),
+        GatewayConfig { workers: 4, read_timeout: Duration::from_secs(1), ..Default::default() },
+    )
+    .expect("bind loopback gateway")
+    .spawn();
+
+    // Put some real traffic on the wire first so the scraped counters are
+    // non-trivial.
+    let client = HttpBackend::connect(&handle.addr().to_string(), HttpBackendConfig::default())
+        .expect("resolve gateway address");
+    let m = replay(&reqs, &pool, &client, &ReplayConfig { pacing: Pacing::Unpaced, workers: 2 });
+    assert_eq!(m.completed as usize, reqs.len());
+    drop(client);
+
+    // Scrape both observability endpoints on one keep-alive connection.
+    let stream = TcpStream::connect(handle.addr()).expect("connect to gateway");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = &stream;
+
+    write_request(&mut writer, "GET", "/stats", "loopback", "text/plain", b"", true)
+        .expect("send GET /stats");
+    let stats = read_response(&mut reader).expect("read /stats response");
+    assert_eq!(stats.status, 200);
+    assert_eq!(stats.content_type.as_deref(), Some("application/json"));
+    let parsed: serde_json::Value =
+        serde_json::from_slice(&stats.body).expect("/stats body must be valid JSON");
+    assert_eq!(parsed["invocations_ok"].as_u64(), Some(reqs.len() as u64));
+
+    write_request(&mut writer, "GET", "/metrics", "loopback", "text/plain", b"", false)
+        .expect("send GET /metrics");
+    let metrics = read_response(&mut reader).expect("read /metrics response");
+    assert_eq!(metrics.status, 200);
+    assert_eq!(metrics.content_type.as_deref(), Some("text/plain; version=0.0.4"));
+    let text = String::from_utf8(metrics.body).expect("/metrics body must be UTF-8");
+    assert!(text.contains("# TYPE faasrail_gateway_invocations_total counter"), "{text}");
+    assert!(text.contains(&format!("faasrail_gateway_invocations_total {}", reqs.len())), "{text}");
+
+    drop(reader);
+    drop(stream);
     handle.stop();
 }
