@@ -18,12 +18,15 @@
 //!                     [--target HOST:PORT [--timeout-ms N] [--attempts N]
 //!                      [--breaker-threshold N] [--breaker-open-ms T]]
 //!                     [--live-metrics [--window-s N]] [--events spans.jsonl]
+//!                     [--server-events server.jsonl]
 //!                     [--metrics-out metrics.json] [--prom-out metrics.prom]
 //! faasrail report     --events spans.jsonl [--metrics metrics.json]
+//!                     [--server-log server.jsonl] [--slowest N]
 //!                     [--format markdown|json] [--out report.md]
 //! faasrail serve      [--addr 127.0.0.1:7471] [--backend warm-cache|in-process|noop]
 //!                     [--pool p.json] [--conn-workers N] [--queue-cap N]
-//!                     [--read-timeout-s N] [--drop-frac X] [--error-frac X]
+//!                     [--read-timeout-s N] [--trace-out server.jsonl]
+//!                     [--drop-frac X] [--error-frac X]
 //!                     [--stall-frac X] [--stall-ms T] [--latency-frac X]
 //!                     [--latency-ms T] [--fault-seed N]
 //! faasrail calibrate  [--repeats N]
@@ -85,6 +88,82 @@ fn read_json<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, String> {
 fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), String> {
     let s = serde_json::to_string(value).map_err(|e| format!("serializing: {e}"))?;
     fs::write(path, s).map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn read_events(path: &str) -> Result<Vec<faasrail_telemetry::TelemetryEvent>, String> {
+    let file = fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+    faasrail_telemetry::parse_jsonl(std::io::BufReader::new(file))
+        .map_err(|e| format!("{path}: {e}"))
+}
+
+/// One-line join summary shared by `replay --server-events` and
+/// `report --server-log`.
+fn join_summary(join: &faasrail_telemetry::SpanJoin) -> String {
+    let [ok, app, timeout, transport, shed] = join.orphans_by_class;
+    format!(
+        "joined={} orphans={} (ok={ok} app-error={app} timeout={timeout} \
+         transport={transport} shed={shed}) server-unmatched={} retries={} \
+         clock-offset={:.0}us (+/-{:.0}us from {} pairs)",
+        join.joined.len(),
+        join.orphaned(),
+        join.server_unmatched,
+        join.extra_attempts,
+        join.offset.offset_us,
+        join.offset.error_us,
+        join.offset.pairs,
+    )
+}
+
+/// Markdown table of the `n` worst end-to-end traces, cross-tier when a
+/// server log was joined, client-only otherwise.
+fn slowest_table(
+    events: &[faasrail_telemetry::TelemetryEvent],
+    join: Option<&faasrail_telemetry::SpanJoin>,
+    n: usize,
+) -> String {
+    use faasrail_telemetry::{format_trace_id, slowest_client_spans};
+    let mut out = String::from("\n## Slowest traces\n\n");
+    match join {
+        Some(join) => {
+            out.push_str(
+                "| trace | outcome | response | lateness | client queue | net out | gateway \
+                 | service | net back | attempts |\n|---|---|---|---|---|---|---|---|---|---|\n",
+            );
+            for j in join.slowest(n) {
+                let s = &j.stages;
+                out.push_str(&format!(
+                    "| {} | {} | {:.1} ms | {:.1} ms | {:.1} ms | {:.1} ms | {:.1} ms | {:.1} ms \
+                     | {:.1} ms | {} |\n",
+                    format_trace_id(j.client.trace_id),
+                    j.client.outcome.name(),
+                    s.response_s * 1e3,
+                    s.lateness_s * 1e3,
+                    s.client_queue_s * 1e3,
+                    s.net_out_s * 1e3,
+                    s.gateway_s * 1e3,
+                    s.service_s * 1e3,
+                    s.net_back_s * 1e3,
+                    j.attempts,
+                ));
+            }
+        }
+        None => {
+            out.push_str(
+                "| trace | outcome | response | queue wait | service |\n|---|---|---|---|---|\n",
+            );
+            for s in slowest_client_spans(events, n) {
+                out.push_str(&format!(
+                    "| {} | {} | {:.1} ms | {:.1} ms | {:.1} ms |\n",
+                    format_trace_id(s.trace_id),
+                    s.outcome.name(),
+                    s.response_s() * 1e3,
+                    s.queue_wait_s() * 1e3,
+                    s.service_ms,
+                ));
+            }
+        }
+    }
+    out
 }
 
 fn run(args: &Args) -> Result<(), String> {
@@ -510,6 +589,19 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
     if let Some(handle) = printer {
         let _ = handle.join();
     }
+    sink.flush();
+
+    // Cross-tier join: merge our own span log with the gateway's
+    // (`faasrail serve --trace-out`) right after the run.
+    if let Some(server_path) = args.get("server-events") {
+        let client_path = args
+            .get("events")
+            .ok_or("--server-events needs --events (the client span log to join against)")?;
+        let client_events = read_events(client_path)?;
+        let server_events = read_events(server_path)?;
+        let join = faasrail_telemetry::join_spans(&client_events, &server_events);
+        eprintln!("trace join: {}", join_summary(&join));
+    }
 
     if let Some(path) = args.get("metrics-out") {
         write_json(path, &m)?;
@@ -535,18 +627,28 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `faasrail report --events spans.jsonl [--metrics metrics.json]` —
-/// digest a JSONL telemetry log into a run report (markdown or JSON),
-/// optionally cross-checking the log against the replay's final
-/// `RunMetrics` so silent event loss is caught instead of papered over.
+/// `faasrail report --events spans.jsonl [--metrics metrics.json]
+/// [--server-log server.jsonl] [--slowest N]` — digest a JSONL telemetry
+/// log into a run report (markdown or JSON), optionally cross-checking the
+/// log against the replay's final `RunMetrics` so silent event loss is
+/// caught instead of papered over. With `--server-log`, the gateway's span
+/// log (`faasrail serve --trace-out`) is joined by trace id into a
+/// cross-tier six-stage decomposition; `--slowest N` appends the N worst
+/// end-to-end traces.
 fn cmd_report(args: &Args) -> Result<(), String> {
-    use faasrail_telemetry::{parse_jsonl, RunReport};
-    use std::io::BufReader;
+    use faasrail_telemetry::{RunReport, SpanJoin};
 
     let path = args.require("events")?;
-    let file = fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
-    let events = parse_jsonl(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
-    let report = RunReport::from_events(&events);
+    let events = read_events(path)?;
+    let (report, join): (RunReport, Option<SpanJoin>) = match args.get("server-log") {
+        Some(server_path) => {
+            let server_events = read_events(server_path)?;
+            let (report, join) = RunReport::with_server_events(&events, &server_events);
+            eprintln!("trace join: {}", join_summary(&join));
+            (report, Some(join))
+        }
+        None => (RunReport::from_events(&events), None),
+    };
 
     if let Some(mpath) = args.get("metrics") {
         let m: faasrail_loadgen::RunMetrics = read_json(mpath)?;
@@ -572,9 +674,20 @@ fn cmd_report(args: &Args) -> Result<(), String> {
         eprintln!("event log agrees with {mpath} on every outcome counter");
     }
 
+    let slowest = args.get("slowest").map(|_| args.num("slowest", 10usize)).transpose()?;
     let rendered = match args.get_or("format", "markdown") {
-        "markdown" | "md" => report.to_markdown(),
+        "markdown" | "md" => {
+            let mut md = report.to_markdown();
+            if let Some(n) = slowest {
+                md.push_str(&slowest_table(&events, join.as_ref(), n));
+            }
+            md
+        }
         "json" => {
+            // JSON stays machine-parseable; the trace dump goes to stderr.
+            if let Some(n) = slowest {
+                eprint!("{}", slowest_table(&events, join.as_ref(), n));
+            }
             serde_json::to_string_pretty(&report).map_err(|e| format!("serializing report: {e}"))?
         }
         f => return Err(format!("unknown format {f} (try markdown|json)")),
@@ -635,8 +748,16 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         f.latency_ms,
         f.seed
     );
-    let gateway = Gateway::bind(args.get_or("addr", "127.0.0.1:7471"), backend, cfg)
+    let mut gateway = Gateway::bind(args.get_or("addr", "127.0.0.1:7471"), backend, cfg)
         .map_err(|e| format!("binding gateway: {e}"))?;
+    if let Some(path) = args.get("trace-out") {
+        // Autoflush so the span log stays parseable even if the server is
+        // killed rather than shut down (the usual way a serve run ends).
+        let sink = faasrail_telemetry::JsonlSink::create_autoflush(path)
+            .map_err(|e| format!("creating {path}: {e}"))?;
+        gateway = gateway.with_trace_sink(Arc::new(sink));
+        eprintln!("serve: tracing server spans to {path}");
+    }
     eprintln!("serve: backend={name} at http://{} ({cfg_banner})", gateway.local_addr());
     eprintln!("serve: {fault_banner}");
     eprintln!(

@@ -420,6 +420,7 @@ pub fn simulate_observed(
                 // sandbox creation delay by construction.
                 metrics.response.record(((now_us - run.arrived_us) as f64 / 1e6).max(1e-9));
                 sink.emit(&TelemetryEvent::Invocation(InvocationSpan {
+                    trace_id: 0, // single-tier: simulated spans have nothing to join against
                     seq: run.index as u64,
                     workload: run.sandbox.workload.0 as u64,
                     function_index: trace.requests[run.index as usize].function_index,
@@ -550,6 +551,7 @@ pub fn simulate_observed(
                     let Some(run) = running.remove(&key) else { continue };
                     metrics.killed += 1;
                     sink.emit(&TelemetryEvent::Invocation(InvocationSpan {
+                        trace_id: 0, // single-tier: simulated spans have nothing to join against
                         seq: run.index as u64,
                         workload: run.sandbox.workload.0 as u64,
                         function_index: trace.requests[run.index as usize].function_index,

@@ -163,6 +163,7 @@ mod tests {
             input: WorkloadInput::Pyaes { bytes: 16 },
             function_index: id,
             scheduled_at_ms: 0,
+            trace_id: 0,
         }
     }
 
@@ -191,6 +192,7 @@ mod tests {
             input: WorkloadInput::Pyaes { bytes: 16 },
             function_index: 0,
             scheduled_at_ms: 0,
+            trace_id: 0,
         });
         assert!(!r.ok);
     }
@@ -224,6 +226,7 @@ mod tests {
             input: WorkloadInput::Pyaes { bytes: 256 * 1024 },
             function_index: 0,
             scheduled_at_ms: 0,
+            trace_id: 0,
         });
         assert!(r.ok);
         assert!(r.service_ms > 0.1, "256 KiB of software AES takes real time");

@@ -12,7 +12,7 @@
 //! * **deadline** — each invocation gets one overall deadline
 //!   (`request_timeout`); socket timeouts are continuously re-armed to the
 //!   remaining budget, and an exhausted budget classifies as
-//!   [`OutcomeClass::Timeout`];
+//!   [`OutcomeClass::Timeout`](faasrail_loadgen::OutcomeClass::Timeout);
 //! * **retry** — connect failures, transport errors, `429` and `5xx`
 //!   responses are retried under a seeded capped-exponential
 //!   [`RetryPolicy`], with each backoff sleep clamped to the remaining
@@ -23,14 +23,14 @@
 //! * **circuit breaker** — an optional [`CircuitBreaker`] shared across
 //!   worker threads trips on consecutive transport failures, timeouts, and
 //!   `429`/`5xx` responses; while open, invocations fail fast as
-//!   [`OutcomeClass::Shed`] without touching the network, and a `429` that
+//!   [`OutcomeClass::Shed`](faasrail_loadgen::OutcomeClass::Shed) without touching the network, and a `429` that
 //!   survives the retry budget also classifies as shed (the upstream
 //!   refused the work; nothing broke).
 
 use crate::backoff::{RetryPolicy, SplitMix64};
 use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::http;
-use faasrail_loadgen::{Backend, InvocationRequest, InvocationResult, OutcomeClass};
+use faasrail_loadgen::{Backend, InvocationRequest, InvocationResult};
 use parking_lot::Mutex;
 use std::io::{self, BufReader, ErrorKind};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -92,7 +92,7 @@ pub struct ClientStats {
 enum TryError {
     /// Worth another attempt (connect failure, broken exchange, `429`,
     /// 5xx). `shed` marks upstream overload refusals (`429`) so an
-    /// exhausted retry budget classifies as [`OutcomeClass::Shed`] rather
+    /// exhausted retry budget classifies as [`OutcomeClass::Shed`](faasrail_loadgen::OutcomeClass::Shed) rather
     /// than transport; `retry_after` carries the server's backoff hint.
     Retryable { msg: String, shed: bool, retry_after: Option<u64> },
     /// Deadline exhausted mid-attempt.
@@ -183,11 +183,14 @@ impl HttpBackend {
     }
 
     /// One request/response exchange on `stream`, with socket timeouts
-    /// armed to the remaining deadline.
+    /// armed to the remaining deadline. A non-zero `trace_id` is propagated
+    /// as `X-FaaSRail-Trace` so the gateway can tag its server-side span
+    /// without parsing the body.
     fn exchange(
         &self,
         stream: &TcpStream,
         body: &[u8],
+        trace_id: u64,
         deadline: Instant,
     ) -> io::Result<http::Response> {
         let remaining = deadline.saturating_duration_since(Instant::now());
@@ -196,12 +199,18 @@ impl HttpBackend {
         }
         stream.set_write_timeout(Some(remaining))?;
         stream.set_read_timeout(Some(remaining))?;
-        http::write_request(
+        let hex = faasrail_telemetry::format_trace_id(trace_id);
+        let mut extra: Vec<(&str, &str)> = Vec::new();
+        if trace_id != 0 {
+            extra.push((http::TRACE_HEADER, &hex));
+        }
+        http::write_request_with(
             &mut (&*stream),
             "POST",
             "/invoke",
             &self.host,
             "application/json",
+            &extra,
             body,
             true,
         )?;
@@ -267,7 +276,7 @@ impl Backend for HttpBackend {
                 self.stats.retries.fetch_add(1, Ordering::Relaxed);
             }
 
-            match self.try_attempt(&body, deadline) {
+            match self.try_attempt(&body, req.trace_id, deadline) {
                 Ok(result) => {
                     // Any parsed 200 — success or application failure —
                     // proves the transport path healthy.
@@ -317,8 +326,13 @@ impl HttpBackend {
     /// One attempt including response interpretation: `200` parses into an
     /// [`InvocationResult`], `429` is retryable-as-shed (honoring any
     /// `Retry-After`), `5xx` is retryable, other statuses are fatal.
-    fn try_attempt(&self, body: &[u8], deadline: Instant) -> Result<InvocationResult, TryError> {
-        let resp = self.try_once_at(body, deadline)?;
+    fn try_attempt(
+        &self,
+        body: &[u8],
+        trace_id: u64,
+        deadline: Instant,
+    ) -> Result<InvocationResult, TryError> {
+        let resp = self.try_once_at(body, trace_id, deadline)?;
         match resp.status {
             200 => serde_json::from_slice::<InvocationResult>(&resp.body).map_err(|e| {
                 TryError::Retryable {
@@ -341,7 +355,12 @@ impl HttpBackend {
         }
     }
 
-    fn try_once_at(&self, body: &[u8], deadline: Instant) -> Result<http::Response, TryError> {
+    fn try_once_at(
+        &self,
+        body: &[u8],
+        trace_id: u64,
+        deadline: Instant,
+    ) -> Result<http::Response, TryError> {
         let mut pooled_fallback = true;
         loop {
             let (stream, reused) = match self.checkout() {
@@ -363,7 +382,7 @@ impl HttpBackend {
                     }
                 },
             };
-            match self.exchange(&stream, body, deadline) {
+            match self.exchange(&stream, body, trace_id, deadline) {
                 Ok(resp) => {
                     if resp.keep_alive {
                         self.checkin(stream);
@@ -390,6 +409,7 @@ impl HttpBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use faasrail_loadgen::OutcomeClass;
     use faasrail_workloads::{WorkloadId, WorkloadInput};
     use std::net::TcpListener;
     use std::sync::atomic::AtomicUsize;
@@ -401,6 +421,7 @@ mod tests {
             input: WorkloadInput::Pyaes { bytes: 4096 },
             function_index: 0,
             scheduled_at_ms: 0,
+            trace_id: 0,
         }
     }
 
@@ -463,6 +484,35 @@ mod tests {
         assert_eq!(res.outcome(), OutcomeClass::Ok);
         assert_eq!(served.load(Ordering::SeqCst), 1);
         assert_eq!(be.stats().retries.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn trace_header_reaches_the_server_only_when_traced() {
+        // A server that records the trace id of each parsed request.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let seen: Arc<Mutex<Vec<Option<u64>>>> = Arc::new(Mutex::new(Vec::new()));
+        let log = Arc::clone(&seen);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                let mut reader = BufReader::new(&stream);
+                while let Ok(Some(req)) = http::read_request(&mut reader) {
+                    log.lock().push(req.trace_id);
+                    let body = serde_json::to_vec(&InvocationResult::success(1.0, false)).unwrap();
+                    if http::write_response(&mut (&stream), 200, "application/json", &body, true)
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            }
+        });
+        let be = HttpBackend::connect(&addr, fast_cfg(2)).unwrap();
+        let traced = InvocationRequest { trace_id: 0xfeed_f00d, ..request() };
+        assert!(be.invoke(&traced).ok);
+        assert!(be.invoke(&request()).ok, "untraced request");
+        assert_eq!(*seen.lock(), vec![Some(0xfeed_f00d), None]);
     }
 
     #[test]

@@ -11,6 +11,12 @@ pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Cap on a framed body.
 pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
 
+/// The trace-context propagation header: 1–16 lowercase hex digits
+/// carrying the client-assigned per-invocation trace id (see
+/// `faasrail_telemetry::format_trace_id`). Header name comparison is
+/// case-insensitive like any other header.
+pub const TRACE_HEADER: &str = "X-FaaSRail-Trace";
+
 /// A parsed inbound HTTP request (server side).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
@@ -18,6 +24,9 @@ pub struct Request {
     pub path: String,
     /// Whether the connection should stay open after the response.
     pub keep_alive: bool,
+    /// Trace id from an `X-FaaSRail-Trace` header; `None` when absent or
+    /// unparseable (an opaque header must never fail a request).
+    pub trace_id: Option<u64>,
     pub body: Vec<u8>,
 }
 
@@ -69,6 +78,7 @@ struct HeadInfo {
     keep_alive: bool,
     retry_after: Option<u64>,
     content_type: Option<String>,
+    trace_id: Option<u64>,
 }
 
 /// Shared header-section parse. `keep_alive` starts from the HTTP-version
@@ -84,6 +94,7 @@ fn read_headers<R: BufRead>(
         keep_alive: version_keep_alive,
         retry_after: None,
         content_type: None,
+        trace_id: None,
     };
     loop {
         let line = read_line(r, budget)?.ok_or_else(|| invalid("EOF inside headers"))?;
@@ -115,6 +126,9 @@ fn read_headers<R: BufRead>(
             // HTTP-date form is ignored (the gateway only emits seconds).
             "retry-after" => info.retry_after = value.parse::<u64>().ok(),
             "content-type" => info.content_type = Some(value.to_string()),
+            // Malformed ids parse to None rather than erroring: tracing is
+            // observability, never a reason to refuse a request.
+            "x-faasrail-trace" => info.trace_id = faasrail_telemetry::parse_trace_id(value),
             _ => {}
         }
     }
@@ -148,6 +162,7 @@ pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<Option<Request>> {
         method: method.to_string(),
         path: path.to_string(),
         keep_alive: info.keep_alive,
+        trace_id: info.trace_id,
         body,
     }))
 }
@@ -241,12 +256,34 @@ pub fn write_request<W: Write>(
     body: &[u8],
     keep_alive: bool,
 ) -> io::Result<()> {
-    let head = format!(
+    write_request_with(w, method, path, host, content_type, &[], body, keep_alive)
+}
+
+/// [`write_request`], with extra headers (e.g. `X-FaaSRail-Trace`).
+#[allow(clippy::too_many_arguments)]
+pub fn write_request_with<W: Write>(
+    w: &mut W,
+    method: &str,
+    path: &str,
+    host: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut head = format!(
         "{method} {path} HTTP/1.1\r\nHost: {host}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: {}\r\n\r\n",
+         Content-Length: {}\r\nConnection: {}\r\n",
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     w.write_all(head.as_bytes())?;
     w.write_all(body)?;
     w.flush()
@@ -396,6 +433,39 @@ mod tests {
         let raw = b"HTTP/1.1 503 x\r\nRetry-After: Wed, 21 Oct 2015 07:28:00 GMT\r\n\
                     Content-Length: 0\r\n\r\n";
         assert_eq!(read_response(&mut Cursor::new(raw.to_vec())).unwrap().retry_after, None);
+    }
+
+    #[test]
+    fn trace_header_roundtrips_and_is_case_insensitive() {
+        let mut buf = Vec::new();
+        write_request_with(
+            &mut buf,
+            "POST",
+            "/invoke",
+            "h",
+            "application/json",
+            &[(TRACE_HEADER, "00000000deadbeef")],
+            b"{}",
+            true,
+        )
+        .unwrap();
+        let head = String::from_utf8_lossy(&buf).to_string();
+        assert!(head.contains("X-FaaSRail-Trace: 00000000deadbeef\r\n"), "{head}");
+        let req = parse_req(&buf).unwrap().unwrap();
+        assert_eq!(req.trace_id, Some(0xdead_beef));
+
+        let raw = b"POST /invoke HTTP/1.1\r\nx-faasrail-trace: ff\r\nContent-Length: 0\r\n\r\n";
+        assert_eq!(parse_req(raw).unwrap().unwrap().trace_id, Some(0xff));
+    }
+
+    #[test]
+    fn absent_or_malformed_trace_header_is_none_not_an_error() {
+        let raw = b"POST /invoke HTTP/1.1\r\nContent-Length: 0\r\n\r\n";
+        assert_eq!(parse_req(raw).unwrap().unwrap().trace_id, None);
+        // Garbage ids never fail the request — tracing is best-effort.
+        let raw =
+            b"POST /invoke HTTP/1.1\r\nX-FaaSRail-Trace: not-hex\r\nContent-Length: 0\r\n\r\n";
+        assert_eq!(parse_req(raw).unwrap().unwrap().trace_id, None);
     }
 
     #[test]

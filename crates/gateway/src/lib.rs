@@ -38,4 +38,5 @@ pub mod server;
 pub use backoff::{mix_fraction, RetryPolicy, SplitMix64};
 pub use breaker::{BreakerConfig, CircuitBreaker};
 pub use client::{ClientStats, HttpBackend, HttpBackendConfig};
-pub use server::{FaultConfig, Gateway, GatewayConfig, GatewayHandle, GatewayStats};
+pub use http::TRACE_HEADER;
+pub use server::{FaultConfig, Gateway, GatewayConfig, GatewayHandle, GatewayStats, StageMetrics};

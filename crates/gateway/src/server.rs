@@ -8,24 +8,41 @@
 //! * `POST /invoke` — a [`InvocationRequest`] JSON body; replies `200` with
 //!   the backend's [`InvocationResult`] (application failures travel as
 //!   `ok: false` bodies, not HTTP errors);
-//! * `GET /healthz` — liveness probe;
+//! * `GET /healthz` — liveness probe, as JSON with live queue depth and
+//!   shed total so load balancers can see overload without scraping;
 //! * `GET /stats` — aggregate and per-connection counters as JSON;
-//! * `GET /metrics` — the same counters in Prometheus text format (0.0.4),
-//!   scrapeable by standard monitoring tooling.
+//! * `GET /metrics` — the same counters in Prometheus text format (0.0.4)
+//!   plus per-stage residency histograms (queue wait / service / flush /
+//!   total), scrapeable by standard monitoring tooling.
 //!
 //! A seeded [`FaultConfig`] can drop or 5xx a deterministic fraction of
 //! invocations — the harness for exercising client-side retry under
 //! controlled fault rates.
+//!
+//! **Distributed tracing.** Every `POST /invoke` emits a [`ServerSpan`]
+//! (accepted → dequeued → handler → flushed, with the queue depth at
+//! admission, worker id, and fault classification) into an optional
+//! [`EventSink`] installed with [`Gateway::with_trace_sink`]. The span is
+//! tagged with the client's trace id from the `X-FaaSRail-Trace` header
+//! (falling back to the request body), so a client-side JSONL log and the
+//! server-side one can be merged by `faasrail_telemetry::join_spans` into
+//! an end-to-end decomposition. Shed connections never produce a span —
+//! the gateway refused them before reading a request — which is exactly
+//! what lets the join count them as orphans.
 
 use crate::backoff::mix_fraction;
 use crate::http;
 use faasrail_loadgen::{Backend, InvocationRequest};
-use faasrail_telemetry::PromText;
+use faasrail_telemetry::{
+    EventSink, LogHistogram, NullSink, OutcomeClass, PromText, ServerFault, ServerSpan,
+    TelemetryEvent,
+};
+use parking_lot::Mutex;
 use std::io::{self, BufReader, ErrorKind};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Seeded fault injection: each invocation draws a deterministic uniform
 /// variate from (`seed`, invocation index) and the unit interval is carved
@@ -273,6 +290,60 @@ impl GatewayStats {
     }
 }
 
+/// Per-stage server-side residency histograms, fed from every emitted
+/// [`ServerSpan`] and rendered on `GET /metrics`. Coarse mutexes are fine
+/// here: one `record` per invocation, far off the per-byte hot path.
+pub struct StageMetrics {
+    queue_wait: Mutex<LogHistogram>,
+    service: Mutex<LogHistogram>,
+    flush: Mutex<LogHistogram>,
+    total: Mutex<LogHistogram>,
+}
+
+impl StageMetrics {
+    fn new() -> StageMetrics {
+        StageMetrics {
+            queue_wait: Mutex::new(LogHistogram::latency_seconds()),
+            service: Mutex::new(LogHistogram::latency_seconds()),
+            flush: Mutex::new(LogHistogram::latency_seconds()),
+            total: Mutex::new(LogHistogram::latency_seconds()),
+        }
+    }
+
+    fn record(&self, span: &ServerSpan) {
+        self.queue_wait.lock().record(span.queue_wait_s());
+        self.service.lock().record(span.handler_s());
+        self.flush.lock().record(span.flush_s());
+        self.total.lock().record(span.total_s());
+    }
+
+    /// Render the four stage histograms in Prometheus text format.
+    pub fn to_prometheus(&self) -> String {
+        let mut p = PromText::new();
+        p.histogram(
+            "faasrail_gateway_stage_queue_wait_seconds",
+            "Accept to worker dequeue (admission queue wait).",
+            &self.queue_wait.lock(),
+        );
+        p.histogram(
+            "faasrail_gateway_stage_service_seconds",
+            "Handler start to handler end (backend execution).",
+            &self.service.lock(),
+        );
+        p.histogram(
+            "faasrail_gateway_stage_flush_seconds",
+            "Handler end to response flushed.",
+            &self.flush.lock(),
+        );
+        p.histogram(
+            "faasrail_gateway_stage_total_seconds",
+            "Accept to response flushed (total server residency).",
+            &self.total.lock(),
+        );
+        p.finish()
+    }
+}
+
 /// The gateway: a bound listener plus the backend it exposes.
 pub struct Gateway {
     listener: TcpListener,
@@ -280,7 +351,19 @@ pub struct Gateway {
     backend: Arc<dyn Backend>,
     cfg: GatewayConfig,
     stats: Arc<GatewayStats>,
+    stages: Arc<StageMetrics>,
+    trace_sink: Arc<dyn EventSink>,
+    epoch: Instant,
     shutdown: Arc<AtomicBool>,
+}
+
+/// One accepted connection in flight from the accept loop to a worker.
+struct ConnMeta {
+    stream: TcpStream,
+    /// When the connection was accepted, µs from gateway start.
+    accepted_us: u64,
+    /// Pending connections ahead of this one at admission.
+    depth: u64,
 }
 
 impl Gateway {
@@ -300,8 +383,18 @@ impl Gateway {
             backend,
             cfg,
             stats: Arc::new(GatewayStats::default()),
+            stages: Arc::new(StageMetrics::new()),
+            trace_sink: Arc::new(NullSink),
+            epoch: Instant::now(),
             shutdown: Arc::new(AtomicBool::new(false)),
         })
+    }
+
+    /// Install an [`EventSink`] receiving one [`ServerSpan`] per
+    /// `POST /invoke`. Defaults to [`NullSink`] (tracing off, zero cost).
+    pub fn with_trace_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.trace_sink = sink;
+        self
     }
 
     /// The bound address (resolves ephemeral ports).
@@ -314,6 +407,11 @@ impl Gateway {
         Arc::clone(&self.stats)
     }
 
+    /// Per-stage residency histograms (live; safe to read while serving).
+    pub fn stage_metrics(&self) -> Arc<StageMetrics> {
+        Arc::clone(&self.stages)
+    }
+
     /// Serve until shut down, blocking the calling thread. Connections are
     /// fanned out to `cfg.workers` handler threads through a bounded queue
     /// of `cfg.queue_capacity`; when the queue is full the connection is
@@ -322,19 +420,32 @@ impl Gateway {
     /// silently timing out in the OS backlog.
     pub fn run(self) {
         let capacity = self.cfg.queue_capacity.max(1);
-        let (tx, rx) = crossbeam::channel::bounded::<TcpStream>(capacity);
+        let (tx, rx) = crossbeam::channel::bounded::<ConnMeta>(capacity);
+        let epoch = self.epoch;
         std::thread::scope(|scope| {
-            for _ in 0..self.cfg.workers {
+            for worker in 0..self.cfg.workers {
                 let rx = rx.clone();
                 let backend = Arc::clone(&self.backend);
                 let stats = Arc::clone(&self.stats);
+                let stages = Arc::clone(&self.stages);
+                let sink = Arc::clone(&self.trace_sink);
                 let shutdown = Arc::clone(&self.shutdown);
                 let cfg = self.cfg;
                 scope.spawn(move || {
-                    while let Ok(stream) = rx.recv() {
+                    let ctx = WorkerCtx {
+                        backend: &*backend,
+                        stats: &stats,
+                        stages: &stages,
+                        sink: &*sink,
+                        cfg: &cfg,
+                        shutdown: &shutdown,
+                        epoch,
+                        worker: worker as u64,
+                    };
+                    while let Ok(conn) = rx.recv() {
                         stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
                         stats.connections_active.fetch_add(1, Ordering::Relaxed);
-                        let _ = handle_connection(stream, &*backend, &stats, &cfg, &shutdown);
+                        let _ = handle_connection(conn, &ctx);
                         stats.connections_active.fetch_sub(1, Ordering::Relaxed);
                         stats.connections_closed.fetch_add(1, Ordering::Relaxed);
                     }
@@ -352,13 +463,14 @@ impl Gateway {
                         if self.shutdown.load(Ordering::SeqCst) {
                             break; // the shutdown wake-up connection itself
                         }
-                        self.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
-                        match tx.try_send(stream) {
+                        let depth = self.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+                        let conn = ConnMeta { stream, accepted_us: micros_since(epoch), depth };
+                        match tx.try_send(conn) {
                             Ok(()) => {}
-                            Err(crossbeam::channel::TrySendError::Full(stream)) => {
+                            Err(crossbeam::channel::TrySendError::Full(conn)) => {
                                 self.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
                                 self.stats.shed.fetch_add(1, Ordering::Relaxed);
-                                shed_connection(stream);
+                                shed_connection(conn.stream);
                             }
                             Err(crossbeam::channel::TrySendError::Disconnected(_)) => break,
                         }
@@ -372,6 +484,7 @@ impl Gateway {
                 }
             }
             drop(tx); // workers drain queued connections, then exit
+            self.trace_sink.flush();
         });
     }
 
@@ -436,17 +549,70 @@ fn shed_connection(stream: TcpStream) {
     );
 }
 
+/// Everything a handler worker needs besides the connection itself.
+struct WorkerCtx<'a> {
+    backend: &'a dyn Backend,
+    stats: &'a GatewayStats,
+    stages: &'a StageMetrics,
+    sink: &'a dyn EventSink,
+    cfg: &'a GatewayConfig,
+    shutdown: &'a AtomicBool,
+    epoch: Instant,
+    worker: u64,
+}
+
+fn micros_since(epoch: Instant) -> u64 {
+    epoch.elapsed().as_micros() as u64
+}
+
+/// Mutable per-invocation span state, finalized and emitted on every exit
+/// path of the `/invoke` arm (including the ones that `break` without a
+/// response — a dropped connection still deserves a server-side record).
+struct SpanDraft {
+    trace_id: u64,
+    seq: u64,
+    accepted_us: u64,
+    dequeued_us: u64,
+    handler_start_us: u64,
+    queue_depth: u64,
+    service_ms: f64,
+    outcome: OutcomeClass,
+    fault: Option<ServerFault>,
+    cold_start: bool,
+}
+
+impl SpanDraft {
+    /// Stamp the handler-end and flush times and emit through the sink +
+    /// stage histograms.
+    fn finish(self, ctx: &WorkerCtx, handler_end_us: u64, flushed_us: u64) {
+        let span = ServerSpan {
+            trace_id: self.trace_id,
+            seq: self.seq,
+            worker: ctx.worker,
+            accepted_us: self.accepted_us,
+            dequeued_us: self.dequeued_us,
+            handler_start_us: self.handler_start_us,
+            handler_end_us,
+            flushed_us: flushed_us.max(handler_end_us),
+            queue_depth: self.queue_depth,
+            service_ms: self.service_ms,
+            outcome: self.outcome,
+            fault: self.fault,
+            cold_start: self.cold_start,
+        };
+        ctx.stages.record(&span);
+        ctx.sink.emit(&TelemetryEvent::ServerSpan(span));
+    }
+}
+
 /// Serve one connection until it closes (client close, idle timeout,
 /// malformed request, injected drop, or shutdown).
-fn handle_connection(
-    stream: TcpStream,
-    backend: &dyn Backend,
-    stats: &GatewayStats,
-    cfg: &GatewayConfig,
-    shutdown: &AtomicBool,
-) -> io::Result<()> {
+fn handle_connection(conn: ConnMeta, ctx: &WorkerCtx) -> io::Result<()> {
+    let stream = conn.stream;
+    let stats = ctx.stats;
+    let dequeued_us = micros_since(ctx.epoch);
     stream.set_nodelay(true).ok();
-    stream.set_read_timeout(Some(cfg.read_timeout)).ok();
+    stream.set_read_timeout(Some(ctx.cfg.read_timeout)).ok();
     let mut reader = BufReader::new(&stream);
     let mut served_here: u64 = 0;
 
@@ -468,24 +634,58 @@ fn handle_connection(
             // Idle timeout, reset, or mid-request EOF: just close.
             Err(_) => break,
         };
+        // Keep-alive requests after the first never waited in the admission
+        // queue, and the worker was already blocked on the socket before the
+        // client even sent them — so their accepted/dequeued stamps collapse
+        // to the moment the head finished reading. Idle keep-alive gaps must
+        // not masquerade as queue wait or read time: the client→server
+        // transfer shows up in the join's `net_out` stage instead.
+        let (accepted_us, req_dequeued_us, depth) = if served_here == 0 {
+            (conn.accepted_us, dequeued_us, conn.depth)
+        } else {
+            let now = micros_since(ctx.epoch);
+            (now, now, 0)
+        };
         served_here += 1;
         stats.requests.fetch_add(1, Ordering::Relaxed);
-        let keep = req.keep_alive && !shutdown.load(Ordering::Relaxed);
+        let keep = req.keep_alive && !ctx.shutdown.load(Ordering::Relaxed);
 
         match (req.method.as_str(), req.path.as_str()) {
             ("POST", "/invoke") => {
                 let n = stats.invocations.fetch_add(1, Ordering::Relaxed);
-                let mut fault = cfg.fault.decide(n);
+                let mut draft = SpanDraft {
+                    // Header id wins; fall back to the body's below once
+                    // (and if) the body parses.
+                    trace_id: req.trace_id.unwrap_or(0),
+                    seq: n,
+                    accepted_us,
+                    dequeued_us: req_dequeued_us,
+                    handler_start_us: micros_since(ctx.epoch),
+                    queue_depth: depth,
+                    service_ms: 0.0,
+                    outcome: OutcomeClass::Ok,
+                    fault: None,
+                    cold_start: false,
+                };
+                let mut fault = ctx.cfg.fault.decide(n);
                 if let Fault::Delay = fault {
-                    // Injected straggler: delay, then serve normally.
+                    // Injected straggler: delay, then serve normally. The
+                    // sleep lands inside the handler stage, where a real
+                    // straggler's time would.
                     stats.faults_delayed.fetch_add(1, Ordering::Relaxed);
-                    std::thread::sleep(Duration::from_millis(cfg.fault.latency_ms));
+                    draft.fault = Some(ServerFault::Delay);
+                    std::thread::sleep(Duration::from_millis(ctx.cfg.fault.latency_ms));
                     fault = Fault::None;
                 }
                 match fault {
                     Fault::Delay => unreachable!("rewritten to Fault::None above"),
                     Fault::Drop => {
                         stats.faults_dropped.fetch_add(1, Ordering::Relaxed);
+                        draft.fault = Some(ServerFault::Drop);
+                        // The client sees a broken connection: transport.
+                        draft.outcome = OutcomeClass::Transport;
+                        let now = micros_since(ctx.epoch);
+                        draft.finish(ctx, now, now);
                         break; // vanish without a response
                     }
                     Fault::Stall => {
@@ -493,52 +693,88 @@ fn handle_connection(
                         // close without a response — the client's deadline,
                         // not its retry logic, has to catch this.
                         stats.faults_stalled.fetch_add(1, Ordering::Relaxed);
-                        std::thread::sleep(Duration::from_millis(cfg.fault.stall_ms));
+                        draft.fault = Some(ServerFault::Stall);
+                        draft.outcome = OutcomeClass::Timeout;
+                        std::thread::sleep(Duration::from_millis(ctx.cfg.fault.stall_ms));
+                        let now = micros_since(ctx.epoch);
+                        draft.finish(ctx, now, now);
                         break;
                     }
                     Fault::Error => {
                         stats.faults_errored.fetch_add(1, Ordering::Relaxed);
-                        http::write_response(
+                        draft.fault = Some(ServerFault::Error);
+                        draft.outcome = OutcomeClass::Transport;
+                        let handler_end = micros_since(ctx.epoch);
+                        let res = http::write_response(
                             &mut (&stream),
                             500,
                             "text/plain",
                             b"injected fault",
                             keep,
-                        )?;
+                        );
+                        draft.finish(ctx, handler_end, micros_since(ctx.epoch));
+                        res?;
                     }
                     Fault::None => match serde_json::from_slice::<InvocationRequest>(&req.body) {
                         Ok(inv) => {
-                            let result = backend.invoke(&inv);
+                            if draft.trace_id == 0 {
+                                draft.trace_id = inv.trace_id;
+                            }
+                            let result = ctx.backend.invoke(&inv);
                             if result.ok {
                                 stats.invocations_ok.fetch_add(1, Ordering::Relaxed);
                             } else {
                                 stats.invocations_failed.fetch_add(1, Ordering::Relaxed);
                             }
+                            draft.service_ms = result.service_ms;
+                            draft.outcome = result.outcome();
+                            draft.cold_start = result.cold_start;
+                            let handler_end = micros_since(ctx.epoch);
                             let body = serde_json::to_vec(&result)
                                 .unwrap_or_else(|_| b"{\"ok\":false}".to_vec());
-                            http::write_response(
+                            let res = http::write_response(
                                 &mut (&stream),
                                 200,
                                 "application/json",
                                 &body,
                                 keep,
-                            )?;
+                            );
+                            draft.finish(ctx, handler_end, micros_since(ctx.epoch));
+                            res?;
                         }
                         Err(e) => {
                             stats.http_400.fetch_add(1, Ordering::Relaxed);
-                            http::write_response(
+                            // The body never became an invocation; from the
+                            // client's side this is a non-retryable
+                            // transport-class failure.
+                            draft.outcome = OutcomeClass::Transport;
+                            let handler_end = micros_since(ctx.epoch);
+                            let res = http::write_response(
                                 &mut (&stream),
                                 400,
                                 "text/plain",
                                 format!("bad invocation request: {e}").as_bytes(),
                                 keep,
-                            )?;
+                            );
+                            draft.finish(ctx, handler_end, micros_since(ctx.epoch));
+                            res?;
                         }
                     },
                 }
             }
             ("GET", "/healthz") => {
-                http::write_response(&mut (&stream), 200, "text/plain", b"ok", keep)?;
+                let body = format!(
+                    "{{\"status\":\"ok\",\"queue_depth\":{},\"shed\":{}}}",
+                    stats.queue_depth.load(Ordering::Relaxed),
+                    stats.shed.load(Ordering::Relaxed),
+                );
+                http::write_response(
+                    &mut (&stream),
+                    200,
+                    "application/json",
+                    body.as_bytes(),
+                    keep,
+                )?;
             }
             ("GET", "/stats") => {
                 stats.max_requests_per_connection.fetch_max(served_here, Ordering::Relaxed);
@@ -552,11 +788,13 @@ fn handle_connection(
             }
             ("GET", "/metrics") => {
                 stats.max_requests_per_connection.fetch_max(served_here, Ordering::Relaxed);
+                let mut text = stats.to_prometheus();
+                text.push_str(&ctx.stages.to_prometheus());
                 http::write_response(
                     &mut (&stream),
                     200,
                     faasrail_telemetry::prometheus::CONTENT_TYPE,
-                    stats.to_prometheus().as_bytes(),
+                    text.as_bytes(),
                     keep,
                 )?;
             }
@@ -578,7 +816,8 @@ fn handle_connection(
 mod tests {
     use super::*;
     use crate::client::{HttpBackend, HttpBackendConfig};
-    use faasrail_loadgen::{InvocationResult, NoopBackend, OutcomeClass};
+    use faasrail_loadgen::{InvocationResult, NoopBackend};
+    use faasrail_telemetry::RingSink;
     use faasrail_workloads::{WorkloadId, WorkloadInput};
     use std::io::BufReader;
 
@@ -601,6 +840,7 @@ mod tests {
             input: WorkloadInput::Pyaes { bytes: 1024 },
             function_index: 3,
             scheduled_at_ms: 12,
+            trace_id: 0,
         };
         serde_json::to_vec(&req).unwrap()
     }
@@ -619,7 +859,10 @@ mod tests {
 
         let resp = roundtrip(&stream, "GET", "/healthz", b"");
         assert_eq!(resp.status, 200);
-        assert_eq!(resp.body, b"ok");
+        let health = String::from_utf8(resp.body).unwrap();
+        assert!(health.contains("\"status\":\"ok\""), "{health}");
+        assert!(health.contains("\"queue_depth\":0"), "{health}");
+        assert!(health.contains("\"shed\":0"), "{health}");
         assert!(resp.keep_alive);
 
         let resp = roundtrip(&stream, "GET", "/nope", b"");
@@ -718,6 +961,7 @@ mod tests {
             input: WorkloadInput::Pyaes { bytes: 1024 },
             function_index: 0,
             scheduled_at_ms: 0,
+            trace_id: 0,
         };
         for _ in 0..5 {
             let r = faasrail_loadgen::Backend::invoke(&client, &req);
@@ -783,9 +1027,13 @@ mod tests {
         drop(c);
         assert_eq!(handle.stats().shed.load(Ordering::Relaxed), 1);
 
-        // Freeing the worker lets the queued connection B get served.
+        // Freeing the worker lets the queued connection B get served — and
+        // the health probe now reports the shed it witnessed.
         drop(a);
-        assert_eq!(roundtrip(&b, "GET", "/healthz", b"").status, 200);
+        let health = roundtrip(&b, "GET", "/healthz", b"");
+        assert_eq!(health.status, 200);
+        let health = String::from_utf8(health.body).unwrap();
+        assert!(health.contains("\"shed\":1"), "{health}");
         let resp = roundtrip(&b, "GET", "/stats", b"");
         let json = String::from_utf8(resp.body).unwrap();
         assert!(json.contains("\"shed\":1"), "{json}");
@@ -824,6 +1072,187 @@ mod tests {
         assert!(start.elapsed() >= Duration::from_millis(45), "stall held the socket");
         drop(stream);
         assert_eq!(handle.stats().faults_stalled.load(Ordering::Relaxed), 1);
+        handle.stop();
+    }
+
+    fn spawn_traced(cfg: GatewayConfig) -> (GatewayHandle, Arc<RingSink>) {
+        let sink = Arc::new(RingSink::with_capacity(256));
+        let handle = Gateway::bind("127.0.0.1:0", Arc::new(NoopBackend), cfg)
+            .unwrap()
+            .with_trace_sink(Arc::clone(&sink) as Arc<dyn EventSink>)
+            .spawn();
+        (handle, sink)
+    }
+
+    /// Spans are emitted just after the response is written, so a client
+    /// that has read the response may still be a beat ahead of the sink.
+    fn wait_for_spans(sink: &RingSink, n: usize) -> Vec<ServerSpan> {
+        for _ in 0..200 {
+            let spans: Vec<ServerSpan> = sink
+                .events()
+                .into_iter()
+                .filter_map(|e| match e {
+                    TelemetryEvent::ServerSpan(s) => Some(s),
+                    _ => None,
+                })
+                .collect();
+            if spans.len() >= n {
+                return spans;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("never saw {n} server spans; events: {:?}", sink.events().len());
+    }
+
+    #[test]
+    fn invoke_emits_a_server_span_tagged_from_the_trace_header() {
+        let (handle, sink) = spawn_traced(test_cfg());
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        http::write_request_with(
+            &mut (&stream),
+            "POST",
+            "/invoke",
+            "test",
+            "application/json",
+            &[(http::TRACE_HEADER, "deadbeef")],
+            &request_json(),
+            true,
+        )
+        .unwrap();
+        let resp = http::read_response(&mut BufReader::new(&stream)).unwrap();
+        assert_eq!(resp.status, 200);
+
+        let spans = wait_for_spans(&sink, 1);
+        let s = &spans[0];
+        assert_eq!(s.trace_id, 0xdead_beef, "header id wins");
+        assert_eq!(s.seq, 0);
+        assert_eq!(s.outcome, OutcomeClass::Ok);
+        assert_eq!(s.fault, None);
+        assert!(
+            s.accepted_us <= s.dequeued_us
+                && s.dequeued_us <= s.handler_start_us
+                && s.handler_start_us <= s.handler_end_us
+                && s.handler_end_us <= s.flushed_us,
+            "stages must be monotonic: {s:?}"
+        );
+        drop(stream);
+        handle.stop();
+    }
+
+    #[test]
+    fn body_trace_id_is_the_fallback_when_no_header_is_sent() {
+        let (handle, sink) = spawn_traced(test_cfg());
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let req = InvocationRequest {
+            workload: WorkloadId(7),
+            input: WorkloadInput::Pyaes { bytes: 1024 },
+            function_index: 3,
+            scheduled_at_ms: 12,
+            trace_id: 0xf00d,
+        };
+        let resp = roundtrip(&stream, "POST", "/invoke", &serde_json::to_vec(&req).unwrap());
+        assert_eq!(resp.status, 200);
+        let spans = wait_for_spans(&sink, 1);
+        assert_eq!(spans[0].trace_id, 0xf00d);
+        drop(stream);
+        handle.stop();
+    }
+
+    #[test]
+    fn fault_spans_are_classified_drop_stall_error_delay() {
+        // (fault config, expected fault, expected outcome, gets a response)
+        let cases = [
+            (
+                FaultConfig { drop_fraction: 1.0, seed: 3, ..FaultConfig::default() },
+                ServerFault::Drop,
+                OutcomeClass::Transport,
+                false,
+            ),
+            (
+                FaultConfig {
+                    stall_fraction: 1.0,
+                    stall_ms: 20,
+                    seed: 3,
+                    ..FaultConfig::default()
+                },
+                ServerFault::Stall,
+                OutcomeClass::Timeout,
+                false,
+            ),
+            (
+                FaultConfig { error_fraction: 1.0, seed: 3, ..FaultConfig::default() },
+                ServerFault::Error,
+                OutcomeClass::Transport,
+                true,
+            ),
+            (
+                FaultConfig {
+                    latency_fraction: 1.0,
+                    latency_ms: 10,
+                    seed: 3,
+                    ..FaultConfig::default()
+                },
+                ServerFault::Delay,
+                OutcomeClass::Ok,
+                true,
+            ),
+        ];
+        for (fault, expect_fault, expect_outcome, responds) in cases {
+            let (handle, sink) = spawn_traced(GatewayConfig { fault, ..test_cfg() });
+            let stream = TcpStream::connect(handle.addr()).unwrap();
+            http::write_request(
+                &mut (&stream),
+                "POST",
+                "/invoke",
+                "test",
+                "application/json",
+                &request_json(),
+                true,
+            )
+            .unwrap();
+            let read = http::read_response(&mut BufReader::new(&stream));
+            assert_eq!(read.is_ok(), responds, "{expect_fault:?}: {read:?}");
+            let spans = wait_for_spans(&sink, 1);
+            assert_eq!(spans[0].fault, Some(expect_fault), "{spans:?}");
+            assert_eq!(spans[0].outcome, expect_outcome, "{spans:?}");
+            drop(stream);
+            handle.stop();
+        }
+    }
+
+    #[test]
+    fn shed_connections_produce_no_server_span() {
+        let (handle, sink) =
+            spawn_traced(GatewayConfig { workers: 1, queue_capacity: 1, ..test_cfg() });
+        let a = TcpStream::connect(handle.addr()).unwrap();
+        assert_eq!(roundtrip(&a, "GET", "/healthz", b"").status, 200);
+        let _b = TcpStream::connect(handle.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let c = TcpStream::connect(handle.addr()).unwrap();
+        let resp = http::read_response(&mut BufReader::new(&c)).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(handle.stats().shed.load(Ordering::Relaxed), 1);
+        assert!(
+            sink.events().is_empty(),
+            "a shed connection must stay an orphan on the client side"
+        );
+        drop((a, c));
+        handle.stop();
+    }
+
+    #[test]
+    fn metrics_include_stage_histograms_after_an_invocation() {
+        let (handle, _sink) = spawn_traced(test_cfg());
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        assert_eq!(roundtrip(&stream, "POST", "/invoke", &request_json()).status, 200);
+        let resp = roundtrip(&stream, "GET", "/metrics", b"");
+        let text = String::from_utf8(resp.body).unwrap();
+        for stage in ["queue_wait", "service", "flush", "total"] {
+            let name = format!("faasrail_gateway_stage_{stage}_seconds");
+            assert!(text.contains(&format!("# TYPE {name} histogram")), "{name} missing");
+            assert!(text.contains(&format!("{name}_count 1")), "{name} not recorded:\n{text}");
+        }
+        drop(stream);
         handle.stop();
     }
 

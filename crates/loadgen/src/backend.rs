@@ -19,6 +19,13 @@ pub struct InvocationRequest {
     pub function_index: u32,
     /// When the request was *scheduled* to fire, ms from experiment start.
     pub scheduled_at_ms: u64,
+    /// Per-invocation trace id for cross-tier span joining; `0` means
+    /// untraced (requests serialized before tracing existed, or callers
+    /// that don't care). Networked backends also propagate it in the
+    /// `X-FaaSRail-Trace` header so gateways can read it without parsing
+    /// the body.
+    #[serde(default)]
+    pub trace_id: u64,
 }
 
 /// Classification of a failed (or successful) invocation. The canonical
@@ -181,6 +188,7 @@ mod tests {
             input: WorkloadInput::Pyaes { bytes: 4096 },
             function_index: 0,
             scheduled_at_ms: 0,
+            trace_id: 0xABCD,
         }
     }
 
@@ -234,6 +242,12 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         let back: InvocationRequest = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);
+
+        // A pre-tracing payload (no trace_id key) still deserializes, as
+        // untraced.
+        let legacy = r#"{"workload":0,"input":{"Pyaes":{"bytes":64}},"function_index":1,"scheduled_at_ms":2}"#;
+        let back: InvocationRequest = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.trace_id, 0);
     }
 
     #[test]

@@ -227,6 +227,16 @@ pub fn replay_observed<B: Backend>(
         compression,
     }));
 
+    // A fresh run id per replay keeps trace ids collision-resistant across
+    // concurrent replayers hitting one gateway, without any coordination.
+    let run_id = {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        nanos ^ ((std::process::id() as u64) << 32)
+    };
+
     let start = Instant::now();
     let (tx, rx) = channel::unbounded::<Job>();
     let metrics = std::thread::scope(|scope| {
@@ -263,6 +273,7 @@ pub fn replay_observed<B: Backend>(
                         );
                     }
                     inst.sink.emit(&TelemetryEvent::Invocation(InvocationSpan {
+                        trace_id: job.req.trace_id,
                         seq: job.seq,
                         workload: job.req.workload.0 as u64,
                         function_index: job.req.function_index,
@@ -317,6 +328,7 @@ pub fn replay_observed<B: Backend>(
                     input: workload.input,
                     function_index: r.function_index,
                     scheduled_at_ms: r.at_ms,
+                    trace_id: faasrail_telemetry::derive_trace_id(run_id, seq),
                 },
                 dispatched,
                 seq,
@@ -508,6 +520,7 @@ mod tests {
                 input: faasrail_workloads::WorkloadInput::Pyaes { bytes: 16 },
                 function_index: 0,
                 scheduled_at_ms: 0,
+                trace_id: 0,
             },
         );
         assert!(!r.ok);
@@ -706,6 +719,90 @@ mod tests {
             assert_eq!(end.issued, m.issued);
             assert_eq!(end.completed, m.completed);
             assert_eq!(end.errors, m.errors);
+        }
+    }
+
+    #[test]
+    fn observed_replay_stamps_unique_nonzero_trace_ids() {
+        use faasrail_telemetry::{RingSink, TelemetryEvent};
+        let trace = tiny_trace(80, 0);
+        let pool = vanilla_pool();
+        let sink = RingSink::with_capacity(200);
+        let inst = ReplayInstruments { sink: &sink, recorder: None };
+        replay_observed(
+            &trace,
+            &pool,
+            &NoopBackend,
+            &ReplayConfig { pacing: Pacing::Unpaced, workers: 3 },
+            &AtomicBool::new(false),
+            &inst,
+        );
+        let mut ids: Vec<u64> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::Invocation(s) => Some(s.trace_id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids.len(), 80);
+        assert!(ids.iter().all(|&id| id != 0), "every span must be traced");
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 80, "trace ids must be unique within a run");
+    }
+
+    #[test]
+    fn killed_replay_leaves_a_fully_parseable_event_log() {
+        use faasrail_telemetry::{parse_jsonl, JsonlSink, TelemetryEvent};
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        // Regression test for truncated logs on graceful stop: a
+        // 100-second schedule is stopped after ~50 ms; the JSONL log must
+        // parse to the last emitted span — span count == issued, closed by
+        // an aborted run_end — because `replay_observed` flushes the sink
+        // on drain (and `JsonlSink` flushes again on drop).
+        let path = std::env::temp_dir()
+            .join(format!("faasrail-killed-replay-{}.jsonl", std::process::id()));
+        let trace = tiny_trace(10_000, 10);
+        let pool = vanilla_pool();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stopper = Arc::clone(&stop);
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            stopper.store(true, Ordering::SeqCst);
+        });
+        let m = {
+            let sink = JsonlSink::create(&path).unwrap();
+            let inst = ReplayInstruments { sink: &sink, recorder: None };
+            replay_observed(
+                &trace,
+                &pool,
+                &NoopBackend,
+                &ReplayConfig { pacing: Pacing::RealTime { compression: 1.0 }, workers: 2 },
+                &stop,
+                &inst,
+            )
+            // sink dropped here, before the log is read back
+        };
+        killer.join().unwrap();
+        assert!(m.aborted);
+        assert!(m.issued < 10_000, "stop must truncate the run");
+
+        let events =
+            parse_jsonl(std::io::BufReader::new(std::fs::File::open(&path).unwrap())).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(events.first(), Some(TelemetryEvent::RunStart(_))));
+        let spans =
+            events.iter().filter(|e| matches!(e, TelemetryEvent::Invocation(_))).count() as u64;
+        assert_eq!(spans, m.issued, "log must contain every dispatched span");
+        match events.last() {
+            Some(TelemetryEvent::RunEnd(end)) => {
+                assert!(end.aborted);
+                assert_eq!(end.issued, m.issued);
+            }
+            other => panic!("log must close with run_end, got {other:?}"),
         }
     }
 

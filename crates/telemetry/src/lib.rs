@@ -23,21 +23,41 @@
 //! * [`RunReport`] — consumes a JSONL event log and reconstructs the
 //!   latency decomposition (pacer lateness vs queue wait vs service vs
 //!   network overhead) and the per-minute offered/achieved series the
-//!   paper's fidelity argument rests on, rendered as JSON or Markdown.
+//!   paper's fidelity argument rests on, rendered as JSON or Markdown;
+//! * [`ServerSpan`] + [`join_spans`] — distributed tracing across the
+//!   client/gateway boundary: the replayer stamps every request with a
+//!   trace id (propagated in the `X-FaaSRail-Trace` header), the gateway
+//!   records its own accept→dequeue→handler→flush span per request, and
+//!   the join pass merges the two JSONL logs by trace id — estimating the
+//!   inter-tier clock offset from exchange midpoints — into a six-stage
+//!   cross-tier decomposition (pacer lateness / client queue / network
+//!   out / gateway queue / service / network back) with orphaned spans
+//!   classified, not dropped.
 //!
 //! The crate sits directly above `faasrail-stats`; the load generator, the
 //! gateway, and the simulator all emit into it, which is what makes one
 //! event log comparable across in-process, over-the-wire, and simulated
 //! runs.
 
+pub mod join;
 pub mod prometheus;
 pub mod recorder;
 pub mod report;
 pub mod sink;
 pub mod span;
 
+/// Re-exported so downstream crates (the gateway's per-stage `/metrics`
+/// histograms) don't need a direct `faasrail-stats` dependency.
+pub use faasrail_stats::LogHistogram;
+pub use join::{join_spans, ClockOffset, CrossTierStages, JoinedSpan, SpanJoin};
 pub use prometheus::PromText;
 pub use recorder::{spawn_progress_printer, Recorder, Snapshot};
-pub use report::{parse_jsonl, LatencyDecomposition, LatencyStat, RunReport};
+pub use report::{
+    parse_jsonl, slowest_client_spans, CrossTierDecomposition, CrossTierReport,
+    LatencyDecomposition, LatencyStat, RunReport,
+};
 pub use sink::{EventSink, JsonlSink, NullSink, RingSink};
-pub use span::{InvocationSpan, OutcomeClass, RunInfo, RunSummary, TelemetryEvent};
+pub use span::{
+    derive_trace_id, format_trace_id, parse_trace_id, InvocationSpan, OutcomeClass, RunInfo,
+    RunSummary, ServerFault, ServerSpan, TelemetryEvent,
+};

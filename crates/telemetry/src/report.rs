@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use faasrail_stats::LogHistogram;
 
+use crate::join::{join_spans, SpanJoin};
 use crate::span::{InvocationSpan, OutcomeClass, RunInfo, RunSummary, TelemetryEvent};
 
 /// Histogram plus exact sum, so reports can show a true mean alongside
@@ -83,6 +84,103 @@ pub struct LatencyDecomposition {
     pub response: LatencyStat,
 }
 
+/// Cross-tier latency decomposition built from joined client+server
+/// spans: where the time went *across the wire*, not just inside the
+/// client. `lateness`, `client_queue`, and `response` come from the
+/// client clock; `gateway` and `service` from the server clock; `net_out`
+/// and `net_back` bridge the two using the estimated offset.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CrossTierDecomposition {
+    /// Pacer lateness: actual minus scheduled dispatch.
+    pub lateness: LatencyStat,
+    /// Dispatch → client worker pickup.
+    pub client_queue: LatencyStat,
+    /// Client worker pickup → gateway accept (outbound network + connect).
+    pub net_out: LatencyStat,
+    /// Gateway accept → handler start (connection queue + head read).
+    pub gateway: LatencyStat,
+    /// Handler start → handler end (backend execution).
+    pub service: LatencyStat,
+    /// Handler end → client completion (flush + return network path).
+    pub net_back: LatencyStat,
+    /// Client-observed end-to-end response of joined spans.
+    pub response: LatencyStat,
+}
+
+/// Summary of a client↔server span join, embedded in [`RunReport`] when a
+/// server log is supplied.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CrossTierReport {
+    /// Client spans matched to a server span by trace id.
+    pub joined: u64,
+    /// Client spans with no server counterpart, total and by class.
+    /// Sheds and never-connected transport errors are *expected* here:
+    /// the gateway rejects shed connections before reading the request.
+    pub orphaned: u64,
+    pub orphaned_ok: u64,
+    pub orphaned_app_errors: u64,
+    pub orphaned_timeouts: u64,
+    pub orphaned_transport: u64,
+    pub orphaned_shed: u64,
+    /// Server spans matched by no client span.
+    pub server_unmatched: u64,
+    /// Extra server attempts beyond one per joined trace (client retries).
+    pub extra_attempts: u64,
+    /// Estimated server−client clock offset, microseconds.
+    pub clock_offset_us: f64,
+    /// Error bound on the offset (median half-RTT), microseconds.
+    pub clock_offset_error_us: f64,
+    /// Exchanges the offset was estimated from.
+    pub clock_offset_pairs: u64,
+    pub decomposition: CrossTierDecomposition,
+}
+
+impl CrossTierReport {
+    /// Fold a span join into report statistics.
+    pub fn from_join(join: &SpanJoin) -> CrossTierReport {
+        let mut lateness = StatAcc::new(LogHistogram::new(1e-6, 60.0, 1.05));
+        let mut client_queue = StatAcc::latency();
+        let mut net_out = StatAcc::latency();
+        let mut gateway = StatAcc::latency();
+        let mut service = StatAcc::latency();
+        let mut net_back = StatAcc::latency();
+        let mut response = StatAcc::latency();
+        for j in &join.joined {
+            lateness.record(j.stages.lateness_s);
+            client_queue.record(j.stages.client_queue_s);
+            net_out.record(j.stages.net_out_s);
+            gateway.record(j.stages.gateway_s);
+            service.record(j.stages.service_s);
+            net_back.record(j.stages.net_back_s);
+            response.record(j.stages.response_s);
+        }
+        let [ok, app, timeout, transport, shed] = join.orphans_by_class;
+        CrossTierReport {
+            joined: join.joined.len() as u64,
+            orphaned: join.orphaned(),
+            orphaned_ok: ok,
+            orphaned_app_errors: app,
+            orphaned_timeouts: timeout,
+            orphaned_transport: transport,
+            orphaned_shed: shed,
+            server_unmatched: join.server_unmatched,
+            extra_attempts: join.extra_attempts,
+            clock_offset_us: join.offset.offset_us,
+            clock_offset_error_us: join.offset.error_us,
+            clock_offset_pairs: join.offset.pairs,
+            decomposition: CrossTierDecomposition {
+                lateness: lateness.stat(),
+                client_queue: client_queue.stat(),
+                net_out: net_out.stat(),
+                gateway: gateway.stat(),
+                service: service.stat(),
+                net_back: net_back.stat(),
+                response: response.stat(),
+            },
+        }
+    }
+}
+
 /// A full run report reconstructed from a telemetry event stream.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
@@ -100,6 +198,10 @@ pub struct RunReport {
     pub shed: u64,
     pub cold_starts: u64,
     pub decomposition: LatencyDecomposition,
+    /// Cross-tier join summary, present when a server trace log was
+    /// merged in (`RunReport::with_server_events`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cross_tier: Option<CrossTierReport>,
     /// Spans per scheduled experiment minute (offered load).
     pub issued_per_minute: Vec<u64>,
     /// Successful spans per scheduled minute (achieved load).
@@ -143,6 +245,10 @@ impl RunReport {
                         overhead.record(span.overhead_s());
                     }
                 }
+                // Server spans live in server trace logs; the client-side
+                // report ignores them (see `with_server_events` for the
+                // cross-tier join).
+                TelemetryEvent::ServerSpan(_) => {}
             }
         }
 
@@ -154,6 +260,20 @@ impl RunReport {
             response: response.stat(),
         };
         report
+    }
+
+    /// Build a report from a client event stream merged with a server
+    /// trace log: the client-only report plus the cross-tier join. Also
+    /// returns the join itself so callers can inspect individual traces
+    /// (`--slowest`).
+    pub fn with_server_events(
+        client_events: &[TelemetryEvent],
+        server_events: &[TelemetryEvent],
+    ) -> (RunReport, SpanJoin) {
+        let mut report = RunReport::from_events(client_events.iter());
+        let join = join_spans(client_events, server_events);
+        report.cross_tier = Some(CrossTierReport::from_join(&join));
+        (report, join)
     }
 
     fn tally(&mut self, span: &InvocationSpan) {
@@ -229,6 +349,42 @@ impl RunReport {
         }
         out.push('\n');
 
+        if let Some(ct) = &self.cross_tier {
+            out.push_str("## Cross-tier trace join\n\n");
+            out.push_str(&format!(
+                "- joined: {} · orphaned: {} (ok {}, app {}, timeout {}, transport {}, shed {}) · server-unmatched: {} · retry attempts: {}\n",
+                ct.joined,
+                ct.orphaned,
+                ct.orphaned_ok,
+                ct.orphaned_app_errors,
+                ct.orphaned_timeouts,
+                ct.orphaned_transport,
+                ct.orphaned_shed,
+                ct.server_unmatched,
+                ct.extra_attempts,
+            ));
+            out.push_str(&format!(
+                "- clock offset (server−client): {:.1} µs ± {:.1} µs over {} exchanges\n\n",
+                ct.clock_offset_us, ct.clock_offset_error_us, ct.clock_offset_pairs,
+            ));
+            out.push_str("| stage | count | mean | p50 | p95 | p99 | max |\n|---|---:|---:|---:|---:|---:|---:|\n");
+            for (label, s) in [
+                ("pacer lateness", ct.decomposition.lateness),
+                ("client queue", ct.decomposition.client_queue),
+                ("network out", ct.decomposition.net_out),
+                ("gateway queue", ct.decomposition.gateway),
+                ("service", ct.decomposition.service),
+                ("network back", ct.decomposition.net_back),
+                ("response", ct.decomposition.response),
+            ] {
+                out.push_str(&format!(
+                    "| {label} | {} | {:.2} ms | {:.2} ms | {:.2} ms | {:.2} ms | {:.2} ms |\n",
+                    s.count, s.mean_ms, s.p50_ms, s.p95_ms, s.p99_ms, s.max_ms,
+                ));
+            }
+            out.push('\n');
+        }
+
         out.push_str("## Per-minute offered vs achieved\n\n");
         out.push_str("| minute | offered | achieved | errors |\n|---:|---:|---:|---:|\n");
         let minutes = self
@@ -260,6 +416,24 @@ impl RunReport {
     }
 }
 
+/// The `n` slowest client spans by end-to-end response time, worst
+/// first — the client-only counterpart of [`SpanJoin::slowest`] for runs
+/// without a server trace log.
+pub fn slowest_client_spans(events: &[TelemetryEvent], n: usize) -> Vec<&InvocationSpan> {
+    let mut spans: Vec<&InvocationSpan> = events
+        .iter()
+        .filter_map(|e| match e {
+            TelemetryEvent::Invocation(s) => Some(s),
+            _ => None,
+        })
+        .collect();
+    spans.sort_by(|a, b| {
+        b.response_s().partial_cmp(&a.response_s()).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    spans.truncate(n);
+    spans
+}
+
 /// Parse a JSONL event log, skipping blank lines. Errors carry the
 /// 1-based line number of the offending line.
 pub fn parse_jsonl<R: BufRead>(reader: R) -> Result<Vec<TelemetryEvent>, String> {
@@ -283,6 +457,7 @@ mod tests {
 
     fn span(seq: u64, minute: u64, outcome: OutcomeClass) -> TelemetryEvent {
         TelemetryEvent::Invocation(InvocationSpan {
+            trace_id: crate::span::derive_trace_id(11, seq),
             seq,
             workload: 1,
             function_index: 0,
@@ -379,6 +554,77 @@ mod tests {
 
         let err = parse_jsonl(Cursor::new("{\"event\":\"run_end\"\n")).unwrap_err();
         assert!(err.starts_with("line 1:"), "{err}");
+    }
+
+    fn server_for(client: &TelemetryEvent) -> TelemetryEvent {
+        let TelemetryEvent::Invocation(c) = client else { panic!("not a span") };
+        TelemetryEvent::ServerSpan(crate::span::ServerSpan {
+            trace_id: c.trace_id,
+            seq: c.seq,
+            worker: 0,
+            accepted_us: c.picked_up_us + 100,
+            dequeued_us: c.picked_up_us + 150,
+            handler_start_us: c.picked_up_us + 200,
+            handler_end_us: c.completed_us - 200,
+            flushed_us: c.completed_us - 100,
+            queue_depth: 1,
+            service_ms: c.service_ms,
+            outcome: c.outcome,
+            fault: None,
+            cold_start: false,
+        })
+    }
+
+    #[test]
+    fn cross_tier_report_counts_joins_and_orphans() {
+        let client = vec![
+            span(0, 0, OutcomeClass::Ok),
+            span(1, 0, OutcomeClass::Ok),
+            span(2, 0, OutcomeClass::Shed),
+        ];
+        // Server saw only the two non-shed spans.
+        let server = vec![server_for(&client[0]), server_for(&client[1])];
+        let (report, join) = RunReport::with_server_events(&client, &server);
+        let ct = report.cross_tier.as_ref().unwrap();
+        assert_eq!(ct.joined, 2);
+        assert_eq!(ct.orphaned, 1);
+        assert_eq!(ct.orphaned_shed, 1);
+        assert_eq!(ct.server_unmatched, 0);
+        assert_eq!(ct.decomposition.response.count, 2);
+        assert_eq!(join.joined.len(), 2);
+        // Report JSON roundtrips with the optional section present.
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+        // And the markdown gains the join section.
+        let md = report.to_markdown();
+        assert!(md.contains("## Cross-tier trace join"), "{md}");
+        assert!(md.contains("| gateway queue |"), "{md}");
+    }
+
+    #[test]
+    fn client_only_report_omits_cross_tier_field() {
+        let r = RunReport::from_events(&[span(0, 0, OutcomeClass::Ok)]);
+        assert!(r.cross_tier.is_none());
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(!json.contains("cross_tier"), "{json}");
+        assert!(!r.to_markdown().contains("Cross-tier"), "no join section without server log");
+    }
+
+    #[test]
+    fn slowest_client_spans_orders_worst_first() {
+        let mut events = vec![
+            span(0, 0, OutcomeClass::Ok),
+            span(1, 0, OutcomeClass::Ok),
+            span(2, 0, OutcomeClass::Ok),
+        ];
+        if let TelemetryEvent::Invocation(s) = &mut events[1] {
+            s.completed_us += 1_000_000;
+        }
+        let worst = slowest_client_spans(&events, 2);
+        assert_eq!(worst.len(), 2);
+        assert_eq!(worst[0].seq, 1);
+        assert!(worst[0].response_s() >= worst[1].response_s());
     }
 
     #[test]

@@ -9,6 +9,40 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Derive a per-invocation trace id from a run id and a dispatch sequence
+/// number (SplitMix64 finalizer over both), so ids are unique within a run
+/// and collision-resistant across concurrent runs without coordination.
+/// Never returns 0 — a zero trace id means "absent" (pre-tracing logs and
+/// requests arriving without an `X-FaaSRail-Trace` header).
+pub fn derive_trace_id(run_id: u64, seq: u64) -> u64 {
+    let mut z = run_id ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    if z == 0 {
+        1
+    } else {
+        z
+    }
+}
+
+/// Render a trace id in the wire format of the `X-FaaSRail-Trace` header:
+/// 16 lowercase hex digits, zero-padded.
+pub fn format_trace_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parse the `X-FaaSRail-Trace` header value (1–16 hex digits). Returns
+/// `None` for anything malformed — an unparseable header is treated as
+/// absent rather than failing the request.
+pub fn parse_trace_id(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if s.is_empty() || s.len() > 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
 /// Classification of a failed (or successful) invocation, for per-class
 /// accounting in run metrics and telemetry. Over a network path the
 /// failure classes behave very differently — an application error already
@@ -90,6 +124,11 @@ impl OutcomeClass {
 /// client/network overhead.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InvocationSpan {
+    /// Per-invocation trace id, propagated to networked backends via the
+    /// `X-FaaSRail-Trace` header so client and server spans can be joined
+    /// post-hoc. `0` in logs written before tracing existed.
+    #[serde(default)]
+    pub trace_id: u64,
     /// Dispatch sequence number within the run (0-based).
     pub seq: u64,
     /// Raw pool id of the workload executed.
@@ -153,6 +192,120 @@ impl InvocationSpan {
     }
 }
 
+/// The fault a gateway injected into a request, recorded on the server
+/// span so fault-induced outcomes are distinguishable from organic ones
+/// when logs are analysed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ServerFault {
+    /// Connection dropped without a response (client sees a transport
+    /// error).
+    Drop,
+    /// Synthetic `500` returned without invoking the backend.
+    Error,
+    /// Response withheld until past any sane client deadline (client sees
+    /// a timeout).
+    Stall,
+    /// Extra latency injected before the backend ran; the response itself
+    /// is genuine.
+    Delay,
+}
+
+impl ServerFault {
+    /// Stable lower-case name (metric label value).
+    pub fn name(self) -> &'static str {
+        match self {
+            ServerFault::Drop => "drop",
+            ServerFault::Error => "error",
+            ServerFault::Stall => "stall",
+            ServerFault::Delay => "delay",
+        }
+    }
+}
+
+/// The server-side lifecycle of one gateway request, timestamped in
+/// microseconds relative to the *gateway's* start instant — a different
+/// clock from [`InvocationSpan`]'s run-relative timestamps. The span-join
+/// pass (`crate::join`) estimates the offset between the two clocks from
+/// matched pairs; nothing here assumes synchronised time.
+///
+/// Stage semantics: the connection was *accepted* at `accepted_us` with
+/// `queue_depth` connections already pending, *dequeued* by worker
+/// `worker` at `dequeued_us`, the request head finished parsing and the
+/// handler ran over `handler_start_us..handler_end_us`, and the response
+/// bytes were flushed to the socket at `flushed_us`. For keep-alive
+/// connections the accept/dequeue instants of requests after the first
+/// are the instant the next request head arrived (there is no queue wait
+/// to attribute).
+///
+/// Shed connections produce *no* server span: the gateway rejects them
+/// before reading the request, so there is no trace id to record — they
+/// surface as orphaned client spans instead, which the join pass counts
+/// explicitly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerSpan {
+    /// Trace id from the `X-FaaSRail-Trace` header (or request body);
+    /// `0` if the client sent none.
+    #[serde(default)]
+    pub trace_id: u64,
+    /// Server-side request sequence number (admission order, 0-based).
+    pub seq: u64,
+    /// Worker thread id (0-based) that served the request.
+    pub worker: u64,
+    /// Connection accepted (or request head arrived, for keep-alive
+    /// requests after the first), µs from gateway start.
+    pub accepted_us: u64,
+    /// Worker dequeued the connection, µs from gateway start.
+    pub dequeued_us: u64,
+    /// Request head parsed, handler invoked, µs from gateway start.
+    pub handler_start_us: u64,
+    /// Handler returned, µs from gateway start.
+    pub handler_end_us: u64,
+    /// Response bytes flushed to the socket, µs from gateway start.
+    pub flushed_us: u64,
+    /// Pending-connection queue depth observed at admission.
+    pub queue_depth: u64,
+    /// Backend-reported pure service time, milliseconds (0 when the
+    /// backend never ran).
+    pub service_ms: f64,
+    /// Outcome as the *server* classified it (what the client observes
+    /// can differ — e.g. a stalled response times out client-side).
+    pub outcome: OutcomeClass,
+    /// Injected fault, if this request drew one.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub fault: Option<ServerFault>,
+    /// Whether the backend reported a cold start.
+    pub cold_start: bool,
+}
+
+impl ServerSpan {
+    /// Accept → worker dequeue (gateway queue wait), seconds.
+    pub fn queue_wait_s(&self) -> f64 {
+        self.dequeued_us.saturating_sub(self.accepted_us) as f64 / 1e6
+    }
+
+    /// Dequeue → handler start (request head read + parse), seconds.
+    pub fn read_s(&self) -> f64 {
+        self.handler_start_us.saturating_sub(self.dequeued_us) as f64 / 1e6
+    }
+
+    /// Handler start → handler end (backend execution incl. injected
+    /// delay), seconds.
+    pub fn handler_s(&self) -> f64 {
+        self.handler_end_us.saturating_sub(self.handler_start_us) as f64 / 1e6
+    }
+
+    /// Handler end → response flushed, seconds.
+    pub fn flush_s(&self) -> f64 {
+        self.flushed_us.saturating_sub(self.handler_end_us) as f64 / 1e6
+    }
+
+    /// Accept → response flushed (total server residency), seconds.
+    pub fn total_s(&self) -> f64 {
+        self.flushed_us.saturating_sub(self.accepted_us) as f64 / 1e6
+    }
+}
+
 /// Run-level configuration echoed at the head of an event stream so the
 /// log is self-describing.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -188,6 +341,8 @@ pub struct RunSummary {
 pub enum TelemetryEvent {
     RunStart(RunInfo),
     Invocation(InvocationSpan),
+    /// Server-side gateway span (only present in server trace logs).
+    ServerSpan(ServerSpan),
     RunEnd(RunSummary),
 }
 
@@ -197,6 +352,7 @@ mod tests {
 
     fn span() -> InvocationSpan {
         InvocationSpan {
+            trace_id: derive_trace_id(42, 3),
             seq: 3,
             workload: 7,
             function_index: 2,
@@ -265,6 +421,80 @@ mod tests {
     fn error_string_is_skipped_on_success() {
         let line = serde_json::to_string(&TelemetryEvent::Invocation(span())).unwrap();
         assert!(!line.contains("\"error\""), "{line}");
+    }
+
+    #[test]
+    fn trace_ids_are_nonzero_unique_and_roundtrip_the_wire_format() {
+        let mut seen = std::collections::HashSet::new();
+        for run in [0u64, 1, 0xDEAD_BEEF] {
+            for seq in 0..1000u64 {
+                let id = derive_trace_id(run, seq);
+                assert_ne!(id, 0);
+                assert!(seen.insert(id), "collision at run={run} seq={seq}");
+                let wire = format_trace_id(id);
+                assert_eq!(wire.len(), 16);
+                assert_eq!(parse_trace_id(&wire), Some(id));
+            }
+        }
+    }
+
+    #[test]
+    fn trace_id_parser_rejects_garbage() {
+        assert_eq!(parse_trace_id(""), None);
+        assert_eq!(parse_trace_id("zzzz"), None);
+        assert_eq!(parse_trace_id("0123456789abcdef0"), None); // 17 digits
+        assert_eq!(parse_trace_id(" 1f "), Some(0x1f));
+        assert_eq!(parse_trace_id("0"), Some(0));
+    }
+
+    fn server_span() -> ServerSpan {
+        ServerSpan {
+            trace_id: 7,
+            seq: 0,
+            worker: 2,
+            accepted_us: 1_000,
+            dequeued_us: 3_000,
+            handler_start_us: 3_500,
+            handler_end_us: 33_500,
+            flushed_us: 34_000,
+            queue_depth: 5,
+            service_ms: 30.0,
+            outcome: OutcomeClass::Ok,
+            fault: None,
+            cold_start: false,
+        }
+    }
+
+    #[test]
+    fn server_span_stages_decompose_total_residency() {
+        let s = server_span();
+        assert!((s.queue_wait_s() - 0.002).abs() < 1e-9);
+        assert!((s.read_s() - 0.0005).abs() < 1e-9);
+        assert!((s.handler_s() - 0.030).abs() < 1e-9);
+        assert!((s.flush_s() - 0.0005).abs() < 1e-9);
+        assert!((s.total_s() - 0.033).abs() < 1e-9);
+        assert!(
+            (s.queue_wait_s() + s.read_s() + s.handler_s() + s.flush_s() - s.total_s()).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn server_span_event_roundtrips_and_skips_absent_fault() {
+        let e = TelemetryEvent::ServerSpan(server_span());
+        let line = serde_json::to_string(&e).unwrap();
+        assert!(line.contains("\"event\":\"server_span\""), "{line}");
+        assert!(!line.contains("\"fault\""), "{line}");
+        let back: TelemetryEvent = serde_json::from_str(&line).unwrap();
+        assert_eq!(e, back);
+
+        let mut faulted = server_span();
+        faulted.fault = Some(ServerFault::Stall);
+        faulted.outcome = OutcomeClass::Timeout;
+        let line = serde_json::to_string(&TelemetryEvent::ServerSpan(faulted.clone())).unwrap();
+        assert!(line.contains("\"fault\":\"stall\""), "{line}");
+        let back: TelemetryEvent = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, TelemetryEvent::ServerSpan(faulted));
     }
 
     #[test]

@@ -1,0 +1,391 @@
+//! Cross-tier distributed-tracing acceptance tests over loopback.
+//!
+//! These pin the ISSUE-level soundness claims of the span join:
+//!
+//! 1. **Zero-drop completeness** — a replay with no faults and no sheds
+//!    joins 100% of client spans to a server span by trace id, and each
+//!    joined trace's six-stage decomposition telescopes to the
+//!    client-observed end-to-end latency within the estimated
+//!    clock-offset error bound.
+//!
+//! 2. **Orphan accounting** — under overload, the orphaned client spans
+//!    are exactly the sheds plus the transport errors that never reached
+//!    the gateway (`RunMetrics` counters), while every served request
+//!    still joins.
+//!
+//! 3. **Fault classification and clock skew** — injected server faults
+//!    surface as correctly-classified server spans joined to the client
+//!    spans they damaged, and re-joining the same logs under large
+//!    artificial clock offsets never produces a negative stage duration.
+
+use faasrail::gateway::{FaultConfig, Gateway, GatewayConfig, HttpBackend, HttpBackendConfig};
+use faasrail::loadgen::{
+    replay_observed, Backend, InvocationRequest, InvocationResult, Pacing, ReplayConfig,
+    ReplayInstruments,
+};
+use faasrail::prelude::*;
+use faasrail::telemetry::{
+    join_spans, parse_jsonl, EventSink, JsonlSink, OutcomeClass, RingSink, RunReport, ServerFault,
+    TelemetryEvent,
+};
+use faasrail::trace::azure::{generate as gen_azure, AzureTraceConfig};
+use std::collections::HashSet;
+use std::fs::File;
+use std::io::BufReader;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Deterministic backend reporting each workload's modelled mean duration.
+struct ModelBackend {
+    pool: WorkloadPool,
+}
+
+impl Backend for ModelBackend {
+    fn invoke(&self, req: &InvocationRequest) -> InvocationResult {
+        match self.pool.get(req.workload) {
+            Some(w) => InvocationResult::success(w.mean_ms, false),
+            None => {
+                InvocationResult::app_error(0.0, format!("unknown workload {:?}", req.workload))
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "model"
+    }
+}
+
+/// A backend that actually occupies its worker, so a small gateway pool
+/// builds a real admission queue and sheds.
+struct SlowBackend {
+    ms: u64,
+}
+
+impl Backend for SlowBackend {
+    fn invoke(&self, _req: &InvocationRequest) -> InvocationResult {
+        std::thread::sleep(Duration::from_millis(self.ms));
+        InvocationResult::success(self.ms as f64, false)
+    }
+
+    fn name(&self) -> &str {
+        "slow"
+    }
+}
+
+fn generated_requests(seed: u64, n: usize) -> (RequestTrace, WorkloadPool) {
+    let trace = gen_azure(&AzureTraceConfig::scaled(seed, 300, 60_000));
+    let pool = WorkloadPool::build_modelled(&CostModel::default_calibration());
+    let cfg = SmirnovConfig {
+        num_invocations: n,
+        rate_rps: 50.0,
+        iat: IatModel::Poisson,
+        mapping: MappingConfig::default(),
+        seed,
+    };
+    let (reqs, _) = faasrail::core::smirnov::generate(&trace, &pool, &cfg);
+    assert_eq!(reqs.len(), n);
+    (reqs, pool)
+}
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("faasrail-tracing-e2e-{tag}-{}.jsonl", std::process::id()))
+}
+
+fn client_spans(events: &[TelemetryEvent]) -> Vec<&faasrail::telemetry::InvocationSpan> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            TelemetryEvent::Invocation(s) => Some(s),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Assert every joined trace's stages are non-negative and telescope to the
+/// client response within the join's own error bound (plus a little slack
+/// for midpoint-estimator noise on a real scheduler).
+fn assert_stages_sound(join: &faasrail::telemetry::SpanJoin) {
+    let bound_s = 2.0 * join.offset.error_us / 1e6 + 5e-4;
+    for j in &join.joined {
+        let s = &j.stages;
+        for (name, v) in [
+            ("lateness", s.lateness_s),
+            ("client_queue", s.client_queue_s),
+            ("net_out", s.net_out_s),
+            ("gateway", s.gateway_s),
+            ("service", s.service_s),
+            ("net_back", s.net_back_s),
+        ] {
+            assert!(v >= 0.0, "trace {:#x}: negative {name} stage: {v}", j.client.trace_id);
+        }
+        assert!(
+            (s.stage_sum_s() - s.response_s).abs() <= bound_s,
+            "trace {:#x}: stage sum {} vs response {} exceeds error bound {bound_s}",
+            j.client.trace_id,
+            s.stage_sum_s(),
+            s.response_s
+        );
+    }
+}
+
+#[test]
+fn zero_drop_replay_joins_every_client_span_and_stages_telescope() {
+    let (reqs, pool) = generated_requests(41, 300);
+
+    let server_path = temp_path("server");
+    let client_path = temp_path("client");
+    let server_sink = Arc::new(JsonlSink::create(&server_path).expect("create server trace log"));
+    let handle = Gateway::bind(
+        "127.0.0.1:0",
+        Arc::new(ModelBackend { pool: pool.clone() }),
+        GatewayConfig { workers: 4, read_timeout: Duration::from_secs(1), ..Default::default() },
+    )
+    .expect("bind loopback gateway")
+    .with_trace_sink(Arc::clone(&server_sink) as Arc<dyn EventSink>)
+    .spawn();
+
+    let client = HttpBackend::connect(&handle.addr().to_string(), HttpBackendConfig::default())
+        .expect("resolve gateway address");
+    let sink = JsonlSink::create(&client_path).expect("create client event log");
+    let m = replay_observed(
+        &reqs,
+        &pool,
+        &client,
+        &ReplayConfig { pacing: Pacing::Unpaced, workers: 4 },
+        &AtomicBool::new(false),
+        &ReplayInstruments { sink: &sink, recorder: None },
+    );
+    drop(client);
+    handle.stop(); // joins the accept loop, which flushes the trace sink
+    drop(sink);
+    assert_eq!(m.completed as usize, reqs.len(), "zero-fault loopback run must be clean");
+    assert_eq!(m.errors, 0);
+
+    let client_events = parse_jsonl(BufReader::new(File::open(&client_path).expect("client log")))
+        .expect("parse client log");
+    let server_events = parse_jsonl(BufReader::new(File::open(&server_path).expect("server log")))
+        .expect("parse server log");
+    std::fs::remove_file(&client_path).ok();
+    std::fs::remove_file(&server_path).ok();
+
+    // Every request got a unique non-zero trace id on the wire.
+    let ids: HashSet<u64> = client_spans(&client_events).iter().map(|s| s.trace_id).collect();
+    assert_eq!(ids.len(), reqs.len());
+    assert!(!ids.contains(&0));
+
+    // 100% join, no orphans, no unmatched server spans, no retries.
+    let join = join_spans(&client_events, &server_events);
+    assert_eq!(join.joined.len(), reqs.len(), "zero-drop run must join every client span");
+    assert_eq!(join.orphaned(), 0);
+    assert_eq!(join.orphans_by_class, [0u64; 5]);
+    assert_eq!(join.server_unmatched, 0);
+    assert_eq!(join.extra_attempts, 0);
+    assert_eq!(join.offset.pairs, reqs.len() as u64);
+    for j in &join.joined {
+        assert_eq!(j.server.outcome, OutcomeClass::Ok);
+        assert_eq!(j.server.fault, None);
+        assert_eq!(j.attempts, 1);
+    }
+    assert_stages_sound(&join);
+
+    // The report-level integration sees the same join.
+    let (report, rejoin) = RunReport::with_server_events(&client_events, &server_events);
+    assert_eq!(rejoin.joined.len(), join.joined.len());
+    let ct = report.cross_tier.as_ref().expect("server log present → cross-tier section");
+    assert_eq!(ct.joined, reqs.len() as u64);
+    assert_eq!(ct.orphaned, 0);
+    assert_eq!(ct.decomposition.response.count, reqs.len() as u64);
+    let md = report.to_markdown();
+    assert!(md.contains("## Cross-tier trace join"), "{md}");
+}
+
+#[test]
+fn overload_orphans_are_exactly_the_sheds_and_unreached_transport_errors() {
+    let (reqs, pool) = generated_requests(42, 80);
+
+    // One busy worker, a one-slot admission queue, four eager clients:
+    // most connections are shed with 429 before the request is ever read,
+    // so they cannot produce a server span — the join must report them as
+    // classified orphans, not silently drop them.
+    let server_sink = Arc::new(RingSink::with_capacity(4 * reqs.len()));
+    let handle = Gateway::bind(
+        "127.0.0.1:0",
+        Arc::new(SlowBackend { ms: 3 }),
+        GatewayConfig {
+            workers: 1,
+            queue_capacity: 1,
+            read_timeout: Duration::from_secs(1),
+            ..Default::default()
+        },
+    )
+    .expect("bind loopback gateway")
+    .with_trace_sink(Arc::clone(&server_sink) as Arc<dyn EventSink>)
+    .spawn();
+
+    let client = HttpBackend::connect(
+        &handle.addr().to_string(),
+        HttpBackendConfig {
+            retry: faasrail::gateway::RetryPolicy { max_attempts: 1, ..Default::default() },
+            ..Default::default()
+        },
+    )
+    .expect("resolve gateway address");
+    let sink = RingSink::with_capacity(4 * reqs.len());
+    let m = replay_observed(
+        &reqs,
+        &pool,
+        &client,
+        &ReplayConfig { pacing: Pacing::Unpaced, workers: 4 },
+        &AtomicBool::new(false),
+        &ReplayInstruments { sink: &sink, recorder: None },
+    );
+    drop(client);
+    handle.stop();
+    assert!(m.shed > 0, "one worker and a one-slot queue must shed under four clients");
+    assert!(m.completed > 0);
+
+    let client_events = sink.events();
+    let server_events = server_sink.events();
+    let join = join_spans(&client_events, &server_events);
+
+    // Served requests all join; the orphans are exactly the requests the
+    // gateway never read: sheds plus client-side transport failures.
+    assert_eq!(join.joined.len() as u64, m.completed + m.app_errors + m.timeouts);
+    assert_eq!(join.orphaned(), m.shed + m.transport_errors);
+    let [ok, app, timeout, transport, shed] = join.orphans_by_class;
+    assert_eq!((ok, app, timeout), (0, 0, 0));
+    assert_eq!(shed, m.shed);
+    assert_eq!(transport, m.transport_errors);
+    assert_eq!(join.server_unmatched, 0);
+    assert_stages_sound(&join);
+}
+
+/// Shift every server-span timestamp forward by `us`, simulating a server
+/// clock that runs ahead of the client's.
+fn skew_server(events: &[TelemetryEvent], us: u64) -> Vec<TelemetryEvent> {
+    events
+        .iter()
+        .cloned()
+        .map(|e| match e {
+            TelemetryEvent::ServerSpan(mut s) => {
+                s.accepted_us += us;
+                s.dequeued_us += us;
+                s.handler_start_us += us;
+                s.handler_end_us += us;
+                s.flushed_us += us;
+                TelemetryEvent::ServerSpan(s)
+            }
+            other => other,
+        })
+        .collect()
+}
+
+/// Shift every client-span timestamp forward by `us` — equivalent to the
+/// server clock running *behind* the client's by `us`.
+fn skew_client(events: &[TelemetryEvent], us: u64) -> Vec<TelemetryEvent> {
+    events
+        .iter()
+        .cloned()
+        .map(|e| match e {
+            TelemetryEvent::Invocation(mut s) => {
+                s.target_us += us;
+                s.dispatched_us += us;
+                s.picked_up_us += us;
+                s.completed_us += us;
+                TelemetryEvent::Invocation(s)
+            }
+            other => other,
+        })
+        .collect()
+}
+
+#[test]
+fn injected_faults_classify_server_spans_and_survive_clock_skew() {
+    let (reqs, pool) = generated_requests(43, 200);
+
+    // Injected 500s and stragglers; retries off so each fault surfaces as
+    // exactly one client outcome.
+    let server_sink = Arc::new(RingSink::with_capacity(4 * reqs.len()));
+    let handle = Gateway::bind(
+        "127.0.0.1:0",
+        Arc::new(ModelBackend { pool: pool.clone() }),
+        GatewayConfig {
+            workers: 4,
+            read_timeout: Duration::from_secs(1),
+            fault: FaultConfig {
+                error_fraction: 0.2,
+                latency_fraction: 0.1,
+                latency_ms: 5,
+                seed: 7,
+                ..FaultConfig::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("bind faulty gateway")
+    .with_trace_sink(Arc::clone(&server_sink) as Arc<dyn EventSink>)
+    .spawn();
+
+    let client = HttpBackend::connect(
+        &handle.addr().to_string(),
+        HttpBackendConfig {
+            retry: faasrail::gateway::RetryPolicy { max_attempts: 1, ..Default::default() },
+            ..Default::default()
+        },
+    )
+    .expect("resolve gateway address");
+    let sink = RingSink::with_capacity(4 * reqs.len());
+    let m = replay_observed(
+        &reqs,
+        &pool,
+        &client,
+        &ReplayConfig { pacing: Pacing::Unpaced, workers: 4 },
+        &AtomicBool::new(false),
+        &ReplayInstruments { sink: &sink, recorder: None },
+    );
+    drop(client);
+    handle.stop();
+    assert!(m.transport_errors > 0, "error_fraction must surface transport errors");
+
+    let client_events = sink.events();
+    let server_events = server_sink.events();
+    let join = join_spans(&client_events, &server_events);
+
+    // Injected 500s reach the client as transport errors, yet the request
+    // *was* read — so those spans join, carrying the server's fault tag.
+    assert_eq!(join.joined.len() as u64, m.issued, "every request reached the gateway");
+    assert_eq!(join.orphaned(), 0);
+    let errored: Vec<_> =
+        join.joined.iter().filter(|j| j.server.fault == Some(ServerFault::Error)).collect();
+    assert_eq!(errored.len() as u64, m.transport_errors);
+    for j in &errored {
+        assert_eq!(j.client.outcome, OutcomeClass::Transport);
+        assert_eq!(j.server.outcome, OutcomeClass::Transport);
+    }
+    let delayed = join.joined.iter().filter(|j| j.server.fault == Some(ServerFault::Delay));
+    for j in delayed {
+        assert_eq!(j.client.outcome, OutcomeClass::Ok, "stragglers still answer");
+        assert!(j.stages.service_s >= 5e-3, "the injected delay lands in the service stage");
+    }
+    assert_stages_sound(&join);
+
+    // Re-join the same logs under large artificial clock offsets in both
+    // directions: the midpoint estimator must absorb the skew — same join
+    // cardinality, still no negative stages, stage sums still bounded.
+    let baseline = join.offset.offset_us;
+    for (skewed_client, skewed_server, injected) in [
+        (client_events.clone(), skew_server(&server_events, 3_000_000_000), 3_000_000_000f64),
+        (skew_client(&client_events, 7_500_000_000), server_events.clone(), -7_500_000_000f64),
+    ] {
+        let skewed = join_spans(&skewed_client, &skewed_server);
+        assert_eq!(skewed.joined.len(), join.joined.len());
+        assert_eq!(skewed.orphaned(), 0);
+        assert!(
+            (skewed.offset.offset_us - baseline - injected).abs() <= skewed.offset.error_us + 1.0,
+            "skew {injected} not recovered: baseline {baseline}, estimated {}",
+            skewed.offset.offset_us
+        );
+        assert_stages_sound(&skewed);
+    }
+}
