@@ -6,20 +6,29 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Args {
     pub command: String,
-    options: BTreeMap<String, String>,
+    options: BTreeMap<String, Vec<String>>,
     flags: Vec<String>,
 }
 
 impl Args {
     /// Parse from an iterator of arguments (excluding the program name).
     ///
-    /// Grammar: `<command> (--key value | --flag)*`. A `--key` followed by
-    /// another `--…` token or nothing is treated as a boolean flag.
+    /// Grammar: `<command> [<subcommand>] (--key value | --flag)*`. One
+    /// bare word directly after the command merges into it (`fleet
+    /// coordinate` → command `"fleet coordinate"`); any later positional
+    /// is an error. A `--key` followed by another `--…` token or nothing
+    /// is treated as a boolean flag; a repeated `--key value` accumulates
+    /// (see [`Args::get_all`]).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
         let mut it = args.into_iter().peekable();
-        let command = it.next().ok_or("missing command")?;
+        let mut command = it.next().ok_or("missing command")?;
         if command.starts_with("--") {
             return Err(format!("expected a command, found option {command}"));
+        }
+        if let Some(sub) = it.peek() {
+            if !sub.starts_with("--") {
+                command = format!("{command} {}", it.next().expect("peeked"));
+            }
         }
         let mut out = Args { command, ..Default::default() };
         while let Some(tok) = it.next() {
@@ -29,7 +38,7 @@ impl Args {
             match it.peek() {
                 Some(next) if !next.starts_with("--") => {
                     let val = it.next().expect("peeked");
-                    out.options.insert(key.to_string(), val);
+                    out.options.entry(key.to_string()).or_default().push(val);
                 }
                 _ => out.flags.push(key.to_string()),
             }
@@ -37,9 +46,15 @@ impl Args {
         Ok(out)
     }
 
-    /// String option.
+    /// String option. A repeated option resolves to its last value.
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.options.get(key).map(String::as_str)
+        self.options.get(key).and_then(|v| v.last()).map(String::as_str)
+    }
+
+    /// Every value a repeated option was given, in order (empty slice if
+    /// absent) — e.g. `report --events a.jsonl --events b.jsonl`.
+    pub fn get_all(&self, key: &str) -> &[String] {
+        self.options.get(key).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// String option with a default.
@@ -50,6 +65,15 @@ impl Args {
     /// Required string option.
     pub fn require(&self, key: &str) -> Result<&str, String> {
         self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Required repeatable option: at least one value.
+    pub fn require_all(&self, key: &str) -> Result<&[String], String> {
+        let vals = self.get_all(key);
+        if vals.is_empty() {
+            return Err(format!("missing required option --{key}"));
+        }
+        Ok(vals)
     }
 
     /// Parsed numeric option with a default.
@@ -99,8 +123,26 @@ mod tests {
     }
 
     #[test]
-    fn rejects_positional() {
-        assert!(parse(&["cmd", "stray"]).is_err());
+    fn subcommand_merges_into_command() {
+        let a = parse(&["fleet", "coordinate", "--agents", "2"]).unwrap();
+        assert_eq!(a.command, "fleet coordinate");
+        assert_eq!(a.get("agents"), Some("2"));
+    }
+
+    #[test]
+    fn rejects_second_positional() {
+        assert!(parse(&["cmd", "sub", "stray"]).is_err());
+        assert!(parse(&["cmd", "--n", "1", "stray"]).is_err());
+    }
+
+    #[test]
+    fn repeated_option_accumulates() {
+        let a = parse(&["report", "--events", "a.jsonl", "--events", "b.jsonl"]).unwrap();
+        assert_eq!(a.get_all("events"), ["a.jsonl".to_string(), "b.jsonl".to_string()]);
+        assert_eq!(a.get("events"), Some("b.jsonl"), "get() is the last value");
+        assert_eq!(a.require_all("events").unwrap().len(), 2);
+        assert!(a.get_all("server-events").is_empty());
+        assert!(a.require_all("server-events").is_err());
     }
 
     #[test]

@@ -15,14 +15,25 @@
 //!                     [--balancer round-robin|least-loaded|warm-first|hash]
 //!                     [--crash-node N --crash-at-ms T] [--slow-node N --slow-factor X]
 //! faasrail replay     --requests r.json --pool p.json [--compression X] [--workers N]
+//!                     [--shard I/N]
 //!                     [--target HOST:PORT [--timeout-ms N] [--attempts N]
 //!                      [--breaker-threshold N] [--breaker-open-ms T]]
 //!                     [--live-metrics [--window-s N]] [--events spans.jsonl]
 //!                     [--server-events server.jsonl]
 //!                     [--metrics-out metrics.json] [--prom-out metrics.prom]
-//! faasrail report     --events spans.jsonl [--metrics metrics.json]
+//! faasrail report     --events spans.jsonl [--events more.jsonl ...]
+//!                     [--metrics metrics.json]
 //!                     [--server-log server.jsonl] [--slowest N]
 //!                     [--format markdown|json] [--out report.md]
+//! faasrail fleet coordinate
+//!                     --requests r.json --pool p.json [--addr 127.0.0.1:7571]
+//!                     [--agents N] [--workers N] [--compression X]
+//!                     [--target HOST:PORT] [--events merged.jsonl]
+//!                     [--report-out fleet.json] [--progress-ms T]
+//!                     [--start-delay-ms T] [--agent-timeout-s N] [--live]
+//! faasrail fleet agent
+//!                     --coordinator HOST:PORT [--name NAME]
+//!                     [--timeout-ms N] [--attempts N]
 //! faasrail serve      [--addr 127.0.0.1:7471] [--backend warm-cache|in-process|noop]
 //!                     [--pool p.json] [--conn-workers N] [--queue-cap N]
 //!                     [--read-timeout-s N] [--trace-out server.jsonl]
@@ -60,7 +71,7 @@ use faasrail_workloads::{CostModel, WorkloadKind, WorkloadPool};
 use std::fs;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: faasrail <gen-trace|build-pool|shrink|requests|smirnov|simulate|replay|report|serve|calibrate|analyze|compare|evaluate|export> [options]
+const USAGE: &str = "usage: faasrail <gen-trace|build-pool|shrink|requests|smirnov|simulate|replay|report|serve|fleet coordinate|fleet agent|calibrate|analyze|compare|evaluate|export> [options]
 run with a bad option to see each command's requirements; see crate docs for the full grammar";
 
 fn main() -> ExitCode {
@@ -177,6 +188,8 @@ fn run(args: &Args) -> Result<(), String> {
         "replay" => cmd_replay(args),
         "report" => cmd_report(args),
         "serve" => cmd_serve(args),
+        "fleet coordinate" => cmd_fleet_coordinate(args),
+        "fleet agent" => cmd_fleet_agent(args),
         "calibrate" => cmd_calibrate(args),
         "analyze" => cmd_analyze(args),
         "evaluate" => cmd_evaluate(args),
@@ -517,11 +530,21 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
 
-    let reqs: RequestTrace = read_json(args.require("requests")?)?;
+    let mut reqs: RequestTrace = read_json(args.require("requests")?)?;
     let pool: WorkloadPool = read_json(args.require("pool")?)?;
     let compression = args.num("compression", 1.0f64)?;
     let workers = args.num("workers", 8usize)?;
     let cfg = ReplayConfig { pacing: Pacing::RealTime { compression }, workers };
+
+    // `--shard I/N`: replay only this shard of the schedule (the same
+    // deterministic partitioner fleet mode uses, so N manual replayers
+    // exactly cover the schedule with no overlap).
+    if let Some(spec) = args.get("shard") {
+        let shard = faasrail_loadgen::ShardSpec::parse(spec)?;
+        let full = reqs.requests.len();
+        reqs = shard.filter(&reqs);
+        eprintln!("replay: shard {shard} holds {} of {} requests", reqs.len(), full);
+    }
 
     // Observability: optional JSONL event log, optional live windowed
     // metrics (one shard per worker plus one for the pacer).
@@ -631,15 +654,30 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
 /// [--server-log server.jsonl] [--slowest N]` — digest a JSONL telemetry
 /// log into a run report (markdown or JSON), optionally cross-checking the
 /// log against the replay's final `RunMetrics` so silent event loss is
-/// caught instead of papered over. With `--server-log`, the gateway's span
-/// log (`faasrail serve --trace-out`) is joined by trace id into a
-/// cross-tier six-stage decomposition; `--slowest N` appends the N worst
-/// end-to-end traces.
+/// caught instead of papered over. `--events` repeats: multiple client
+/// logs (one per fleet agent) merge into one stream — headers and trailers
+/// combine, spans dedupe by trace id and order by timestamp. With
+/// `--server-log`, the gateway's span log (`faasrail serve --trace-out`)
+/// is joined by trace id into a cross-tier six-stage decomposition;
+/// `--slowest N` appends the N worst end-to-end traces.
 fn cmd_report(args: &Args) -> Result<(), String> {
-    use faasrail_telemetry::{RunReport, SpanJoin};
+    use faasrail_telemetry::{merge_event_logs, RunReport, SpanJoin};
 
-    let path = args.require("events")?;
-    let events = read_events(path)?;
+    let paths = args.require_all("events")?;
+    let events = if paths.len() == 1 {
+        read_events(&paths[0])?
+    } else {
+        let logs = paths.iter().map(|p| read_events(p)).collect::<Result<Vec<_>, _>>()?;
+        let spans_in: usize = logs.iter().map(Vec::len).sum();
+        let merged = merge_event_logs(&logs);
+        eprintln!(
+            "merged {} event logs: {} events in, {} out (duplicate trace ids folded)",
+            logs.len(),
+            spans_in,
+            merged.len()
+        );
+        merged
+    };
     let (report, join): (RunReport, Option<SpanJoin>) = match args.get("server-log") {
         Some(server_path) => {
             let server_events = read_events(server_path)?;
@@ -765,6 +803,140 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     );
     gateway.run();
     Ok(())
+}
+
+/// `faasrail fleet coordinate` — drive N agent processes through one
+/// sharded, start-synchronized replay and merge their results into a
+/// fleet report. Blocks until every shard is done or lost.
+fn cmd_fleet_coordinate(args: &Args) -> Result<(), String> {
+    use faasrail_fleet::{Coordinator, FleetConfig};
+    use std::sync::atomic::AtomicBool;
+
+    let reqs: RequestTrace = read_json(args.require("requests")?)?;
+    let pool: WorkloadPool = read_json(args.require("pool")?)?;
+    let events_out = args.get("events");
+    let cfg = FleetConfig {
+        agents: args.num("agents", 2usize)?,
+        workers: args.num("workers", 4usize)?,
+        pacing: Pacing::RealTime { compression: args.num("compression", 1.0f64)? },
+        capture_events: events_out.is_some(),
+        progress_every_ms: args.num("progress-ms", 1_000u64)?,
+        start_delay_ms: args.num("start-delay-ms", 500u64)?,
+        target: args.get("target").map(str::to_string),
+        probes: args.num("probes", 7u32)?,
+        live: args.flag("live"),
+        agent_timeout: std::time::Duration::from_secs(args.num("agent-timeout-s", 30u64)?),
+    };
+    let coordinator =
+        Coordinator::bind(args.get_or("addr", "127.0.0.1:7571")).map_err(|e| e.to_string())?;
+    eprintln!(
+        "fleet: coordinating {} agents at {} — {} requests / {}-minute schedule, target={}",
+        cfg.agents,
+        coordinator.local_addr().map_err(|e| e.to_string())?,
+        reqs.len(),
+        reqs.duration_minutes,
+        cfg.target.as_deref().unwrap_or("in-process"),
+    );
+    let report = coordinator
+        .run(&reqs, &pool, &cfg, &AtomicBool::new(false))
+        .map_err(|e| format!("fleet run: {e}"))?;
+
+    if let Some(path) = events_out {
+        let mut out = String::new();
+        for event in &report.events {
+            out.push_str(&serde_json::to_string(event).map_err(|e| format!("serializing: {e}"))?);
+            out.push('\n');
+        }
+        fs::write(path, out).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}: {} merged events", report.events.len());
+    }
+    if let Some(path) = args.get("report-out") {
+        write_json(path, &report)?;
+        eprintln!("wrote {path}");
+    }
+    for a in &report.agents {
+        eprintln!(
+            "fleet: shard {} ({}) assigned={} {} clock-offset={:.0}us(+/-{:.0}us)",
+            a.shard,
+            a.name,
+            a.assigned,
+            if a.completed { "completed" } else { "LOST" },
+            a.clock.offset_us,
+            a.clock.error_us,
+        );
+    }
+    let m = &report.metrics;
+    println!(
+        "fleet: shards={} offered={} issued={} completed={} errors={} aborted={} \
+         cold={} p50={:.1}ms p99={:.1}ms",
+        report.shards,
+        report.offered,
+        m.issued,
+        m.completed,
+        m.errors,
+        report.aborted_invocations,
+        m.cold_starts,
+        m.response_quantile_ms(0.5),
+        m.response_quantile_ms(0.99),
+    );
+    println!("outcomes: {}", m.outcome_breakdown());
+    if report.aborted_invocations > 0 {
+        return Err(format!(
+            "{} of {} offered invocations never ran (lost agents or abort)",
+            report.aborted_invocations, report.offered
+        ));
+    }
+    Ok(())
+}
+
+/// `faasrail fleet agent --coordinator HOST:PORT` — serve one shard. The
+/// assignment (trace, pool, pacing, target) arrives over the wire; this
+/// process needs no local files.
+fn cmd_fleet_agent(args: &Args) -> Result<(), String> {
+    use faasrail_fleet::{run_agent_with, AgentConfig};
+    use std::sync::Arc;
+
+    let addr = args.require("coordinator")?.to_string();
+    let cfg = AgentConfig { name: args.get_or("name", "").to_string(), ..AgentConfig::default() };
+    let timeout_ms = args.num("timeout-ms", 30_000u64)?;
+    let attempts = args.num("attempts", 4u32)?;
+    eprintln!("fleet agent: dialing coordinator at {addr}");
+    let run = run_agent_with(addr.as_str(), &cfg, |assignment| {
+        Ok(match &assignment.target {
+            Some(target) => {
+                use faasrail_gateway::{HttpBackend, HttpBackendConfig, RetryPolicy};
+                let http_cfg = HttpBackendConfig {
+                    request_timeout: std::time::Duration::from_millis(timeout_ms),
+                    retry: RetryPolicy { max_attempts: attempts, ..RetryPolicy::default() },
+                    ..HttpBackendConfig::default()
+                };
+                let backend = HttpBackend::connect(target, http_cfg).map_err(|e| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::Other,
+                        format!("resolving {target}: {e}"),
+                    )
+                })?;
+                eprintln!("fleet agent: replaying against {target}");
+                Arc::new(backend) as Arc<dyn faasrail_loadgen::Backend>
+            }
+            None => {
+                eprintln!("fleet agent: in-process warm-cache backend");
+                Arc::new(WarmCacheBackend::new(assignment.pool.clone(), WarmCacheConfig::default()))
+            }
+        })
+    })
+    .map_err(|e| format!("agent run: {e}"))?;
+
+    match run {
+        Some(r) => {
+            println!(
+                "fleet agent: shard {} done — issued={} completed={} errors={} aborted={}",
+                r.shard, r.metrics.issued, r.metrics.completed, r.metrics.errors, r.metrics.aborted
+            );
+            Ok(())
+        }
+        None => Err("coordinator aborted the run before start".into()),
+    }
 }
 
 fn cmd_calibrate(args: &Args) -> Result<(), String> {

@@ -1,0 +1,293 @@
+//! The fleet agent: one process, one shard.
+//!
+//! An agent dials the coordinator, answers the clock probes, receives its
+//! self-contained [`Assignment`] (shard trace + workload pool + replay
+//! config — no local files needed), arms itself, and fires the replay at
+//! the synchronized start instant. While replaying it streams cumulative
+//! [`Snapshot`]s back on the progress cadence; at the end it sends the
+//! final [`RunMetrics`] (plus the captured span log, when asked) in one
+//! `Done` frame.
+//!
+//! Abort paths: a `Abort` frame or coordinator EOF mid-run sets the
+//! replay's stop flag — the agent drains in-flight work, then still tries
+//! to deliver `Done` with the partial, `aborted`-marked metrics.
+
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use faasrail_loadgen::{
+    replay_observed, Backend, InProcessBackend, ReplayConfig, ReplayInstruments,
+};
+use faasrail_telemetry::{EventSink, NullSink, Recorder, RingSink};
+
+use crate::wire::{read_frame, wall_clock_us, write_frame, Assignment, FleetMessage};
+
+/// Agent-side knobs (everything else arrives in the [`Assignment`]).
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// Name reported in `Hello` (shows up in the coordinator's report).
+    pub name: String,
+    /// Connection attempts before giving up — agents usually start
+    /// before (or racing) the coordinator.
+    pub connect_attempts: u32,
+    pub retry_delay: Duration,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            name: String::new(),
+            connect_attempts: 40,
+            retry_delay: Duration::from_millis(250),
+        }
+    }
+}
+
+/// What one agent run produced (the same data the coordinator received).
+#[derive(Debug)]
+pub struct AgentRun {
+    pub shard: u32,
+    pub assigned: u64,
+    pub metrics: faasrail_loadgen::RunMetrics,
+}
+
+/// Dial the coordinator and serve one shard with the default backend
+/// selection: in-process kernel execution. Custom backends (e.g. the
+/// HTTP gateway client) go through [`run_agent_with`].
+pub fn run_agent<A: ToSocketAddrs + Clone>(
+    addr: A,
+    cfg: &AgentConfig,
+) -> io::Result<Option<AgentRun>> {
+    run_agent_with(addr, cfg, |_| Ok(Arc::new(InProcessBackend)))
+}
+
+/// [`run_agent`] with a caller-chosen backend, constructed once the
+/// assignment (and thus the `target`) is known. A backend that fails to
+/// construct fails the agent *before* it acknowledges `Ready`, so the
+/// coordinator sees a handshake error instead of a shard lost mid-run.
+///
+/// Returns `Ok(None)` if the coordinator aborted the run before start.
+pub fn run_agent_with<A, F>(
+    addr: A,
+    cfg: &AgentConfig,
+    make_backend: F,
+) -> io::Result<Option<AgentRun>>
+where
+    A: ToSocketAddrs + Clone,
+    F: FnOnce(&Assignment) -> io::Result<Arc<dyn Backend>>,
+{
+    let stream = connect_with_retry(addr, cfg)?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let writer = Arc::new(Mutex::new(stream));
+
+    {
+        let mut w = writer.lock().unwrap();
+        let hello = FleetMessage::Hello { name: cfg.name.clone(), wall_us: wall_clock_us() };
+        write_frame(&mut *w, &hello)?;
+    }
+
+    // Handshake: probes come in unknown number, then Assign, then Start.
+    let mut make_backend = Some(make_backend);
+    let mut assigned: Option<(Assignment, Arc<dyn Backend>)> = None;
+    let start_at_wall_us = loop {
+        let eof = || io::Error::new(io::ErrorKind::UnexpectedEof, "coordinator hung up");
+        match read_frame(&mut reader)?.ok_or_else(eof)? {
+            FleetMessage::Probe { seq, wall_us } => {
+                let reply =
+                    FleetMessage::ProbeReply { seq, wall_us, agent_wall_us: wall_clock_us() };
+                write_frame(&mut *writer.lock().unwrap(), &reply)?;
+            }
+            FleetMessage::Assign { assignment: a } => {
+                let make = make_backend
+                    .take()
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "double assign"))?;
+                let backend = make(&a)?;
+                let ready =
+                    FleetMessage::Ready { shard: a.shard, requests: a.trace.requests.len() as u64 };
+                write_frame(&mut *writer.lock().unwrap(), &ready)?;
+                assigned = Some((a, backend));
+            }
+            FleetMessage::Start { at_agent_wall_us } => break at_agent_wall_us,
+            FleetMessage::Abort { .. } => return Ok(None),
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected message during handshake: {other:?}"),
+                ))
+            }
+        }
+    };
+    let (assignment, backend) = assigned
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "start before assign"))?;
+    let replay_cfg = ReplayConfig { pacing: assignment.pacing, workers: assignment.workers.max(1) };
+    let recorder = Arc::new(Recorder::new(replay_cfg.workers + 1));
+    let ring = assignment
+        .capture_events
+        .then(|| RingSink::with_capacity(assignment.trace.requests.len() + 16));
+    let stop = Arc::new(AtomicBool::new(false));
+    let done = Arc::new(AtomicBool::new(false));
+
+    wait_until_wall_us(start_at_wall_us, &stop);
+    let run_start_wall_us = wall_clock_us();
+
+    let metrics = std::thread::scope(|scope| {
+        // Progress pump: cumulative snapshots on the assigned cadence.
+        {
+            let recorder = Arc::clone(&recorder);
+            let writer = Arc::clone(&writer);
+            let done = Arc::clone(&done);
+            let every = Duration::from_millis(assignment.progress_every_ms.max(50));
+            let shard = assignment.shard;
+            scope.spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    std::thread::sleep(every);
+                    let msg = FleetMessage::Progress { shard, snapshot: recorder.snapshot() };
+                    if write_frame(&mut *writer.lock().unwrap(), &msg).is_err() {
+                        return; // coordinator gone; replay watcher will stop us
+                    }
+                }
+            });
+        }
+        // Abort watcher: any coordinator frame other than silence means
+        // stop; so does EOF or a broken connection.
+        {
+            let stop = Arc::clone(&stop);
+            let done = Arc::clone(&done);
+            scope.spawn(move || {
+                reader.get_ref().set_read_timeout(Some(Duration::from_millis(250))).ok();
+                while !done.load(Ordering::Acquire) {
+                    match read_frame(&mut reader) {
+                        // Any frame here is Abort (or a protocol error) and
+                        // EOF means the coordinator died: stop either way.
+                        Ok(_) => {
+                            stop.store(true, Ordering::Release);
+                            return;
+                        }
+                        Err(e)
+                            if e.kind() == io::ErrorKind::WouldBlock
+                                || e.kind() == io::ErrorKind::TimedOut =>
+                        {
+                            continue
+                        }
+                        Err(_) => {
+                            stop.store(true, Ordering::Release);
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+
+        let sink: &dyn EventSink = match &ring {
+            Some(r) => r,
+            None => &NullSink,
+        };
+        let inst = ReplayInstruments { sink, recorder: Some(&recorder) };
+        let metrics = replay_observed(
+            &assignment.trace,
+            &assignment.pool,
+            &backend,
+            &replay_cfg,
+            &stop,
+            &inst,
+        );
+        done.store(true, Ordering::Release);
+        metrics
+    });
+
+    let events = ring.map(|r| r.events()).unwrap_or_default();
+    {
+        // Final cumulative progress, then the result. Best-effort: if the
+        // coordinator is gone it already booked this shard as lost.
+        let mut w = writer.lock().unwrap();
+        let last =
+            FleetMessage::Progress { shard: assignment.shard, snapshot: recorder.snapshot() };
+        write_frame(&mut *w, &last).ok();
+        let done_msg = FleetMessage::Done {
+            shard: assignment.shard,
+            run_start_wall_us,
+            metrics: metrics.clone(),
+            events,
+        };
+        write_frame(&mut *w, &done_msg)?;
+    }
+
+    Ok(Some(AgentRun {
+        shard: assignment.shard,
+        assigned: assignment.trace.requests.len() as u64,
+        metrics,
+    }))
+}
+
+fn connect_with_retry<A: ToSocketAddrs + Clone>(
+    addr: A,
+    cfg: &AgentConfig,
+) -> io::Result<TcpStream> {
+    let attempts = cfg.connect_attempts.max(1);
+    let mut last_err = None;
+    for attempt in 0..attempts {
+        match TcpStream::connect(addr.clone()) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last_err = Some(e),
+        }
+        if attempt + 1 < attempts {
+            std::thread::sleep(cfg.retry_delay);
+        }
+    }
+    Err(last_err.unwrap_or_else(|| io::Error::new(io::ErrorKind::Other, "no connect attempts")))
+}
+
+/// Sleep until the agent wall clock reaches `target_us` (coarse sleep to
+/// within 5ms, then fine 200µs steps — start skew stays well under the
+/// pacer's own accuracy). Bails early if `stop` is set.
+fn wait_until_wall_us(target_us: u64, stop: &AtomicBool) {
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let now = wall_clock_us();
+        if now >= target_us {
+            return;
+        }
+        let remaining = target_us - now;
+        if remaining > 5_000 {
+            std::thread::sleep(Duration::from_micros(remaining - 5_000));
+        } else {
+            std::thread::sleep(Duration::from_micros(remaining.min(200)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_until_reaches_target() {
+        let target = wall_clock_us() + 20_000;
+        wait_until_wall_us(target, &AtomicBool::new(false));
+        assert!(wall_clock_us() >= target);
+    }
+
+    #[test]
+    fn wait_until_past_target_returns_immediately() {
+        let before = wall_clock_us();
+        wait_until_wall_us(before.saturating_sub(1_000_000), &AtomicBool::new(false));
+        assert!(wall_clock_us() - before < 1_000_000, "no sleep for past targets");
+    }
+
+    #[test]
+    fn connect_retry_reports_last_error() {
+        // Port 1 on localhost: reliably refused.
+        let cfg = AgentConfig {
+            connect_attempts: 2,
+            retry_delay: Duration::from_millis(1),
+            ..AgentConfig::default()
+        };
+        assert!(connect_with_retry("127.0.0.1:1", &cfg).is_err());
+    }
+}

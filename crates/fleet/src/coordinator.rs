@@ -1,0 +1,537 @@
+//! The fleet coordinator: shard, synchronize, collect, merge.
+//!
+//! One coordinator drives N agents through the wire protocol in
+//! [`wire`](crate::wire). The shard partitioner is
+//! [`faasrail_loadgen::ShardSpec`] — hash of function index, so every
+//! function's full per-minute series lands on exactly one agent and the
+//! per-function load shapes the paper's representativeness argument rests
+//! on survive sharding intact.
+//!
+//! Crash tolerance: an agent that disconnects (or goes silent past the
+//! progress timeout) loses its shard. The coordinator keeps the shard's
+//! last progress snapshot as its result — everything that *finished* still
+//! counts — and books the remainder as aborted invocations. A fleet run
+//! therefore always terminates with a report; it never hangs on a dead
+//! agent.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use serde::Serialize;
+
+use faasrail_core::RequestTrace;
+use faasrail_loadgen::{Pacing, RunMetrics, ShardSpec};
+use faasrail_telemetry::{
+    merge_event_logs, offset_from_probes, ClockOffset, RunReport, Snapshot, TelemetryEvent,
+};
+use faasrail_workloads::WorkloadPool;
+
+use crate::wire::{read_frame, wall_clock_us, write_frame, Assignment, FleetMessage};
+
+/// Knobs for one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Agents (= shards) to wait for before starting.
+    pub agents: usize,
+    /// Replay worker threads per agent.
+    pub workers: usize,
+    pub pacing: Pacing,
+    /// Collect agent span logs and build a merged [`RunReport`].
+    pub capture_events: bool,
+    /// Agent progress cadence, milliseconds.
+    pub progress_every_ms: u64,
+    /// Gap between the last `Ready` and the synchronized epoch — must
+    /// cover one `Start` round trip to every agent.
+    pub start_delay_ms: u64,
+    /// Gateway URL the agents should replay against; `None` = in-process.
+    pub target: Option<String>,
+    /// Clock probes per agent for offset estimation.
+    pub probes: u32,
+    /// Print a live fleet-wide progress line once per progress window.
+    pub live: bool,
+    /// Silence window after which an agent is declared lost. Must be
+    /// comfortably larger than `progress_every_ms`.
+    pub agent_timeout: Duration,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            agents: 2,
+            workers: 4,
+            pacing: Pacing::RealTime { compression: 1.0 },
+            capture_events: false,
+            progress_every_ms: 1_000,
+            start_delay_ms: 500,
+            target: None,
+            probes: 7,
+            live: false,
+            agent_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Per-agent outcome inside a [`FleetReport`].
+#[derive(Debug, Clone, Serialize)]
+pub struct AgentReport {
+    pub name: String,
+    pub shard: u32,
+    /// Requests assigned to this shard.
+    pub assigned: u64,
+    /// Whether the agent delivered its final `Done`; `false` means the
+    /// shard was lost mid-run and its remainder is booked as aborted.
+    pub completed: bool,
+    /// Agent-minus-coordinator clock offset measured at handshake.
+    pub clock: ClockOffset,
+    /// Last progress snapshot received (the final counters for a lost
+    /// agent; a completed agent's snapshot matches its metrics).
+    pub last_progress: Snapshot,
+}
+
+/// The merged result of one fleet run.
+#[derive(Debug, Serialize)]
+pub struct FleetReport {
+    pub shards: u32,
+    /// Requests in the full (unsharded) schedule.
+    pub offered: u64,
+    /// Offered invocations that never finished anywhere — shed by agent
+    /// loss or an operator abort. `metrics.completed + metrics.errors +
+    /// aborted_invocations == offered` always holds.
+    pub aborted_invocations: u64,
+    /// Fleet-wide merged replay metrics.
+    pub metrics: RunMetrics,
+    pub agents: Vec<AgentReport>,
+    /// Merged cross-agent report, present when `capture_events` was set
+    /// and at least one agent returned its span log.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub run_report: Option<RunReport>,
+    /// The merged, epoch-rebased event stream behind `run_report` (not
+    /// serialized into the report JSON; write it as JSONL separately).
+    #[serde(skip_serializing)]
+    pub events: Vec<TelemetryEvent>,
+}
+
+struct AgentOutcome {
+    run_start_wall_us: u64,
+    metrics: RunMetrics,
+    events: Vec<TelemetryEvent>,
+}
+
+struct AgentSlot {
+    name: String,
+    shard: u32,
+    assigned: u64,
+    offset: ClockOffset,
+    writer: Mutex<TcpStream>,
+    last_progress: Mutex<Snapshot>,
+    outcome: Mutex<Option<AgentOutcome>>,
+}
+
+/// A bound fleet coordinator, ready to accept agents.
+pub struct Coordinator {
+    listener: TcpListener,
+}
+
+impl Coordinator {
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<Coordinator> {
+        Ok(Coordinator { listener: TcpListener::bind(addr)? })
+    }
+
+    /// The bound address — hand this to agents (`port 0` resolves here).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Run one fleet replay to completion and merge the results.
+    ///
+    /// Blocks accepting `cfg.agents` connections, handshakes each
+    /// (clock probes → shard assignment), fires the synchronized start,
+    /// then collects progress until every shard is done or lost. Setting
+    /// `stop` aborts the run cooperatively: agents drain in-flight work,
+    /// report their prefix, and the remainder books as aborted.
+    pub fn run(
+        &self,
+        trace: &RequestTrace,
+        pool: &WorkloadPool,
+        cfg: &FleetConfig,
+        stop: &AtomicBool,
+    ) -> io::Result<FleetReport> {
+        assert!(cfg.agents > 0, "a fleet needs at least one agent");
+        let shards = cfg.agents as u32;
+        let offered = trace.requests.len() as u64;
+
+        // Phase 1: accept + handshake each agent sequentially. Sequential
+        // is fine — the expensive part (shard traces) is precomputed, and
+        // a synchronized start makes staggered handshakes harmless.
+        let mut slots: Vec<AgentSlot> = Vec::with_capacity(cfg.agents);
+        let mut readers: Vec<BufReader<TcpStream>> = Vec::with_capacity(cfg.agents);
+        for shard in 0..shards {
+            let (stream, peer) = self.listener.accept()?;
+            stream.set_nodelay(true).ok();
+            stream.set_read_timeout(Some(cfg.agent_timeout))?;
+            let shard_trace = ShardSpec::new(shard, shards).filter(trace);
+            let assigned = shard_trace.requests.len() as u64;
+            let (slot, reader) =
+                handshake(stream, peer, shard, shard_trace, pool, cfg).map_err(|e| {
+                    io::Error::new(e.kind(), format!("handshake with shard {shard}: {e}"))
+                })?;
+            assert_eq!(slot.assigned, assigned);
+            slots.push(slot);
+            readers.push(reader);
+        }
+
+        // Phase 2: one epoch, rebased per agent onto its own clock.
+        let epoch_us = wall_clock_us() + cfg.start_delay_ms * 1_000;
+        for slot in &slots {
+            let at_agent_wall_us = rebase(epoch_us, slot.offset.offset_us);
+            let mut w = slot.writer.lock().unwrap();
+            write_frame(&mut *w, &FleetMessage::Start { at_agent_wall_us })?;
+        }
+
+        // Phase 3: collect. One reader thread per agent; the main thread
+        // watches the stop flag and renders the live fleet-wide view.
+        let remaining = AtomicUsize::new(slots.len());
+        std::thread::scope(|scope| {
+            for (slot, reader) in slots.iter().zip(readers) {
+                let remaining = &remaining;
+                scope.spawn(move || {
+                    collect_agent(slot, reader);
+                    remaining.fetch_sub(1, Ordering::Release);
+                });
+            }
+
+            let window = Duration::from_millis(cfg.progress_every_ms.max(100));
+            let mut aborted_sent = false;
+            let mut prev = Snapshot::default();
+            let mut elapsed = Duration::ZERO;
+            while remaining.load(Ordering::Acquire) > 0 {
+                std::thread::sleep(Duration::from_millis(50));
+                elapsed += Duration::from_millis(50);
+                if stop.load(Ordering::Relaxed) && !aborted_sent {
+                    aborted_sent = true;
+                    for slot in &slots {
+                        let mut w = slot.writer.lock().unwrap();
+                        let abort =
+                            FleetMessage::Abort { reason: "coordinator stop requested".into() };
+                        write_frame(&mut *w, &abort).ok();
+                    }
+                }
+                if cfg.live && elapsed.as_millis() % window.as_millis().max(1) < 50 {
+                    let mut merged = Snapshot::default();
+                    for slot in &slots {
+                        merged.merge(&slot.last_progress.lock().unwrap());
+                    }
+                    let delta = merged.delta(&prev);
+                    eprintln!(
+                        "[fleet {} agents] {}",
+                        slots.len(),
+                        delta.progress_line(window.as_secs_f64(), elapsed.as_secs_f64())
+                    );
+                    prev = merged;
+                }
+            }
+        });
+
+        Ok(merge_fleet(slots, shards, offered, epoch_us, cfg))
+    }
+}
+
+/// Convert a coordinator-clock instant to the agent's clock using the
+/// measured agent-minus-coordinator offset.
+fn rebase(coordinator_us: u64, offset_us: f64) -> u64 {
+    let shifted = coordinator_us as i64 + offset_us.round() as i64;
+    shifted.max(0) as u64
+}
+
+fn proto_err(what: &str, got: &FleetMessage) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("expected {what}, got {got:?}"))
+}
+
+/// Hello → probes → Assign → Ready on a fresh agent connection.
+fn handshake(
+    stream: TcpStream,
+    peer: SocketAddr,
+    shard: u32,
+    shard_trace: RequestTrace,
+    pool: &WorkloadPool,
+    cfg: &FleetConfig,
+) -> io::Result<(AgentSlot, BufReader<TcpStream>)> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream.try_clone()?);
+
+    let eof = || io::Error::new(io::ErrorKind::UnexpectedEof, "agent hung up");
+    let name = match read_frame(&mut reader)?.ok_or_else(eof)? {
+        FleetMessage::Hello { name, .. } => {
+            if name.is_empty() {
+                format!("agent@{peer}")
+            } else {
+                name
+            }
+        }
+        other => return Err(proto_err("hello", &other)),
+    };
+
+    let mut samples = Vec::with_capacity(cfg.probes as usize);
+    for seq in 0..cfg.probes {
+        let send_us = wall_clock_us();
+        write_frame(&mut writer, &FleetMessage::Probe { seq, wall_us: send_us })?;
+        writer.flush()?;
+        match read_frame(&mut reader)?.ok_or_else(eof)? {
+            FleetMessage::ProbeReply { seq: got, agent_wall_us, .. } if got == seq => {
+                samples.push((send_us, agent_wall_us, wall_clock_us()));
+            }
+            other => return Err(proto_err("probe reply", &other)),
+        }
+    }
+    let offset = offset_from_probes(&samples);
+
+    let assigned = shard_trace.requests.len() as u64;
+    let assignment = Assignment {
+        shard,
+        shards: cfg.agents as u32,
+        pacing: cfg.pacing,
+        workers: cfg.workers,
+        capture_events: cfg.capture_events,
+        progress_every_ms: cfg.progress_every_ms,
+        target: cfg.target.clone(),
+        trace: shard_trace,
+        pool: pool.clone(),
+    };
+    write_frame(&mut writer, &FleetMessage::Assign { assignment })?;
+    writer.flush()?;
+    match read_frame(&mut reader)?.ok_or_else(eof)? {
+        FleetMessage::Ready { shard: got, requests } if got == shard => {
+            if requests != assigned {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("shard {shard} acknowledged {requests} requests, assigned {assigned}"),
+                ));
+            }
+        }
+        other => return Err(proto_err("ready", &other)),
+    }
+
+    let slot = AgentSlot {
+        name,
+        shard,
+        assigned,
+        offset,
+        writer: Mutex::new(stream),
+        last_progress: Mutex::new(Snapshot::default()),
+        outcome: Mutex::new(None),
+    };
+    Ok((slot, reader))
+}
+
+/// Drain one agent's stream until `Done`, loss, or timeout. Never blocks
+/// forever: the socket carries the configured read timeout, so a silent
+/// agent resolves as lost after one quiet window.
+fn collect_agent(slot: &AgentSlot, mut reader: BufReader<TcpStream>) {
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some(FleetMessage::Progress { snapshot, .. })) => {
+                *slot.last_progress.lock().unwrap() = snapshot;
+            }
+            Ok(Some(FleetMessage::Done { run_start_wall_us, metrics, events, .. })) => {
+                *slot.last_progress.lock().unwrap() = snapshot_of(&metrics);
+                *slot.outcome.lock().unwrap() =
+                    Some(AgentOutcome { run_start_wall_us, metrics, events });
+                return;
+            }
+            // Anything else — agent abort, protocol violation, clean EOF,
+            // read timeout, connection reset — resolves the shard as lost.
+            _ => return,
+        }
+    }
+}
+
+/// Project final metrics back onto the progress-snapshot shape so a
+/// completed agent's `last_progress` agrees with its metrics.
+fn snapshot_of(m: &RunMetrics) -> Snapshot {
+    let mut s = Snapshot {
+        issued: m.issued,
+        completed: m.completed,
+        errors: [m.app_errors, m.timeouts, m.transport_errors, m.shed],
+        cold_starts: m.cold_starts,
+        ..Snapshot::default()
+    };
+    s.response.merge(&m.response);
+    s
+}
+
+/// A lost shard's contribution: everything its last snapshot says
+/// *finished*. In-flight and never-dispatched requests are excluded (the
+/// report books them as aborted), so the fleet-wide outcome partition
+/// stays exact.
+fn metrics_from_snapshot(s: &Snapshot) -> RunMetrics {
+    let mut m = RunMetrics::new();
+    m.completed = s.completed;
+    m.app_errors = s.errors[0];
+    m.timeouts = s.errors[1];
+    m.transport_errors = s.errors[2];
+    m.shed = s.errors[3];
+    m.errors = s.errors_total();
+    m.issued = s.completed + s.errors_total();
+    m.cold_starts = s.cold_starts;
+    m.response.merge(&s.response);
+    m.aborted = true;
+    m
+}
+
+fn merge_fleet(
+    slots: Vec<AgentSlot>,
+    shards: u32,
+    offered: u64,
+    epoch_us: u64,
+    cfg: &FleetConfig,
+) -> FleetReport {
+    let mut metrics = RunMetrics::new();
+    let mut agents = Vec::with_capacity(slots.len());
+    let mut logs: Vec<Vec<TelemetryEvent>> = Vec::new();
+    for slot in slots {
+        let outcome = slot.outcome.into_inner().unwrap();
+        let last_progress = slot.last_progress.into_inner().unwrap();
+        let completed = outcome.is_some();
+        match outcome {
+            Some(out) => {
+                metrics.merge(&out.metrics);
+                if !out.events.is_empty() {
+                    logs.push(rebase_events(
+                        out.events,
+                        out.run_start_wall_us,
+                        slot.offset.offset_us,
+                        epoch_us,
+                    ));
+                }
+            }
+            None => metrics.merge(&metrics_from_snapshot(&last_progress)),
+        }
+        agents.push(AgentReport {
+            name: slot.name,
+            shard: slot.shard,
+            assigned: slot.assigned,
+            completed,
+            clock: slot.offset,
+            last_progress,
+        });
+    }
+    let finished = metrics.completed + metrics.errors;
+    let aborted_invocations = offered.saturating_sub(finished);
+    if aborted_invocations > 0 {
+        metrics.aborted = true;
+    }
+
+    let events = merge_event_logs(&logs);
+    let run_report =
+        (cfg.capture_events && !events.is_empty()).then(|| RunReport::from_events(&events));
+    FleetReport { shards, offered, aborted_invocations, metrics, agents, run_report, events }
+}
+
+/// Shift one agent's run-relative span timestamps onto the fleet epoch:
+/// the agent's t=0 sits `(run_start_wall_us − offset) − epoch` after the
+/// epoch in coordinator time, so all agents' spans land on one comparable
+/// timeline before the logs merge.
+fn rebase_events(
+    mut events: Vec<TelemetryEvent>,
+    run_start_wall_us: u64,
+    offset_us: f64,
+    epoch_us: u64,
+) -> Vec<TelemetryEvent> {
+    let start_coord_us = run_start_wall_us as i64 - offset_us.round() as i64;
+    let shift = start_coord_us - epoch_us as i64;
+    let adj = |t: u64| (t as i64 + shift).max(0) as u64;
+    for event in &mut events {
+        if let TelemetryEvent::Invocation(span) = event {
+            span.target_us = adj(span.target_us);
+            span.dispatched_us = adj(span.dispatched_us);
+            span.picked_up_us = adj(span.picked_up_us);
+            span.completed_us = adj(span.completed_us);
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_projection_matches_metrics() {
+        let mut m = RunMetrics::new();
+        m.issued = 10;
+        m.completed = 7;
+        m.errors = 3;
+        m.app_errors = 1;
+        m.timeouts = 2;
+        m.cold_starts = 4;
+        m.response.record(0.050);
+        let s = snapshot_of(&m);
+        assert_eq!(s.issued, 10);
+        assert_eq!(s.completed, 7);
+        assert_eq!(s.errors, [1, 2, 0, 0]);
+        assert_eq!(s.cold_starts, 4);
+        assert_eq!(s.response.total(), 1);
+    }
+
+    #[test]
+    fn lost_shard_counts_only_finished_work() {
+        let mut s = Snapshot::default();
+        s.issued = 100; // 20 in flight when the agent died
+        s.completed = 70;
+        s.errors = [4, 3, 2, 1];
+        let m = metrics_from_snapshot(&s);
+        assert_eq!(m.issued, 80, "in-flight requests are not counted as issued");
+        assert_eq!(m.completed + m.errors, 80);
+        assert!(m.aborted);
+        assert_eq!(m.app_errors + m.timeouts + m.transport_errors + m.shed, m.errors);
+    }
+
+    #[test]
+    fn rebase_applies_offset_and_clamps() {
+        assert_eq!(rebase(1_000_000, 250.0), 1_000_250);
+        assert_eq!(rebase(1_000_000, -250.4), 999_750);
+        assert_eq!(rebase(100, -1e9), 0, "pathological offsets clamp instead of wrapping");
+    }
+
+    #[test]
+    fn rebase_events_shifts_invocation_spans_only() {
+        use faasrail_telemetry::{InvocationSpan, OutcomeClass, RunSummary};
+        let span = InvocationSpan {
+            trace_id: 1,
+            seq: 0,
+            workload: 0,
+            function_index: 0,
+            scheduled_ms: 0,
+            target_us: 1_000,
+            dispatched_us: 1_100,
+            picked_up_us: 1_200,
+            completed_us: 1_300,
+            service_ms: 0.1,
+            outcome: OutcomeClass::Ok,
+            cold_start: false,
+            error: None,
+        };
+        let end = RunSummary { issued: 1, completed: 1, errors: 0, aborted: false, wall_us: 9 };
+        let events = vec![TelemetryEvent::Invocation(span), TelemetryEvent::RunEnd(end)];
+        // Agent clock runs 500us ahead; its replay started 2000us (agent
+        // clock) after... run_start_wall_us = 10_500 on the agent clock is
+        // 10_000 coordinator time, epoch at 8_000 → shift = +2_000.
+        let out = rebase_events(events, 10_500, 500.0, 8_000);
+        match &out[0] {
+            TelemetryEvent::Invocation(s) => {
+                assert_eq!(s.target_us, 3_000);
+                assert_eq!(s.dispatched_us, 3_100);
+                assert_eq!(s.picked_up_us, 3_200);
+                assert_eq!(s.completed_us, 3_300);
+            }
+            other => panic!("expected invocation span, got {other:?}"),
+        }
+        match &out[1] {
+            TelemetryEvent::RunEnd(e) => assert_eq!(e.wall_us, 9, "run_end is untouched"),
+            other => panic!("expected run_end, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! FaaSRail fleet mode: sharded multi-process load generation.
+//!
+//! One machine's replayer tops out at its core count; the traces FaaSRail
+//! downscales do not. Fleet mode splits a mapped request schedule across N
+//! agent processes — on one host or many — behind a single coordinator,
+//! without changing what the experiment *means*:
+//!
+//! * **deterministic sharding** — [`faasrail_loadgen::ShardSpec`] routes
+//!   every function (by hashed function index) to exactly one shard, so
+//!   each function's per-minute invocation series replays intact on one
+//!   agent and the union of shards is exactly the original schedule;
+//! * **synchronized start** — the coordinator probes each agent's wall
+//!   clock ([`faasrail_telemetry::offset_from_probes`], the same midpoint
+//!   estimator the cross-tier trace join uses), then issues one epoch
+//!   rebased onto every agent's own clock, so shards fire together even
+//!   across skewed machines;
+//! * **self-contained assignments** — agents receive their shard trace
+//!   and the workload pool over the wire; they need no local spec files;
+//! * **live fleet view + merged results** — agents stream cumulative
+//!   [`faasrail_telemetry::Snapshot`]s on a fixed cadence and return final
+//!   [`faasrail_loadgen::RunMetrics`] (plus optional span logs, rebased
+//!   onto the shared epoch and merged via
+//!   [`faasrail_telemetry::merge_event_logs`]) in one [`FleetReport`];
+//! * **crash tolerance** — a lost agent costs its shard's remainder, not
+//!   the run: finished work still counts, the rest books as
+//!   `aborted_invocations`, and the coordinator always terminates.
+//!
+//! The protocol ([`wire`]) is length-prefixed JSON over TCP — no
+//! dependencies beyond the workspace's own serde stack, debuggable with
+//! `nc`.
+
+pub mod agent;
+pub mod coordinator;
+pub mod wire;
+
+pub use agent::{run_agent, run_agent_with, AgentConfig, AgentRun};
+pub use coordinator::{AgentReport, Coordinator, FleetConfig, FleetReport};
+pub use wire::{read_frame, wall_clock_us, write_frame, Assignment, FleetMessage};

@@ -1,0 +1,239 @@
+//! The fleet wire protocol: length-prefixed JSON frames over TCP.
+//!
+//! Every frame is a 4-byte big-endian body length followed by one
+//! serialized [`FleetMessage`]. JSON keeps the protocol debuggable with
+//! `nc` and versionable by field addition (unknown fields are a decode
+//! error only for the sender's own mistakes — serde ignores extras);
+//! the length prefix keeps framing independent of the payload so a
+//! partial read never resynchronizes mid-object.
+//!
+//! The conversation, coordinator-side view:
+//!
+//! ```text
+//! agent → Hello                 (name + agent wall clock)
+//! coord → Probe × N             (clock-offset sampling)
+//! agent → ProbeReply × N
+//! coord → Assign                (shard trace + pool + replay config)
+//! agent → Ready
+//! coord → Start                 (epoch, already rebased to agent clock)
+//! agent → Progress × many       (cumulative Snapshot, every progress window)
+//! agent → Done                  (final RunMetrics + optional event log)
+//! ```
+//!
+//! Either side may send [`FleetMessage::Abort`] at any point; agents treat
+//! coordinator EOF as an implicit abort, and the coordinator treats agent
+//! EOF before `Done` as a lost shard.
+
+use std::io::{self, Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+use faasrail_core::RequestTrace;
+use faasrail_loadgen::{Pacing, RunMetrics};
+use faasrail_telemetry::{Snapshot, TelemetryEvent};
+use faasrail_workloads::WorkloadPool;
+
+/// Upper bound on one frame body. A shard assignment carries its request
+/// trace inline, so frames are large by design — but a corrupt length
+/// prefix must not trigger a multi-gigabyte allocation.
+pub const MAX_FRAME_BYTES: usize = 256 << 20;
+
+/// One shard's complete marching orders. Self-contained on purpose: the
+/// agent needs no local spec, pool, or trace files — everything it will
+/// replay arrives in this message.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Shard index in `0..shards`, also the agent's identity in reports.
+    pub shard: u32,
+    /// Total shard count for this run.
+    pub shards: u32,
+    pub pacing: Pacing,
+    /// Replay worker threads on the agent.
+    pub workers: usize,
+    /// Capture and return the full span log in `Done` (costs memory and
+    /// one large frame; enables the merged cross-agent report).
+    pub capture_events: bool,
+    /// Progress snapshot cadence, milliseconds.
+    pub progress_every_ms: u64,
+    /// Gateway URL for over-the-wire replay; `None` replays in-process.
+    pub target: Option<String>,
+    /// The shard-filtered request trace (full `duration_minutes`, subset
+    /// of requests).
+    pub trace: RequestTrace,
+    pub pool: WorkloadPool,
+}
+
+/// Every message that crosses the coordinator/agent link.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "msg", rename_all = "snake_case")]
+pub enum FleetMessage {
+    /// Agent introduction, first frame on a fresh connection.
+    Hello {
+        name: String,
+        /// Agent wall clock (unix micros) at send time.
+        wall_us: u64,
+    },
+    /// Clock-offset probe (coordinator → agent). `wall_us` is the
+    /// coordinator's send instant, echoed back for matching.
+    Probe {
+        seq: u32,
+        wall_us: u64,
+    },
+    /// Probe echo (agent → coordinator) with the agent's own clock.
+    ProbeReply {
+        seq: u32,
+        wall_us: u64,
+        agent_wall_us: u64,
+    },
+    Assign {
+        assignment: Assignment,
+    },
+    /// Agent acknowledges the assignment and is armed to start.
+    Ready {
+        shard: u32,
+        requests: u64,
+    },
+    /// Fire the replay when the *agent's* wall clock reaches this instant
+    /// (the coordinator already applied the measured offset, so one epoch
+    /// becomes one synchronized start across skewed machines).
+    Start {
+        at_agent_wall_us: u64,
+    },
+    /// Cumulative live counters; the coordinator windows them itself.
+    Progress {
+        shard: u32,
+        snapshot: Snapshot,
+    },
+    /// Final shard result. `run_start_wall_us` is the agent wall clock at
+    /// its replay's t=0, so span timestamps (run-relative micros) can be
+    /// rebased onto the fleet epoch.
+    Done {
+        shard: u32,
+        run_start_wall_us: u64,
+        metrics: RunMetrics,
+        events: Vec<TelemetryEvent>,
+    },
+    /// Cooperative cancellation, either direction.
+    Abort {
+        reason: String,
+    },
+}
+
+/// Serialize `msg` as one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, msg: &FleetMessage) -> io::Result<()> {
+    let body = serde_json::to_vec(msg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("encode: {e}")))?;
+    if body.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds cap", body.len()),
+        ));
+    }
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(&body)?;
+    w.flush()
+}
+
+/// Read one frame. `Ok(None)` means the peer closed the connection
+/// cleanly *between* frames; EOF mid-frame is an error (truncated data).
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<FleetMessage>> {
+    let mut len_buf = [0u8; 4];
+    if !fill_or_eof(r, &mut len_buf)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let msg = serde_json::from_slice(&body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("decode: {e}")))?;
+    Ok(Some(msg))
+}
+
+/// Fill `buf` completely, or report a clean EOF if the stream ended
+/// before the first byte.
+fn fill_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Current wall clock as unix microseconds — the fleet's shared timebase.
+pub fn wall_clock_us() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_roundtrip_back_to_back() {
+        let msgs = vec![
+            FleetMessage::Hello { name: "agent-0".into(), wall_us: 123 },
+            FleetMessage::Probe { seq: 7, wall_us: 456 },
+            FleetMessage::ProbeReply { seq: 7, wall_us: 456, agent_wall_us: 789 },
+            FleetMessage::Start { at_agent_wall_us: 1_000_000 },
+            FleetMessage::Abort { reason: "operator interrupt".into() },
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_frame(&mut buf, m).unwrap();
+        }
+        let mut cursor = Cursor::new(buf);
+        for want in &msgs {
+            let got = read_frame(&mut cursor).unwrap().expect("frame present");
+            assert_eq!(serde_json::to_string(&got).unwrap(), serde_json::to_string(want).unwrap());
+        }
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF after last frame");
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &FleetMessage::Probe { seq: 0, wall_us: 1 }).unwrap();
+        buf.truncate(buf.len() - 1);
+        let mut cursor = Cursor::new(buf);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let mut buf = (u32::MAX).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"garbage");
+        let mut cursor = Cursor::new(buf);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn messages_are_tagged_snake_case_json() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &FleetMessage::Ready { shard: 1, requests: 42 }).unwrap();
+        let json = std::str::from_utf8(&buf[4..]).unwrap();
+        assert!(json.contains("\"msg\":\"ready\""), "{json}");
+    }
+}

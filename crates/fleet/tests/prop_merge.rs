@@ -1,0 +1,162 @@
+//! Property: the two merge operations fleet mode is built on —
+//! [`RunMetrics::merge`] and [`Snapshot::merge`] — are **commutative and
+//! associative**. The coordinator merges shard results in whatever order
+//! agents happen to finish (and re-merges on retries), so the fleet-wide
+//! result must not depend on arrival order or grouping.
+//!
+//! Exact equality is the right assertion: both structures are integer
+//! counters plus [`LogHistogram`]s (integer bucket counts and min/max
+//! tracking — no floating-point accumulation), so merge order can change
+//! nothing at all, not just nothing "within epsilon".
+
+use faasrail_loadgen::RunMetrics;
+use faasrail_telemetry::{OutcomeClass, Snapshot};
+use faasrail_workloads::WorkloadKind;
+use proptest::prelude::*;
+
+/// Arbitrary but internally consistent [`RunMetrics`], built through the
+/// same recording paths a real replay uses.
+fn arb_metrics() -> impl Strategy<Value = RunMetrics> {
+    let event = (0u8..5, 0u64..5, 1u64..2_000, any::<bool>());
+    (prop::collection::vec(event, 0..60), any::<bool>()).prop_map(|(events, aborted)| {
+        let mut m = RunMetrics::new();
+        for (class, minute, micros, cold) in events {
+            m.record_issued(minute * 60_000);
+            let response_s = micros as f64 / 1e6;
+            match class {
+                0 => {
+                    m.completed += 1;
+                    *m.per_kind.entry(WorkloadKind::Matmul).or_insert(0) += 1;
+                }
+                1 => {
+                    m.errors += 1;
+                    m.app_errors += 1;
+                }
+                2 => {
+                    m.errors += 1;
+                    m.timeouts += 1;
+                }
+                3 => {
+                    m.errors += 1;
+                    m.transport_errors += 1;
+                }
+                _ => {
+                    m.errors += 1;
+                    m.shed += 1;
+                }
+            }
+            if cold {
+                m.cold_starts += 1;
+            }
+            m.response.record(response_s);
+            m.service.record(response_s / 2.0);
+            m.lateness.record(response_s / 10.0);
+        }
+        m.aborted = aborted;
+        m
+    })
+}
+
+/// Arbitrary [`Snapshot`], via the recording API so the histogram layout
+/// matches what agents actually stream.
+fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+    let event = (0u8..5, 1u64..2_000, any::<bool>());
+    (prop::collection::vec(event, 0..60), 0u64..20).prop_map(|(events, extra_issued)| {
+        let mut s = Snapshot::default();
+        for (class, micros, cold) in events {
+            s.issued += 1;
+            let outcome = match class {
+                0 => OutcomeClass::Ok,
+                1 => OutcomeClass::AppError,
+                2 => OutcomeClass::Timeout,
+                3 => OutcomeClass::Transport,
+                _ => OutcomeClass::Shed,
+            };
+            match outcome {
+                OutcomeClass::Ok => s.completed += 1,
+                OutcomeClass::AppError => s.errors[0] += 1,
+                OutcomeClass::Timeout => s.errors[1] += 1,
+                OutcomeClass::Transport => s.errors[2] += 1,
+                OutcomeClass::Shed => s.errors[3] += 1,
+            }
+            if cold {
+                s.cold_starts += 1;
+            }
+            s.response.record(micros as f64 / 1e6);
+        }
+        s.issued += extra_issued; // dispatched but not yet finished
+        s
+    })
+}
+
+fn merged_metrics(parts: &[&RunMetrics]) -> RunMetrics {
+    let mut out = RunMetrics::new();
+    for p in parts {
+        out.merge(p);
+    }
+    out
+}
+
+fn merged_snapshots(parts: &[&Snapshot]) -> Snapshot {
+    let mut out = Snapshot::default();
+    for p in parts {
+        out.merge(p);
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn run_metrics_merge_is_commutative(a in arb_metrics(), b in arb_metrics()) {
+        prop_assert_eq!(merged_metrics(&[&a, &b]), merged_metrics(&[&b, &a]));
+    }
+
+    #[test]
+    fn run_metrics_merge_is_associative(
+        a in arb_metrics(),
+        b in arb_metrics(),
+        c in arb_metrics(),
+    ) {
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = merged_metrics(&[&a, &b]);
+        left.merge(&c);
+        let mut right = a.clone();
+        right.merge(&merged_metrics(&[&b, &c]));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn run_metrics_merge_identity_and_partition(a in arb_metrics()) {
+        // The empty metrics are a true identity, left and right.
+        prop_assert_eq!(merged_metrics(&[&RunMetrics::new(), &a]), a.clone());
+        prop_assert_eq!(merged_metrics(&[&a, &RunMetrics::new()]), a.clone());
+        // And merging never breaks the outcome partition.
+        let m = merged_metrics(&[&a, &a]);
+        prop_assert_eq!(m.app_errors + m.timeouts + m.transport_errors + m.shed, m.errors);
+        prop_assert_eq!(m.completed + m.errors, m.issued);
+    }
+
+    #[test]
+    fn snapshot_merge_is_commutative(a in arb_snapshot(), b in arb_snapshot()) {
+        prop_assert_eq!(merged_snapshots(&[&a, &b]), merged_snapshots(&[&b, &a]));
+    }
+
+    #[test]
+    fn snapshot_merge_is_associative(
+        a in arb_snapshot(),
+        b in arb_snapshot(),
+        c in arb_snapshot(),
+    ) {
+        let mut left = merged_snapshots(&[&a, &b]);
+        left.merge(&c);
+        let mut right = a.clone();
+        right.merge(&merged_snapshots(&[&b, &c]));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn snapshot_merge_identity(a in arb_snapshot()) {
+        prop_assert_eq!(merged_snapshots(&[&Snapshot::default(), &a]), a.clone());
+        prop_assert_eq!(merged_snapshots(&[&a, &Snapshot::default()]), a);
+    }
+}

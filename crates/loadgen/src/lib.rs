@@ -18,9 +18,11 @@
 pub mod backend;
 pub mod metrics;
 pub mod replay;
+pub mod shard;
 
 pub use backend::{
     Backend, InProcessBackend, InvocationRequest, InvocationResult, NoopBackend, OutcomeClass,
 };
 pub use metrics::RunMetrics;
 pub use replay::{replay, replay_observed, replay_until, Pacing, ReplayConfig, ReplayInstruments};
+pub use shard::{shard_of, ShardSpec};

@@ -33,7 +33,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// How dispatch instants are derived from the trace timestamps.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Serializable so a fleet coordinator can ship the pacing mode to its
+/// agents inside a shard assignment.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum Pacing {
     /// Wall-clock replay; trace time divided by `compression`
     /// (`compression: 2.0` replays a 2-hour trace in 1 hour).
@@ -50,7 +52,7 @@ pub enum Pacing {
 }
 
 /// Replayer configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ReplayConfig {
     pub pacing: Pacing,
     /// Worker threads serving invocations.

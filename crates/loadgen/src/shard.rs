@@ -1,0 +1,186 @@
+//! Deterministic schedule sharding for scale-out load generation.
+//!
+//! A fleet of replayer processes splits one request trace into disjoint
+//! shards by hashing each request's *function* — not the request itself —
+//! so every invocation of a Function lands on the same agent and its
+//! per-minute arrival series (the quantity FaaSRail preserves) is never
+//! smeared across processes. The partition is a pure function of
+//! `(function_index, shard count)`: agents need no coordination to agree
+//! on it, and a standalone `faasrail replay --shard I/N` produces exactly
+//! the shard a fleet agent would.
+
+use faasrail_core::RequestTrace;
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 finalizer: a full-avalanche bijection on `u64`, so
+/// consecutive function indices scatter uniformly across shards.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Which of `shards` shards owns `function_index`. Stable across
+/// processes, platforms, and releases (the wire protocol depends on it).
+///
+/// # Panics
+/// Panics if `shards == 0`.
+pub fn shard_of(function_index: u32, shards: u32) -> u32 {
+    assert!(shards > 0, "shard count must be positive");
+    (splitmix64(function_index as u64) % shards as u64) as u32
+}
+
+/// One shard of a sharded replay: `index` of `count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    pub index: u32,
+    pub count: u32,
+}
+
+impl ShardSpec {
+    /// # Panics
+    /// Panics unless `index < count`.
+    pub fn new(index: u32, count: u32) -> Self {
+        assert!(index < count, "shard index {index} out of range for {count} shards");
+        ShardSpec { index, count }
+    }
+
+    /// Parse an `I/N` shard spec (e.g. `0/4`), as taken by
+    /// `faasrail replay --shard`.
+    pub fn parse(s: &str) -> Result<ShardSpec, String> {
+        let err = || format!("invalid shard spec {s:?} (expected I/N with 0 <= I < N)");
+        let (i, n) = s.split_once('/').ok_or_else(err)?;
+        let index: u32 = i.trim().parse().map_err(|_| err())?;
+        let count: u32 = n.trim().parse().map_err(|_| err())?;
+        if count == 0 || index >= count {
+            return Err(err());
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// The subset of `trace` this shard replays: every request whose
+    /// Function hashes to `index`, in original schedule order. The `count`
+    /// shards of a trace exactly partition it — no request is lost or
+    /// duplicated — and all requests of one Function share a shard.
+    pub fn filter(&self, trace: &RequestTrace) -> RequestTrace {
+        RequestTrace {
+            duration_minutes: trace.duration_minutes,
+            requests: trace
+                .requests
+                .iter()
+                .filter(|r| shard_of(r.function_index, self.count) == self.index)
+                .copied()
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasrail_core::Request;
+    use faasrail_workloads::WorkloadId;
+
+    fn trace(functions: u32, per_function: u64) -> RequestTrace {
+        let mut requests = Vec::new();
+        for f in 0..functions {
+            for i in 0..per_function {
+                requests.push(Request {
+                    at_ms: i * 100 + f as u64,
+                    workload: WorkloadId(f % 10),
+                    function_index: f,
+                });
+            }
+        }
+        requests.sort_by_key(|r| (r.at_ms, r.function_index));
+        RequestTrace { duration_minutes: 1, requests }
+    }
+
+    #[test]
+    fn shards_exactly_partition_the_schedule() {
+        // No invocation lost or duplicated, for several shard counts.
+        let full = trace(97, 7);
+        for count in [1u32, 2, 3, 5, 8] {
+            let mut union: Vec<_> =
+                (0..count).flat_map(|i| ShardSpec::new(i, count).filter(&full).requests).collect();
+            assert_eq!(union.len(), full.requests.len(), "count={count}");
+            union.sort_by_key(|r| (r.at_ms, r.function_index));
+            assert_eq!(union, full.requests, "count={count}");
+        }
+    }
+
+    #[test]
+    fn shards_are_disjoint_by_function() {
+        let full = trace(50, 3);
+        for count in [2u32, 4] {
+            for f in 0..50 {
+                let owners: Vec<u32> = (0..count)
+                    .filter(|&i| {
+                        ShardSpec::new(i, count)
+                            .filter(&full)
+                            .requests
+                            .iter()
+                            .any(|r| r.function_index == f)
+                    })
+                    .collect();
+                assert_eq!(owners.len(), 1, "function {f} must live on exactly one shard");
+                assert_eq!(owners[0], shard_of(f, count));
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic_and_order_preserving() {
+        let full = trace(30, 5);
+        let a = ShardSpec::new(1, 3).filter(&full);
+        let b = ShardSpec::new(1, 3).filter(&full);
+        assert_eq!(a, b);
+        assert!(a.requests.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+        assert_eq!(a.duration_minutes, full.duration_minutes);
+    }
+
+    #[test]
+    fn single_shard_is_identity() {
+        let full = trace(20, 4);
+        assert_eq!(ShardSpec::new(0, 1).filter(&full), full);
+    }
+
+    #[test]
+    fn shard_hash_spreads_functions() {
+        // With many functions, no shard may end up empty (the hash must
+        // actually scatter, not collapse).
+        for count in [2u32, 4, 8] {
+            for shard in 0..count {
+                let hits = (0..1_000u32).filter(|&f| shard_of(f, count) == shard).count();
+                let expect = 1_000 / count as usize;
+                assert!(
+                    hits > expect / 2 && hits < expect * 2,
+                    "shard {shard}/{count} owns {hits} of 1000 functions"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parse_accepts_valid_and_rejects_invalid() {
+        assert_eq!(ShardSpec::parse("0/4").unwrap(), ShardSpec::new(0, 4));
+        assert_eq!(ShardSpec::parse("3/4").unwrap(), ShardSpec::new(3, 4));
+        assert_eq!(ShardSpec::parse("2/3").unwrap().to_string(), "2/3");
+        for bad in ["", "4", "4/4", "5/4", "-1/4", "1/0", "a/b", "1/2/3"] {
+            assert!(ShardSpec::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_index_rejected() {
+        ShardSpec::new(4, 4);
+    }
+}

@@ -195,6 +195,35 @@ fn estimate_offset(pairs: &[(&InvocationSpan, &ServerSpan, u64)]) -> ClockOffset
     }
 }
 
+/// Estimate a local↔remote clock offset from explicit probe exchanges —
+/// the same NTP midpoint argument as [`join_spans`], applied to protocol
+/// pings instead of request spans. Each sample is a wall-clock triple
+/// `(local_send_us, remote_us, local_recv_us)`: the remote peer's
+/// timestamp should coincide with the midpoint of the local exchange
+/// interval up to asymmetric network delay, so the offset (remote −
+/// local) is the median of `remote − mid(send, recv)` and the residual
+/// error is bounded by the median half round-trip. Used by the fleet
+/// coordinator to measure agent↔coordinator skew before rebasing agent
+/// span logs onto one fleet clock. Samples with `recv < send` (a clock
+/// step mid-exchange) are discarded.
+pub fn offset_from_probes(samples: &[(u64, u64, u64)]) -> ClockOffset {
+    let mut offsets = Vec::new();
+    let mut slacks = Vec::new();
+    for &(send_us, remote_us, recv_us) in samples {
+        if recv_us < send_us {
+            continue;
+        }
+        let mid = (send_us as f64 + recv_us as f64) / 2.0;
+        offsets.push(remote_us as f64 - mid);
+        slacks.push((recv_us - send_us) as f64 / 2.0);
+    }
+    ClockOffset {
+        pairs: offsets.len() as u64,
+        offset_us: median(&mut offsets),
+        error_us: median(&mut slacks),
+    }
+}
+
 /// Join a client event stream against a server event stream by trace id.
 ///
 /// Client spans joined to multiple server spans (retries) take the last
@@ -334,6 +363,36 @@ mod tests {
             server.push(s);
         }
         (client, server)
+    }
+
+    #[test]
+    fn probe_offset_recovers_injected_skew() {
+        for injected in [-3_000_000i64, -47, 0, 512, 9_000_000] {
+            // Symmetric exchanges with 400µs one-way delay plus one
+            // outlier with a huge asymmetric delay the median must shrug
+            // off, plus one backwards sample that must be discarded.
+            let mut samples: Vec<(u64, u64, u64)> = (0..9u64)
+                .map(|i| {
+                    let send = 1_000_000 + i * 10_000;
+                    let recv = send + 800;
+                    let remote = ((send + 400) as i64 + injected) as u64;
+                    (send, remote, recv)
+                })
+                .collect();
+            samples.push((2_000_000, (2_500_000i64 + injected) as u64, 2_900_000));
+            samples.push((5_000_000, 1, 4_000_000)); // recv < send: dropped
+            let off = offset_from_probes(&samples);
+            assert_eq!(off.pairs, 10);
+            assert!(
+                (off.offset_us - injected as f64).abs() <= off.error_us + 1e-6,
+                "injected {injected}, estimated {} ± {}",
+                off.offset_us,
+                off.error_us
+            );
+            assert!(off.error_us <= 500.0, "median half-RTT bound: {}", off.error_us);
+        }
+        let empty = offset_from_probes(&[]);
+        assert_eq!((empty.pairs, empty.offset_us, empty.error_us), (0, 0.0, 0.0));
     }
 
     #[test]

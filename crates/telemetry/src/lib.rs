@@ -49,11 +49,13 @@ pub mod span;
 /// Re-exported so downstream crates (the gateway's per-stage `/metrics`
 /// histograms) don't need a direct `faasrail-stats` dependency.
 pub use faasrail_stats::LogHistogram;
-pub use join::{join_spans, ClockOffset, CrossTierStages, JoinedSpan, SpanJoin};
+pub use join::{
+    join_spans, offset_from_probes, ClockOffset, CrossTierStages, JoinedSpan, SpanJoin,
+};
 pub use prometheus::PromText;
 pub use recorder::{spawn_progress_printer, Recorder, Snapshot};
 pub use report::{
-    parse_jsonl, slowest_client_spans, CrossTierDecomposition, CrossTierReport,
+    merge_event_logs, parse_jsonl, slowest_client_spans, CrossTierDecomposition, CrossTierReport,
     LatencyDecomposition, LatencyStat, RunReport,
 };
 pub use sink::{EventSink, JsonlSink, NullSink, RingSink};

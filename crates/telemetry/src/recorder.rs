@@ -112,8 +112,11 @@ impl Recorder {
 }
 
 /// A point-in-time merge of all recorder shards. Cumulative; subtract two
-/// with [`Snapshot::delta`] to get the window in between.
-#[derive(Debug, Clone)]
+/// with [`Snapshot::delta`] to get the window in between. Serializable so
+/// fleet agents can stream windowed snapshots to a coordinator, and
+/// mergeable ([`Snapshot::merge`]) so the coordinator can fold any number
+/// of agent snapshots — in any arrival order — into one fleet-wide view.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Snapshot {
     pub issued: u64,
     pub completed: u64,
@@ -149,6 +152,20 @@ impl Snapshot {
             cold_starts: self.cold_starts.saturating_sub(earlier.cold_starts),
             response: self.response.delta(&earlier.response),
         }
+    }
+
+    /// Fold another snapshot into this one (counter-wise addition,
+    /// histogram bucket merge). Pure integer accumulation, so merging is
+    /// commutative and associative: a fleet coordinator aggregating agent
+    /// snapshots gets the same result whatever order agents report in.
+    pub fn merge(&mut self, other: &Snapshot) {
+        self.issued += other.issued;
+        self.completed += other.completed;
+        for (a, b) in self.errors.iter_mut().zip(&other.errors) {
+            *a += b;
+        }
+        self.cold_starts += other.cold_starts;
+        self.response.merge(&other.response);
     }
 
     pub fn errors_total(&self) -> u64 {
@@ -354,6 +371,39 @@ mod tests {
         let s = Snapshot::default();
         assert_eq!(s.error_rate(), 0.0);
         assert!(s.response_quantile_ms(0.5).is_nan());
+    }
+
+    #[test]
+    fn snapshot_merge_accumulates_and_roundtrips() {
+        let r = Recorder::new(2);
+        r.record_issued(0);
+        r.record_issued(1);
+        r.record_outcome(0, OutcomeClass::Ok, 0.010, true);
+        r.record_outcome(1, OutcomeClass::Shed, 0.001, false);
+        let a = r.snapshot();
+        let r2 = Recorder::new(1);
+        r2.record_issued(0);
+        r2.record_outcome(0, OutcomeClass::Timeout, 2.0, false);
+        let b = r2.snapshot();
+
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.issued, 3);
+        assert_eq!(merged.completed, 1);
+        assert_eq!(merged.errors, [0, 1, 0, 1]);
+        assert_eq!(merged.cold_starts, 1);
+        assert_eq!(merged.response.total(), 3);
+
+        // Merging the other way round is identical (fleet aggregation
+        // order independence).
+        let mut flipped = b.clone();
+        flipped.merge(&a);
+        assert_eq!(merged, flipped);
+
+        // Wire (de)serialization for the fleet protocol.
+        let json = serde_json::to_string(&merged).unwrap();
+        let back: Snapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(merged, back);
     }
 
     #[test]

@@ -416,6 +416,73 @@ impl RunReport {
     }
 }
 
+/// Merge several event logs (one per fleet agent, or repeated `--events`
+/// files) into a single coherent stream for [`RunReport::from_events`]:
+///
+/// * the `run_start` headers combine (requests and workers sum, duration
+///   is the max, pacing/compression from the first log that has one);
+/// * invocation spans are **deduplicated by trace id** — the first
+///   occurrence wins; spans with `trace_id == 0` (untraced) are never
+///   deduplicated — then **ordered by timestamp** (dispatch instant, with
+///   trace id and sequence as tie-breakers), so overlapping or partially
+///   overlapping agent logs fold into one schedule-ordered stream;
+/// * server spans pass through, ordered by accept time;
+/// * the `run_end` trailers combine (counts sum, `aborted` is sticky,
+///   wall time is the max — the fleet run lasts as long as its slowest
+///   agent).
+///
+/// Timestamps are taken as directly comparable: fleet agents start on one
+/// synchronized epoch, so their run-relative clocks agree up to the skew
+/// the coordinator already rebased out.
+pub fn merge_event_logs<L: AsRef<[TelemetryEvent]>>(logs: &[L]) -> Vec<TelemetryEvent> {
+    use std::collections::HashSet;
+
+    let mut run: Option<RunInfo> = None;
+    let mut end: Option<RunSummary> = None;
+    let mut seen = HashSet::new();
+    let mut spans: Vec<InvocationSpan> = Vec::new();
+    let mut server_spans = Vec::new();
+    for log in logs {
+        for event in log.as_ref() {
+            match event {
+                TelemetryEvent::RunStart(info) => match &mut run {
+                    None => run = Some(info.clone()),
+                    Some(acc) => {
+                        acc.requests += info.requests;
+                        acc.workers += info.workers;
+                        acc.duration_minutes = acc.duration_minutes.max(info.duration_minutes);
+                    }
+                },
+                TelemetryEvent::RunEnd(summary) => match &mut end {
+                    None => end = Some(*summary),
+                    Some(acc) => {
+                        acc.issued += summary.issued;
+                        acc.completed += summary.completed;
+                        acc.errors += summary.errors;
+                        acc.aborted |= summary.aborted;
+                        acc.wall_us = acc.wall_us.max(summary.wall_us);
+                    }
+                },
+                TelemetryEvent::Invocation(span) => {
+                    if span.trace_id == 0 || seen.insert(span.trace_id) {
+                        spans.push(span.clone());
+                    }
+                }
+                TelemetryEvent::ServerSpan(span) => server_spans.push(span.clone()),
+            }
+        }
+    }
+    spans.sort_by_key(|s| (s.dispatched_us, s.trace_id, s.seq));
+    server_spans.sort_by_key(|s| (s.accepted_us, s.trace_id, s.seq));
+
+    let mut out = Vec::with_capacity(spans.len() + server_spans.len() + 2);
+    out.extend(run.map(TelemetryEvent::RunStart));
+    out.extend(spans.into_iter().map(TelemetryEvent::Invocation));
+    out.extend(server_spans.into_iter().map(TelemetryEvent::ServerSpan));
+    out.extend(end.map(TelemetryEvent::RunEnd));
+    out
+}
+
 /// The `n` slowest client spans by end-to-end response time, worst
 /// first — the client-only counterpart of [`SpanJoin::slowest`] for runs
 /// without a server trace log.
@@ -609,6 +676,95 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         assert!(!json.contains("cross_tier"), "{json}");
         assert!(!r.to_markdown().contains("Cross-tier"), "no join section without server log");
+    }
+
+    #[test]
+    fn merge_event_logs_dedupes_and_orders() {
+        let header = |requests| {
+            TelemetryEvent::RunStart(RunInfo {
+                requests,
+                duration_minutes: 2,
+                workers: 4,
+                pacing: "unpaced".to_string(),
+                compression: 1.0,
+            })
+        };
+        let trailer = |issued, aborted, wall_us| {
+            TelemetryEvent::RunEnd(RunSummary {
+                issued,
+                completed: issued,
+                errors: 0,
+                aborted,
+                wall_us,
+            })
+        };
+        // Agent logs overlap on seq 1 (retransmitted span, same trace id).
+        let a = vec![
+            header(2),
+            span(0, 0, OutcomeClass::Ok),
+            span(1, 0, OutcomeClass::Ok),
+            trailer(2, false, 100),
+        ];
+        let b = vec![
+            header(3),
+            span(1, 0, OutcomeClass::Ok),
+            span(2, 1, OutcomeClass::Timeout),
+            trailer(2, true, 250),
+        ];
+
+        let merged = merge_event_logs(&[a.clone(), b.clone()]);
+        let spans: Vec<&InvocationSpan> = merged
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::Invocation(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans.len(), 3, "duplicate trace id folded away");
+        assert!(spans.windows(2).all(|w| w[0].dispatched_us <= w[1].dispatched_us));
+
+        match merged.first() {
+            Some(TelemetryEvent::RunStart(info)) => {
+                assert_eq!(info.requests, 5);
+                assert_eq!(info.workers, 8);
+                assert_eq!(info.duration_minutes, 2);
+            }
+            other => panic!("merged log must open with run_start, got {other:?}"),
+        }
+        match merged.last() {
+            Some(TelemetryEvent::RunEnd(end)) => {
+                assert_eq!(end.issued, 4);
+                assert!(end.aborted, "aborted is sticky across agents");
+                assert_eq!(end.wall_us, 250, "fleet wall time is the slowest agent's");
+            }
+            other => panic!("merged log must close with run_end, got {other:?}"),
+        }
+
+        // Merge order cannot change the span set.
+        let flipped = merge_event_logs(&[b, a]);
+        let count = |events: &[TelemetryEvent]| {
+            events.iter().filter(|e| matches!(e, TelemetryEvent::Invocation(_))).count()
+        };
+        assert_eq!(count(&merged), count(&flipped));
+
+        // The merged stream feeds the normal report path.
+        let r = RunReport::from_events(&merged);
+        assert_eq!(r.issued, 3);
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.timeouts, 1);
+    }
+
+    #[test]
+    fn merge_event_logs_keeps_untraced_spans() {
+        let mut s0 = span(0, 0, OutcomeClass::Ok);
+        let mut s1 = span(1, 0, OutcomeClass::Ok);
+        for s in [&mut s0, &mut s1] {
+            if let TelemetryEvent::Invocation(inner) = s {
+                inner.trace_id = 0;
+            }
+        }
+        let merged = merge_event_logs(&[vec![s0], vec![s1]]);
+        assert_eq!(merged.len(), 2, "zero trace ids never dedupe");
     }
 
     #[test]

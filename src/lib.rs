@@ -20,6 +20,7 @@
 //! | [`telemetry`] | `faasrail-telemetry` | Event spans, live windowed metrics, Prometheus export, run reports |
 //! | [`sim`] | `faasrail-faas-sim` | Discrete-event FaaS cluster + warm-cache backend |
 //! | [`baselines`] | `faasrail-baselines` | Prior-work load generators (Fig. 1 comparators) |
+//! | [`fleet`] | `faasrail-fleet` | Sharded multi-process load generation (coordinator/agents) |
 //!
 //! ## Quickstart
 //!
@@ -45,6 +46,7 @@
 pub use faasrail_baselines as baselines;
 pub use faasrail_core as core;
 pub use faasrail_faas_sim as sim;
+pub use faasrail_fleet as fleet;
 pub use faasrail_gateway as gateway;
 pub use faasrail_loadgen as loadgen;
 pub use faasrail_stats as stats;

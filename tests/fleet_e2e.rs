@@ -1,0 +1,203 @@
+//! End-to-end fleet mode: a coordinator and real agent processes (well,
+//! threads — same protocol, same code paths, real TCP) replaying one
+//! sharded schedule.
+//!
+//! The load-bearing claims:
+//! * a 2-agent fleet produces exactly the same outcome partition as a
+//!   single-process replay of the same spec — sharding changes *where*
+//!   requests run, never *what* runs;
+//! * killing an agent mid-run degrades the report (its shard's remainder
+//!   books as aborted) instead of hanging the coordinator.
+
+use faasrail::fleet::{
+    run_agent_with, wall_clock_us, write_frame, AgentConfig, Coordinator, FleetConfig, FleetMessage,
+};
+use faasrail::loadgen::{
+    replay, Backend, InvocationRequest, InvocationResult, Pacing, ReplayConfig,
+};
+use faasrail::prelude::*;
+use faasrail::trace::azure::{generate as gen_azure, AzureTraceConfig};
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Outcome depends only on the request itself (no shared counters, no
+/// clock), so a sharded fleet and a single process must classify every
+/// request identically.
+struct DeterministicBackend;
+
+impl Backend for DeterministicBackend {
+    fn invoke(&self, req: &InvocationRequest) -> InvocationResult {
+        match req.function_index % 7 {
+            0 => InvocationResult::app_error(0.2, "synthetic app failure"),
+            1 => InvocationResult::timeout("synthetic deadline"),
+            2 => InvocationResult::shed("synthetic overload"),
+            _ => InvocationResult::success(0.2, req.function_index % 5 == 0),
+        }
+    }
+    fn name(&self) -> &str {
+        "deterministic"
+    }
+}
+
+fn small_schedule(seed: u64) -> (faasrail::core::RequestTrace, WorkloadPool) {
+    let trace = gen_azure(&AzureTraceConfig::scaled(seed, 250, 40_000));
+    let pool = WorkloadPool::build_modelled(&CostModel::default_calibration());
+    let (spec, _) = shrink(&trace, &pool, &ShrinkRayConfig::new(3, 3.0)).unwrap();
+    let reqs = generate_requests(&spec, seed);
+    assert!(reqs.len() > 50, "schedule too small to exercise sharding: {}", reqs.len());
+    (reqs, pool)
+}
+
+fn fast_fleet_config(agents: usize, capture_events: bool) -> FleetConfig {
+    FleetConfig {
+        agents,
+        workers: 3,
+        pacing: Pacing::Unpaced,
+        capture_events,
+        progress_every_ms: 100,
+        start_delay_ms: 100,
+        target: None,
+        probes: 3,
+        live: false,
+        agent_timeout: Duration::from_secs(10),
+    }
+}
+
+#[test]
+fn two_agent_fleet_matches_single_process_replay() {
+    let (reqs, pool) = small_schedule(21);
+    let coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
+    let addr = coordinator.local_addr().unwrap();
+    let cfg = fast_fleet_config(2, true);
+
+    let report = std::thread::scope(|scope| {
+        let run =
+            scope.spawn(|| coordinator.run(&reqs, &pool, &cfg, &AtomicBool::new(false)).unwrap());
+        for i in 0..2 {
+            scope.spawn(move || {
+                let agent_cfg = AgentConfig { name: format!("agent-{i}"), ..Default::default() };
+                let run = run_agent_with(addr, &agent_cfg, |_| {
+                    Ok(Arc::new(DeterministicBackend) as Arc<dyn Backend>)
+                })
+                .unwrap();
+                assert!(run.is_some(), "agent {i} must run to completion");
+            });
+        }
+        run.join().unwrap()
+    });
+
+    let single = replay(
+        &reqs,
+        &pool,
+        &DeterministicBackend,
+        &ReplayConfig { pacing: Pacing::Unpaced, workers: 3 },
+    );
+
+    // The outcome partition is *identical* — not approximately equal.
+    let m = &report.metrics;
+    assert_eq!(report.offered as usize, reqs.len());
+    assert_eq!(report.aborted_invocations, 0);
+    assert_eq!(m.issued, single.issued);
+    assert_eq!(m.completed, single.completed);
+    assert_eq!(m.errors, single.errors);
+    assert_eq!(m.app_errors, single.app_errors);
+    assert_eq!(m.timeouts, single.timeouts);
+    assert_eq!(m.transport_errors, single.transport_errors);
+    assert_eq!(m.shed, single.shed);
+    assert_eq!(m.cold_starts, single.cold_starts);
+    assert_eq!(m.per_kind, single.per_kind);
+    assert_eq!(m.issued_per_minute, single.issued_per_minute);
+    assert!(!m.aborted);
+    assert_eq!(m.completed + m.errors + report.aborted_invocations, report.offered);
+
+    // Both agents completed and together cover the schedule exactly.
+    assert_eq!(report.shards, 2);
+    assert_eq!(report.agents.len(), 2);
+    assert!(report.agents.iter().all(|a| a.completed));
+    assert_eq!(report.agents.iter().map(|a| a.assigned).sum::<u64>(), report.offered);
+    let names: Vec<&str> = report.agents.iter().map(|a| a.name.as_str()).collect();
+    assert!(names.contains(&"agent-0") && names.contains(&"agent-1"), "{names:?}");
+
+    // Captured spans merged across agents: one per offered request, and
+    // the merged report reproduces the metrics.
+    let spans = report
+        .events
+        .iter()
+        .filter(|e| matches!(e, faasrail::telemetry::TelemetryEvent::Invocation(_)))
+        .count();
+    assert_eq!(spans as u64, report.offered, "no span lost or duplicated in the merge");
+    let rr = report.run_report.as_ref().expect("capture_events builds a run report");
+    assert_eq!(rr.issued, m.issued);
+    assert_eq!(rr.completed, m.completed);
+    assert_eq!(rr.timeouts, m.timeouts);
+}
+
+#[test]
+fn lost_agent_degrades_to_aborted_remainder() {
+    let (reqs, pool) = small_schedule(22);
+    let coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
+    let addr = coordinator.local_addr().unwrap();
+    // Short timeout so the dead shard resolves quickly.
+    let cfg = FleetConfig { agent_timeout: Duration::from_secs(2), ..fast_fleet_config(2, false) };
+
+    let report = std::thread::scope(|scope| {
+        let run =
+            scope.spawn(|| coordinator.run(&reqs, &pool, &cfg, &AtomicBool::new(false)).unwrap());
+        // A well-behaved agent...
+        scope.spawn(move || {
+            let agent_cfg = AgentConfig { name: "survivor".into(), ..Default::default() };
+            run_agent_with(addr, &agent_cfg, |_| {
+                Ok(Arc::new(DeterministicBackend) as Arc<dyn Backend>)
+            })
+            .unwrap();
+        });
+        // ...and an impostor that speaks the protocol through the
+        // handshake, then dies the moment the run starts.
+        scope.spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            let hello = FleetMessage::Hello { name: "crasher".into(), wall_us: wall_clock_us() };
+            write_frame(&mut writer, &hello).unwrap();
+            loop {
+                match faasrail::fleet::read_frame(&mut reader).unwrap().unwrap() {
+                    FleetMessage::Probe { seq, wall_us } => {
+                        let reply = FleetMessage::ProbeReply {
+                            seq,
+                            wall_us,
+                            agent_wall_us: wall_clock_us(),
+                        };
+                        write_frame(&mut writer, &reply).unwrap();
+                    }
+                    FleetMessage::Assign { assignment } => {
+                        let ready = FleetMessage::Ready {
+                            shard: assignment.shard,
+                            requests: assignment.trace.requests.len() as u64,
+                        };
+                        write_frame(&mut writer, &ready).unwrap();
+                    }
+                    FleetMessage::Start { .. } => return, // drop the connection: crash
+                    other => panic!("unexpected frame {other:?}"),
+                }
+            }
+        });
+        run.join().unwrap()
+    });
+
+    let crashed = report.agents.iter().find(|a| a.name == "crasher").expect("impostor in report");
+    let survivor = report.agents.iter().find(|a| a.name == "survivor").expect("agent in report");
+    assert!(!crashed.completed, "dead shard must be marked lost");
+    assert!(survivor.completed);
+
+    // The dead shard never dispatched anything, so its entire assignment
+    // is the aborted remainder — and the partition still balances.
+    assert_eq!(report.aborted_invocations, crashed.assigned);
+    assert!(report.aborted_invocations > 0, "crasher's shard must not be empty");
+    let m = &report.metrics;
+    assert!(m.aborted, "a degraded fleet run is marked aborted");
+    assert_eq!(m.completed + m.errors, survivor.assigned);
+    assert_eq!(m.completed + m.errors + report.aborted_invocations, report.offered);
+}

@@ -243,6 +243,22 @@ fn stats_and_metrics_endpoints_set_correct_content_types() {
     let parsed: serde_json::Value =
         serde_json::from_slice(&stats.body).expect("/stats body must be valid JSON");
     assert_eq!(parsed["invocations_ok"].as_u64(), Some(reqs.len() as u64));
+    // The replay client hung up, so once its handlers notice the EOFs the
+    // only live connection is the one doing this scrape. Re-poll on the
+    // same connection while they wind down.
+    let mut active = parsed["connections_active"].as_u64().expect("gauge in /stats");
+    for _ in 0..50 {
+        if active == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        write_request(&mut writer, "GET", "/stats", "loopback", "text/plain", b"", true)
+            .expect("send GET /stats");
+        let again = read_response(&mut reader).expect("read /stats response");
+        let v: serde_json::Value = serde_json::from_slice(&again.body).expect("valid JSON");
+        active = v["connections_active"].as_u64().expect("gauge in /stats");
+    }
+    assert_eq!(active, 1, "the scraping connection must be the only one left");
 
     write_request(&mut writer, "GET", "/metrics", "loopback", "text/plain", b"", false)
         .expect("send GET /metrics");
@@ -252,6 +268,8 @@ fn stats_and_metrics_endpoints_set_correct_content_types() {
     let text = String::from_utf8(metrics.body).expect("/metrics body must be UTF-8");
     assert!(text.contains("# TYPE faasrail_gateway_invocations_total counter"), "{text}");
     assert!(text.contains(&format!("faasrail_gateway_invocations_total {}", reqs.len())), "{text}");
+    assert!(text.contains("# TYPE faasrail_gateway_connections_active gauge"), "{text}");
+    assert!(text.contains("faasrail_gateway_connections_active 1"), "{text}");
 
     drop(reader);
     drop(stream);
