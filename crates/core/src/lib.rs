@@ -27,6 +27,7 @@ pub mod evaluate;
 pub mod mapping;
 pub mod rate_scaling;
 pub mod request;
+pub mod schedule;
 pub mod shrinkray;
 pub mod smirnov;
 pub mod spec;
@@ -38,6 +39,9 @@ pub use error::ShrinkError;
 pub use evaluate::{evaluate, Representativity};
 pub use mapping::{map_functions, BalanceStrategy, FunctionMapping, MappingConfig};
 pub use request::{generate_requests, Request, RequestTrace};
+pub use schedule::{
+    materialize, Arrival, ArrivalCursor, ArrivalStream, ModelEntry, ScheduleModel, ScheduleSource,
+};
 pub use shrinkray::{shrink, ShrinkRayConfig, ShrinkReport};
 pub use smirnov::{SmirnovConfig, SmirnovReport};
 pub use spec::{ExperimentSpec, IatModel, SpecEntry};

@@ -6,11 +6,8 @@
 //! intensity (the default — exponential gaps, bursty even at second scale),
 //! uniformly random positions, or equidistant positions.
 
-use crate::spec::{ExperimentSpec, IatModel};
-use faasrail_stats::sampler::{Exponential, Gamma, Sampler};
-use faasrail_stats::seeded_rng;
+use crate::spec::ExperimentSpec;
 use faasrail_workloads::{WorkloadId, WorkloadKind, WorkloadPool};
-use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -92,107 +89,22 @@ impl RequestTrace {
 }
 
 /// Expand a spec into a request trace. Deterministic under `seed`.
+///
+/// Materializes by draining the lazy [`ArrivalStream`](crate::ArrivalStream)
+/// over the spec's [`ScheduleModel`](crate::ScheduleModel): each
+/// (Function, minute) cell is expanded with its own deterministic RNG, so
+/// the lazy and materialized paths agree exactly by construction. The
+/// output is sorted by `(at_ms, function_index)`.
 pub fn generate_requests(spec: &ExperimentSpec, seed: u64) -> RequestTrace {
     spec.validate().expect("invalid spec");
-    let mut rng = seeded_rng(seed);
-    let mut requests: Vec<Request> = Vec::with_capacity(spec.total_requests() as usize);
-
-    for entry in &spec.entries {
-        // Variable-inputs extension: rotate deterministically through the
-        // chosen Workload and its alternates across this Function's
-        // invocations (all alternates sit within the mapping threshold, so
-        // the duration distribution is unaffected up to that threshold).
-        let mut rotation = 0usize;
-        let next_workload = |rotation: &mut usize| -> WorkloadId {
-            if entry.alternates.is_empty() {
-                entry.workload
-            } else {
-                let n = entry.alternates.len() + 1;
-                let pick = *rotation % n;
-                *rotation += 1;
-                if pick == 0 {
-                    entry.workload
-                } else {
-                    entry.alternates[pick - 1]
-                }
-            }
-        };
-        for (minute, &count) in entry.per_minute.iter().enumerate() {
-            if count == 0 {
-                continue;
-            }
-            let minute_start = minute as u64 * MS_PER_MINUTE;
-            match spec.iat {
-                IatModel::Poisson => {
-                    // Exponential gaps with mean 60s/count: the minute's
-                    // count is the intensity; realized totals vary.
-                    let gap = Exponential::from_mean(MS_PER_MINUTE as f64 / count as f64);
-                    let mut t = gap.sample(&mut rng);
-                    while t < MS_PER_MINUTE as f64 {
-                        requests.push(Request {
-                            at_ms: minute_start + t as u64,
-                            workload: next_workload(&mut rotation),
-                            function_index: entry.function_index,
-                        });
-                        t += gap.sample(&mut rng);
-                    }
-                }
-                IatModel::UniformRandom => {
-                    for _ in 0..count {
-                        let off = rng.gen_range(0..MS_PER_MINUTE);
-                        requests.push(Request {
-                            at_ms: minute_start + off,
-                            workload: next_workload(&mut rotation),
-                            function_index: entry.function_index,
-                        });
-                    }
-                }
-                IatModel::Equidistant => {
-                    let step = MS_PER_MINUTE as f64 / count as f64;
-                    for i in 0..count {
-                        requests.push(Request {
-                            at_ms: minute_start + ((i as f64 + 0.5) * step) as u64,
-                            workload: next_workload(&mut rotation),
-                            function_index: entry.function_index,
-                        });
-                    }
-                }
-                IatModel::Bursty { cv } => {
-                    // Cox process: Gamma-modulated Poisson rate per
-                    // 10-second interval.
-                    const INTERVAL_MS: f64 = 10_000.0;
-                    const INTERVALS: usize = (MS_PER_MINUTE / 10_000) as usize;
-                    let base_rate = count as f64 / MS_PER_MINUTE as f64; // events per ms
-                    let modulator = (cv > 0.0).then(|| Gamma::unit_mean_with_cv(cv));
-                    for j in 0..INTERVALS {
-                        let mult = modulator.as_ref().map_or(1.0, |m| m.sample(&mut rng));
-                        if mult <= 0.0 {
-                            continue;
-                        }
-                        let gap = Exponential::new(base_rate * mult);
-                        let mut t = gap.sample(&mut rng);
-                        while t < INTERVAL_MS {
-                            requests.push(Request {
-                                at_ms: minute_start + (j as f64 * INTERVAL_MS + t) as u64,
-                                workload: next_workload(&mut rotation),
-                                function_index: entry.function_index,
-                            });
-                            t += gap.sample(&mut rng);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    requests.sort_by_key(|r| (r.at_ms, r.function_index));
-    RequestTrace { duration_minutes: spec.duration_minutes, requests }
+    let model = crate::ScheduleModel::from_spec(spec);
+    crate::schedule::materialize(&crate::ArrivalStream::new(&model, seed))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::SpecEntry;
+    use crate::spec::{IatModel, SpecEntry};
 
     fn spec(iat: IatModel) -> ExperimentSpec {
         ExperimentSpec {

@@ -1,18 +1,27 @@
 //! The discrete-event cluster simulation engine.
 //!
-//! Replays a [`RequestTrace`] against a virtual cluster in virtual time:
-//! arrivals are load-balanced to nodes, served warm when an idle sandbox
-//! exists, cold-started when memory allows (evicting per the keep-alive
-//! policy), and queued FIFO otherwise. The engine measures exactly the
-//! quantities the paper's motivating research areas care about: cold-start
-//! counts, response times, memory wasted by idle sandboxes, and per-node
-//! utilization.
+//! Replays a schedule of arrivals against a virtual cluster in virtual
+//! time: arrivals are load-balanced to nodes, served warm when an idle
+//! sandbox exists, cold-started when memory allows (evicting per the
+//! keep-alive policy), and queued FIFO otherwise. The engine measures
+//! exactly the quantities the paper's motivating research areas care
+//! about: cold-start counts, response times, memory wasted by idle
+//! sandboxes, and per-node utilization.
+//!
+//! The engine is generic over [`ScheduleSource`]: a materialized
+//! [`RequestTrace`](faasrail_core::RequestTrace) replays exact requests,
+//! while a lazy [`ArrivalStream`](faasrail_core::ArrivalStream) generates
+//! arrivals on demand — the event heap only ever holds the *active
+//! horizon* (in-flight finishes, pending expiries, scheduled faults), so
+//! peak memory is independent of how many invocations the schedule
+//! contains. That is what lets one machine simulate a full Azure day
+//! (~10⁹ invocations) without materializing the request vector.
 
 use crate::cluster::ClusterConfig;
 use crate::keepalive::{IdleSandbox, KeepAlivePolicy};
 use crate::metrics::SimMetrics;
 use crate::scheduler::{LoadBalancer, NodeView};
-use faasrail_core::RequestTrace;
+use faasrail_core::{Arrival, ArrivalCursor, ScheduleSource};
 use faasrail_stats::sampler::{LogNormal, Sampler};
 use faasrail_stats::seeded_rng;
 use faasrail_telemetry::{
@@ -67,14 +76,18 @@ impl Default for SimOptions {
     }
 }
 
+/// Internal (non-arrival) events. Arrivals never enter the heap: they are
+/// pulled from the schedule cursor and interleaved by timestamp, with
+/// arrivals winning ties — the same order the historic all-arrivals-in-heap
+/// implementation produced, where every arrival's sequence number preceded
+/// every dynamically scheduled event's.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum EventKind {
-    /// Index into the trace's request vector.
-    Arrival(u32),
-    /// An invocation finished on `node`; `key` identifies the Running entry.
+    /// An invocation finished on `node`; `key` identifies the slab entry.
     Finish { node: u32, key: u64 },
-    /// TTL check for the idle sandbox carrying `stamp` on `node`.
-    Expire { node: u32, stamp: u64 },
+    /// TTL check for the idle sandbox carrying `stamp` in `node`'s bucket
+    /// for `workload`.
+    Expire { node: u32, workload: WorkloadId, stamp: u64 },
     /// Predictively re-create a warm sandbox for `workload` on `node`.
     Prewarm { node: u32, workload: WorkloadId },
     /// `node` crashes: in-flight and queued work is lost, warm state gone.
@@ -100,8 +113,10 @@ struct Sandbox {
 
 #[derive(Debug, Clone, Copy)]
 struct QueuedReq {
-    /// Index into the trace's request vector (span sequence number).
-    index: u32,
+    /// Arrival sequence number (0-based, schedule order) — the span `seq`.
+    arrival_seq: u64,
+    /// Originating Function, carried through for the span.
+    function_index: u32,
     arrived_us: u64,
     workload: WorkloadId,
 }
@@ -110,7 +125,8 @@ struct QueuedReq {
 struct Running {
     node: u32,
     sandbox: Sandbox,
-    index: u32,
+    arrival_seq: u64,
+    function_index: u32,
     arrived_us: u64,
     /// Virtual instant the invocation left the queue and began executing.
     started_us: u64,
@@ -119,23 +135,235 @@ struct Running {
     started_cold: bool,
 }
 
+/// In-flight invocations in a generation-stamped slab. Keys are
+/// `generation << 32 | slot`: a slot freed by a crash and later reused
+/// keeps the stale Finish event harmless (its generation no longer
+/// matches), which is how crash tombstones work without a hash map on the
+/// hot path. Occupancy is bounded by the cluster's core count.
+#[derive(Default)]
+struct RunSlab {
+    slots: Vec<(u32, Option<Running>)>,
+    free: Vec<u32>,
+}
+
+impl RunSlab {
+    fn with_capacity(cap: usize) -> Self {
+        RunSlab { slots: Vec::with_capacity(cap), free: Vec::new() }
+    }
+
+    fn insert(&mut self, run: Running) -> u64 {
+        let idx = match self.free.pop() {
+            Some(i) => i as usize,
+            None => {
+                self.slots.push((0, None));
+                self.slots.len() - 1
+            }
+        };
+        let slot = &mut self.slots[idx];
+        debug_assert!(slot.1.is_none());
+        slot.1 = Some(run);
+        ((slot.0 as u64) << 32) | idx as u64
+    }
+
+    fn remove(&mut self, key: u64) -> Option<Running> {
+        let idx = (key & 0xFFFF_FFFF) as usize;
+        let generation = (key >> 32) as u32;
+        let slot = self.slots.get_mut(idx)?;
+        if slot.0 != generation {
+            return None;
+        }
+        let run = slot.1.take()?;
+        slot.0 = slot.0.wrapping_add(1);
+        self.free.push(idx as u32);
+        Some(run)
+    }
+
+    /// Remove and return every entry running on `node` (crash path).
+    fn take_node(&mut self, node: u32) -> Vec<Running> {
+        let mut doomed = Vec::new();
+        for (idx, slot) in self.slots.iter_mut().enumerate() {
+            if slot.1.is_some_and(|r| r.node == node) {
+                doomed.push(slot.1.take().expect("checked occupied"));
+                slot.0 = slot.0.wrapping_add(1);
+                self.free.push(idx as u32);
+            }
+        }
+        doomed
+    }
+}
+
 struct Node {
     free_memory_mb: f64,
     busy_cores: usize,
-    idle: Vec<Sandbox>,
+    /// Idle sandboxes, bucketed by workload id (`WorkloadId` indexes the
+    /// pool, so buckets are dense). Warm lookup and the balancer's warm
+    /// count are O(1) instead of scanning one flat vector per arrival.
+    idle: Vec<Vec<Sandbox>>,
     queue: VecDeque<QueuedReq>,
 }
 
+impl Node {
+    fn idle_len(&self) -> usize {
+        self.idle.iter().map(Vec::len).sum()
+    }
+}
+
+/// Account a sandbox's idle time up to `now_us` when it leaves the idle
+/// set (reuse, eviction, expiry, crash).
+fn account_idle(metrics: &mut SimMetrics, s: &Sandbox, now_us: u64) {
+    metrics.idle_mb_ms += s.memory_mb * (now_us - s.last_used_us) as f64 / 1_000.0;
+}
+
+/// Shared mutable simulation state; methods replace what used to be free
+/// functions threading fifteen parameters each.
+struct Engine<'a> {
+    pool: &'a WorkloadPool,
+    cluster: &'a ClusterConfig,
+    jitter: Option<LogNormal>,
+    rng: rand::rngs::StdRng,
+    slow: Vec<f64>,
+    nodes: Vec<Node>,
+    heap: BinaryHeap<Reverse<Event>>,
+    /// Internal event sequence; crashes are pushed first so that, among
+    /// equal timestamps, a crash fires before any Finish/Expire/Prewarm —
+    /// exactly the historic ordering.
+    seq: u64,
+    next_stamp: u64,
+    running: RunSlab,
+    /// Requests queued across all nodes, maintained incrementally so
+    /// `max_queue` needs no per-arrival scan.
+    queued_total: u64,
+    /// Scratch for the per-arrival balancer view (allocated once).
+    views: Vec<NodeView>,
+    metrics: SimMetrics,
+}
+
+impl Engine<'_> {
+    fn push_event(&mut self, at_us: u64, kind: EventKind) {
+        self.seq += 1;
+        self.heap.push(Reverse(Event { at_us, seq: self.seq, kind }));
+    }
+
+    /// Try to start `req` on `node_idx` at `now_us`. Returns false if it
+    /// must queue. On success, schedules the Finish event.
+    fn try_start(
+        &mut self,
+        node_idx: usize,
+        req: QueuedReq,
+        now_us: u64,
+        policy: &mut dyn KeepAlivePolicy,
+    ) -> bool {
+        if self.nodes[node_idx].busy_cores >= self.cluster.cores_per_node {
+            return false;
+        }
+        let w = self.pool.get(req.workload).expect("workload in pool");
+        let mut service_ms = w.mean_ms * self.slow[node_idx];
+        if let Some(j) = &self.jitter {
+            service_ms *= j.sample(&mut self.rng);
+        }
+
+        let node = &mut self.nodes[node_idx];
+        let bucket = req.workload.0 as usize;
+        let (sandbox, cold) = if let Some(mut s) = node.idle[bucket].pop() {
+            account_idle(&mut self.metrics, &s, now_us);
+            s.uses += 1;
+            (s, false)
+        } else {
+            // Need memory for a new sandbox; evict per policy while short.
+            while node.free_memory_mb < w.memory_mb {
+                // The policy sees one flat view (bucket-major order) and
+                // answers with an index into it; map that back to a
+                // (bucket, position) pair. Eviction is the cold path — the
+                // flat view is only ever built here.
+                let mut idle_view: Vec<IdleSandbox> = Vec::with_capacity(node.idle_len());
+                let mut locations: Vec<(u32, u32)> = Vec::with_capacity(idle_view.capacity());
+                for (b, sandboxes) in node.idle.iter().enumerate() {
+                    for (pos, s) in sandboxes.iter().enumerate() {
+                        idle_view.push(IdleSandbox {
+                            workload: s.workload,
+                            memory_mb: s.memory_mb,
+                            last_used_ms: s.last_used_us / 1_000,
+                            init_cost_ms: s.init_cost_ms,
+                            uses: s.uses,
+                        });
+                        locations.push((b as u32, pos as u32));
+                    }
+                }
+                match policy.pick_victim(&idle_view, now_us / 1_000) {
+                    Some(victim) => {
+                        let (b, pos) = locations[victim];
+                        let s = node.idle[b as usize].swap_remove(pos as usize);
+                        account_idle(&mut self.metrics, &s, now_us);
+                        node.free_memory_mb += s.memory_mb;
+                        self.metrics.evictions += 1;
+                    }
+                    None => return false,
+                }
+            }
+            node.free_memory_mb -= w.memory_mb;
+            self.next_stamp += 1;
+            (
+                Sandbox {
+                    workload: req.workload,
+                    memory_mb: w.memory_mb,
+                    last_used_us: now_us,
+                    init_cost_ms: self.cluster.cold_start.delay_ms(w.memory_mb),
+                    uses: 1,
+                    stamp: self.next_stamp,
+                },
+                true,
+            )
+        };
+
+        node.busy_cores += 1;
+        let total_ms = service_ms + if cold { sandbox.init_cost_ms } else { 0.0 };
+        if cold {
+            self.metrics.cold_starts += 1;
+        } else {
+            self.metrics.warm_starts += 1;
+        }
+        self.metrics.busy_core_ms += total_ms;
+        self.metrics.per_node_busy_ms[node_idx] += total_ms;
+        let finish_us = now_us + (total_ms * 1_000.0) as u64;
+        let run_key = self.running.insert(Running {
+            node: node_idx as u32,
+            sandbox,
+            arrival_seq: req.arrival_seq,
+            function_index: req.function_index,
+            arrived_us: req.arrived_us,
+            started_us: now_us,
+            service_ms,
+            started_cold: cold,
+        });
+        self.push_event(finish_us, EventKind::Finish { node: node_idx as u32, key: run_key });
+        true
+    }
+
+    /// Start as many queued requests as now fit (FIFO head-of-line).
+    fn drain_queue(&mut self, node_idx: usize, now_us: u64, policy: &mut dyn KeepAlivePolicy) {
+        while let Some(&front) = self.nodes[node_idx].queue.front() {
+            if self.try_start(node_idx, front, now_us, policy) {
+                let waited = (now_us - front.arrived_us) as f64 / 1e6;
+                self.metrics.queue_wait.record(waited.max(1e-9));
+                self.nodes[node_idx].queue.pop_front();
+                self.queued_total -= 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
 /// Run the simulation.
-pub fn simulate(
-    trace: &RequestTrace,
+pub fn simulate<S: ScheduleSource + ?Sized>(
+    source: &S,
     pool: &WorkloadPool,
     cluster: &ClusterConfig,
     balancer: &mut dyn LoadBalancer,
     policy: &mut dyn KeepAlivePolicy,
     opts: &SimOptions,
 ) -> SimMetrics {
-    simulate_observed(trace, pool, cluster, balancer, policy, opts, &NullSink)
+    simulate_observed(source, pool, cluster, balancer, policy, opts, &NullSink)
 }
 
 /// Run the simulation, emitting a telemetry event stream as it goes.
@@ -149,10 +377,15 @@ pub fn simulate(
 /// shows up as overhead between pickup and completion beyond `service_ms`.
 /// Invocations killed by a node crash become [`OutcomeClass::Transport`]
 /// spans; requests still queued when a node dies (or starved at the end of
-/// the run) never started and get no span.
+/// the run) never started and get no span. Span `seq` is the arrival's
+/// 0-based position in schedule (time) order.
+///
+/// When the sink reports [`enabled() == false`](EventSink::enabled) — true
+/// of the [`NullSink`] the plain [`simulate`] uses — per-invocation span
+/// construction is skipped entirely, which matters at 10⁹ completions.
 #[allow(clippy::too_many_arguments)]
-pub fn simulate_observed(
-    trace: &RequestTrace,
+pub fn simulate_observed<S: ScheduleSource + ?Sized>(
+    source: &S,
     pool: &WorkloadPool,
     cluster: &ClusterConfig,
     balancer: &mut dyn LoadBalancer,
@@ -162,320 +395,160 @@ pub fn simulate_observed(
 ) -> SimMetrics {
     cluster.validate().expect("invalid cluster");
     sink.emit(&TelemetryEvent::RunStart(RunInfo {
-        requests: trace.len() as u64,
-        duration_minutes: trace.duration_minutes as u64,
+        requests: source.arrivals_hint(),
+        duration_minutes: source.duration_minutes() as u64,
         workers: (cluster.nodes * cluster.cores_per_node) as u64,
         pacing: "simulated".to_string(),
         compression: 1.0,
     }));
-    let mut rng = seeded_rng(opts.seed);
-    let jitter =
-        (opts.service_jitter_sigma > 0.0).then(|| LogNormal::new(0.0, opts.service_jitter_sigma));
-
-    let mut nodes: Vec<Node> = (0..cluster.nodes)
-        .map(|_| Node {
-            free_memory_mb: cluster.memory_mb_per_node,
-            busy_cores: 0,
-            idle: Vec::new(),
-            queue: VecDeque::new(),
-        })
-        .collect();
-
-    let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::with_capacity(trace.len() * 2);
-    let mut seq = 0u64;
-    for (i, r) in trace.requests.iter().enumerate() {
-        seq += 1;
-        heap.push(Reverse(Event {
-            at_us: r.at_ms * 1_000,
-            seq,
-            kind: EventKind::Arrival(i as u32),
-        }));
-    }
-
-    // Node-fault setup: per-node service slowdown, plus scheduled crashes.
-    let mut slow = vec![1.0f64; cluster.nodes];
-    for f in &opts.node_faults {
-        let Some(s) = slow.get_mut(f.node as usize) else { continue };
-        *s *= f.slow_factor;
-        if let Some(crash_ms) = f.crash_at_ms {
-            seq += 1;
-            heap.push(Reverse(Event {
-                at_us: crash_ms * 1_000,
-                seq,
-                kind: EventKind::Crash { node: f.node },
-            }));
-        }
-    }
+    let spans_enabled = sink.enabled();
 
     let mut metrics = SimMetrics::new(policy.name(), balancer.name());
     metrics.per_node_busy_ms = vec![0.0; cluster.nodes];
-    let mut next_stamp = 0u64;
-    // Invocations in flight, keyed by a (node, finish-time) pairing via a
-    // per-node FIFO of running entries sorted by completion: we instead keep
-    // a map from event seq — simpler: store running entries in a Vec indexed
-    // by stamp.
-    let mut running: std::collections::HashMap<u64, Running> = std::collections::HashMap::new();
+    let total_cores = cluster.nodes * cluster.cores_per_node;
+    let mut engine = Engine {
+        pool,
+        cluster,
+        jitter: (opts.service_jitter_sigma > 0.0)
+            .then(|| LogNormal::new(0.0, opts.service_jitter_sigma)),
+        rng: seeded_rng(opts.seed),
+        slow: vec![1.0f64; cluster.nodes],
+        nodes: (0..cluster.nodes)
+            .map(|_| Node {
+                free_memory_mb: cluster.memory_mb_per_node,
+                busy_cores: 0,
+                idle: vec![Vec::new(); pool.len()],
+                queue: VecDeque::new(),
+            })
+            .collect(),
+        // The heap holds the *active horizon* only — at most one Finish
+        // per busy core, plus scheduled faults and a bounded population of
+        // expiry/prewarm timers — never the whole schedule.
+        heap: BinaryHeap::with_capacity(total_cores + opts.node_faults.len() + 64),
+        seq: 0,
+        next_stamp: 0,
+        running: RunSlab::with_capacity(total_cores),
+        queued_total: 0,
+        views: Vec::with_capacity(cluster.nodes),
+        metrics,
+    };
 
-    // Try to start `req` on `node_idx` at `now_us`. Returns false if it must
-    // queue. On success, schedules the Finish event.
-    #[allow(clippy::too_many_arguments)]
-    fn try_start(
-        nodes: &mut [Node],
-        node_idx: usize,
-        req: QueuedReq,
-        now_us: u64,
-        pool: &WorkloadPool,
-        cluster: &ClusterConfig,
-        policy: &mut dyn KeepAlivePolicy,
-        jitter: &Option<LogNormal>,
-        slow: &[f64],
-        rng: &mut rand::rngs::StdRng,
-        metrics: &mut SimMetrics,
-        heap: &mut BinaryHeap<Reverse<Event>>,
-        seq: &mut u64,
-        next_stamp: &mut u64,
-        running: &mut std::collections::HashMap<u64, Running>,
-    ) -> bool {
-        let node = &mut nodes[node_idx];
-        if node.busy_cores >= cluster.cores_per_node {
-            return false;
-        }
-        let w = pool.get(req.workload).expect("workload in pool");
-        let mut service_ms = w.mean_ms * slow[node_idx];
-        if let Some(j) = jitter {
-            service_ms *= j.sample(rng);
-        }
-
-        let (sandbox, cold) =
-            if let Some(pos) = node.idle.iter().position(|s| s.workload == req.workload) {
-                let mut s = node.idle.swap_remove(pos);
-                metrics.idle_mb_ms += s.memory_mb * (now_us - s.last_used_us) as f64 / 1_000.0;
-                s.uses += 1;
-                (s, false)
-            } else {
-                // Need memory for a new sandbox; evict per policy while short.
-                while node.free_memory_mb < w.memory_mb {
-                    let idle_view: Vec<IdleSandbox> = node
-                        .idle
-                        .iter()
-                        .map(|s| IdleSandbox {
-                            workload: s.workload,
-                            memory_mb: s.memory_mb,
-                            last_used_ms: s.last_used_us / 1_000,
-                            init_cost_ms: s.init_cost_ms,
-                            uses: s.uses,
-                        })
-                        .collect();
-                    match policy.pick_victim(&idle_view, now_us / 1_000) {
-                        Some(victim) => {
-                            let s = node.idle.swap_remove(victim);
-                            metrics.idle_mb_ms +=
-                                s.memory_mb * (now_us - s.last_used_us) as f64 / 1_000.0;
-                            node.free_memory_mb += s.memory_mb;
-                            metrics.evictions += 1;
-                        }
-                        None => return false,
-                    }
-                }
-                node.free_memory_mb -= w.memory_mb;
-                *next_stamp += 1;
-                (
-                    Sandbox {
-                        workload: req.workload,
-                        memory_mb: w.memory_mb,
-                        last_used_us: now_us,
-                        init_cost_ms: cluster.cold_start.delay_ms(w.memory_mb),
-                        uses: 1,
-                        stamp: *next_stamp,
-                    },
-                    true,
-                )
-            };
-
-        node.busy_cores += 1;
-        let total_ms = service_ms + if cold { sandbox.init_cost_ms } else { 0.0 };
-        if cold {
-            metrics.cold_starts += 1;
-        } else {
-            metrics.warm_starts += 1;
-        }
-        metrics.busy_core_ms += total_ms;
-        metrics.per_node_busy_ms[node_idx] += total_ms;
-        let finish_us = now_us + (total_ms * 1_000.0) as u64;
-        *next_stamp += 1;
-        let run_key = *next_stamp;
-        running.insert(
-            run_key,
-            Running {
-                node: node_idx as u32,
-                sandbox,
-                index: req.index,
-                arrived_us: req.arrived_us,
-                started_us: now_us,
-                service_ms,
-                started_cold: cold,
-            },
-        );
-        *seq += 1;
-        heap.push(Reverse(Event {
-            at_us: finish_us,
-            seq: *seq,
-            kind: EventKind::Finish { node: node_idx as u32, key: run_key },
-        }));
-        true
-    }
-
-    /// Start as many queued requests as now fit (FIFO head-of-line).
-    #[allow(clippy::too_many_arguments)]
-    fn drain_queue(
-        nodes: &mut [Node],
-        node_idx: usize,
-        now_us: u64,
-        pool: &WorkloadPool,
-        cluster: &ClusterConfig,
-        policy: &mut dyn KeepAlivePolicy,
-        jitter: &Option<LogNormal>,
-        slow: &[f64],
-        rng: &mut rand::rngs::StdRng,
-        metrics: &mut SimMetrics,
-        heap: &mut BinaryHeap<Reverse<Event>>,
-        seq: &mut u64,
-        next_stamp: &mut u64,
-        running: &mut std::collections::HashMap<u64, Running>,
-    ) {
-        while let Some(&front) = nodes[node_idx].queue.front() {
-            let started = try_start(
-                nodes, node_idx, front, now_us, pool, cluster, policy, jitter, slow, rng, metrics,
-                heap, seq, next_stamp, running,
-            );
-            if started {
-                let waited = (now_us - front.arrived_us) as f64 / 1e6;
-                metrics.queue_wait.record(waited.max(1e-9));
-                nodes[node_idx].queue.pop_front();
-            } else {
-                break;
-            }
+    // Node-fault setup: per-node service slowdown, plus scheduled crashes.
+    for f in &opts.node_faults {
+        let Some(s) = engine.slow.get_mut(f.node as usize) else { continue };
+        *s *= f.slow_factor;
+        if let Some(crash_ms) = f.crash_at_ms {
+            engine.push_event(crash_ms * 1_000, EventKind::Crash { node: f.node });
         }
     }
 
+    let mut cursor = source.cursor();
+    let mut pending = cursor.next_arrival();
+    let mut arrival_seq: u64 = 0;
     let mut last_us = 0u64;
-    while let Some(Reverse(ev)) = heap.pop() {
+
+    loop {
+        // Interleave the arrival stream with the internal event heap;
+        // arrivals win ties (see `EventKind`).
+        let take_arrival = match (&pending, engine.heap.peek()) {
+            (Some(a), Some(&Reverse(ev))) => a.at_ms * 1_000 <= ev.at_us,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        engine.metrics.sim_events += 1;
+
+        if take_arrival {
+            let Arrival { at_ms, workload, function_index } =
+                pending.take().expect("checked above");
+            pending = cursor.next_arrival();
+            let now_us = at_ms * 1_000;
+            last_us = last_us.max(now_us);
+
+            engine.metrics.arrivals += 1;
+            policy.on_arrival(workload, now_us / 1_000);
+            let bucket = workload.0 as usize;
+            engine.views.clear();
+            for n in &engine.nodes {
+                engine.views.push(NodeView {
+                    warm_for_workload: n.idle[bucket].len(),
+                    free_memory_mb: n.free_memory_mb,
+                    running: n.busy_cores,
+                    queued: n.queue.len(),
+                    cores: cluster.cores_per_node,
+                });
+            }
+            let target = balancer.pick_node(workload, &engine.views).min(engine.nodes.len() - 1);
+            let req = QueuedReq { arrival_seq, function_index, arrived_us: now_us, workload };
+            arrival_seq += 1;
+            if !engine.try_start(target, req, now_us, policy) {
+                engine.nodes[target].queue.push_back(req);
+                engine.queued_total += 1;
+                engine.metrics.max_queue = engine.metrics.max_queue.max(engine.queued_total);
+            }
+            continue;
+        }
+
+        let Reverse(ev) = engine.heap.pop().expect("checked above");
         let now_us = ev.at_us;
         last_us = last_us.max(now_us);
         match ev.kind {
-            EventKind::Arrival(i) => {
-                let r = &trace.requests[i as usize];
-                metrics.arrivals += 1;
-                policy.on_arrival(r.workload, now_us / 1_000);
-                let views: Vec<NodeView> = nodes
-                    .iter()
-                    .map(|n| NodeView {
-                        warm_for_workload: n
-                            .idle
-                            .iter()
-                            .filter(|s| s.workload == r.workload)
-                            .count(),
-                        free_memory_mb: n.free_memory_mb,
-                        running: n.busy_cores,
-                        queued: n.queue.len(),
-                        cores: cluster.cores_per_node,
-                    })
-                    .collect();
-                let target = balancer.pick_node(r.workload, &views).min(nodes.len() - 1);
-                let req = QueuedReq { index: i, arrived_us: now_us, workload: r.workload };
-                let started = try_start(
-                    &mut nodes,
-                    target,
-                    req,
-                    now_us,
-                    pool,
-                    cluster,
-                    policy,
-                    &jitter,
-                    &slow,
-                    &mut rng,
-                    &mut metrics,
-                    &mut heap,
-                    &mut seq,
-                    &mut next_stamp,
-                    &mut running,
-                );
-                if !started {
-                    nodes[target].queue.push_back(req);
-                    metrics.max_queue = metrics
-                        .max_queue
-                        .max(nodes.iter().map(|n| n.queue.len()).sum::<usize>() as u64);
-                }
-            }
             EventKind::Finish { node, key } => {
                 // A missing entry is a tombstone: the invocation was killed
                 // by a node crash before its finish event fired.
-                let Some(run) = running.remove(&key) else { continue };
+                let Some(run) = engine.running.remove(key) else { continue };
                 debug_assert_eq!(run.node, node);
                 debug_assert!(run.started_cold || run.sandbox.uses >= 1);
-                let n = &mut nodes[node as usize];
+                let n = &mut engine.nodes[node as usize];
                 n.busy_cores -= 1;
-                metrics.completions += 1;
+                engine.metrics.completions += 1;
                 // Response includes queueing and (for cold starts) the
                 // sandbox creation delay by construction.
-                metrics.response.record(((now_us - run.arrived_us) as f64 / 1e6).max(1e-9));
-                sink.emit(&TelemetryEvent::Invocation(InvocationSpan {
-                    trace_id: 0, // single-tier: simulated spans have nothing to join against
-                    seq: run.index as u64,
-                    workload: run.sandbox.workload.0 as u64,
-                    function_index: trace.requests[run.index as usize].function_index,
-                    scheduled_ms: run.arrived_us / 1_000,
-                    target_us: run.arrived_us,
-                    dispatched_us: run.arrived_us,
-                    picked_up_us: run.started_us,
-                    completed_us: now_us,
-                    service_ms: run.service_ms,
-                    outcome: OutcomeClass::Ok,
-                    cold_start: run.started_cold,
-                    error: None,
-                }));
-
-                // Idle the sandbox.
-                next_stamp += 1;
-                let mut s = run.sandbox;
-                s.last_used_us = now_us;
-                s.stamp = next_stamp;
-                let stamp = s.stamp;
-                n.idle.push(s);
-                if let Some(ttl_ms) = policy.idle_ttl_ms(run.sandbox.workload) {
-                    seq += 1;
-                    heap.push(Reverse(Event {
-                        at_us: now_us + ttl_ms * 1_000,
-                        seq,
-                        kind: EventKind::Expire { node, stamp },
+                engine.metrics.response.record(((now_us - run.arrived_us) as f64 / 1e6).max(1e-9));
+                if spans_enabled {
+                    sink.emit(&TelemetryEvent::Invocation(InvocationSpan {
+                        trace_id: 0, // single-tier: nothing to join against
+                        seq: run.arrival_seq,
+                        workload: run.sandbox.workload.0 as u64,
+                        function_index: run.function_index,
+                        scheduled_ms: run.arrived_us / 1_000,
+                        target_us: run.arrived_us,
+                        dispatched_us: run.arrived_us,
+                        picked_up_us: run.started_us,
+                        completed_us: now_us,
+                        service_ms: run.service_ms,
+                        outcome: OutcomeClass::Ok,
+                        cold_start: run.started_cold,
+                        error: None,
                     }));
                 }
 
+                // Idle the sandbox.
+                engine.next_stamp += 1;
+                let mut s = run.sandbox;
+                s.last_used_us = now_us;
+                s.stamp = engine.next_stamp;
+                let stamp = s.stamp;
+                let workload = s.workload;
+                engine.nodes[node as usize].idle[workload.0 as usize].push(s);
+                if let Some(ttl_ms) = policy.idle_ttl_ms(workload) {
+                    engine.push_event(
+                        now_us + ttl_ms * 1_000,
+                        EventKind::Expire { node, workload, stamp },
+                    );
+                }
+
                 // Drain the node's queue (FIFO head-of-line).
-                drain_queue(
-                    &mut nodes,
-                    node as usize,
-                    now_us,
-                    pool,
-                    cluster,
-                    policy,
-                    &jitter,
-                    &slow,
-                    &mut rng,
-                    &mut metrics,
-                    &mut heap,
-                    &mut seq,
-                    &mut next_stamp,
-                    &mut running,
-                );
+                engine.drain_queue(node as usize, now_us, policy);
             }
-            EventKind::Expire { node, stamp } => {
-                let n = &mut nodes[node as usize];
-                if let Some(pos) = n.idle.iter().position(|s| s.stamp == stamp) {
-                    let s = n.idle.swap_remove(pos);
-                    metrics.idle_mb_ms += s.memory_mb * (now_us - s.last_used_us) as f64 / 1_000.0;
+            EventKind::Expire { node, workload, stamp } => {
+                let n = &mut engine.nodes[node as usize];
+                let bucket = &mut n.idle[workload.0 as usize];
+                if let Some(pos) = bucket.iter().position(|s| s.stamp == stamp) {
+                    let s = bucket.swap_remove(pos);
+                    account_idle(&mut engine.metrics, &s, now_us);
                     n.free_memory_mb += s.memory_mb;
-                    metrics.expirations += 1;
+                    engine.metrics.expirations += 1;
                     // Predictive prewarming: re-create the sandbox shortly
                     // before the workload's expected next arrival. Only
                     // sandboxes that actually served invocations re-arm —
@@ -483,45 +556,28 @@ pub fn simulate_observed(
                     // re-prewarm, or the cycle would self-sustain forever.
                     if s.uses > 0 {
                         if let Some(after_ms) = policy.prewarm_after_ms(s.workload) {
-                            let at_us = (s.last_used_us).saturating_add(after_ms * 1_000);
+                            let at_us = s.last_used_us.saturating_add(after_ms * 1_000);
                             if at_us > now_us {
-                                seq += 1;
-                                heap.push(Reverse(Event {
+                                engine.push_event(
                                     at_us,
-                                    seq,
-                                    kind: EventKind::Prewarm { node, workload: s.workload },
-                                }));
+                                    EventKind::Prewarm { node, workload: s.workload },
+                                );
                             }
                         }
                     }
                     // Freed memory may unblock the head of the queue.
-                    drain_queue(
-                        &mut nodes,
-                        node as usize,
-                        now_us,
-                        pool,
-                        cluster,
-                        policy,
-                        &jitter,
-                        &slow,
-                        &mut rng,
-                        &mut metrics,
-                        &mut heap,
-                        &mut seq,
-                        &mut next_stamp,
-                        &mut running,
-                    );
+                    engine.drain_queue(node as usize, now_us, policy);
                 }
             }
             EventKind::Prewarm { node, workload } => {
-                let n = &mut nodes[node as usize];
-                let already_warm = n.idle.iter().any(|s| s.workload == workload);
                 let w = pool.get(workload).expect("workload in pool");
-                if !already_warm && n.free_memory_mb >= w.memory_mb {
+                let n = &mut engine.nodes[node as usize];
+                let bucket = &mut n.idle[workload.0 as usize];
+                if bucket.is_empty() && n.free_memory_mb >= w.memory_mb {
                     n.free_memory_mb -= w.memory_mb;
-                    next_stamp += 1;
-                    let stamp = next_stamp;
-                    n.idle.push(Sandbox {
+                    engine.next_stamp += 1;
+                    let stamp = engine.next_stamp;
+                    bucket.push(Sandbox {
                         workload,
                         memory_mb: w.memory_mb,
                         last_used_us: now_us,
@@ -529,68 +585,75 @@ pub fn simulate_observed(
                         uses: 0,
                         stamp,
                     });
-                    metrics.prewarms += 1;
+                    engine.metrics.prewarms += 1;
                     if let Some(ttl_ms) = policy.idle_ttl_ms(workload) {
-                        seq += 1;
-                        heap.push(Reverse(Event {
-                            at_us: now_us + ttl_ms * 1_000,
-                            seq,
-                            kind: EventKind::Expire { node, stamp },
-                        }));
+                        engine.push_event(
+                            now_us + ttl_ms * 1_000,
+                            EventKind::Expire { node, workload, stamp },
+                        );
                     }
                 }
             }
             EventKind::Crash { node } => {
-                let Some(n) = nodes.get_mut(node as usize) else { continue };
+                if node as usize >= engine.nodes.len() {
+                    continue;
+                }
                 // In-flight invocations die with the node; their Finish
                 // events become tombstones (the Finish arm tolerates a
-                // missing `running` entry).
-                let doomed: Vec<u64> =
-                    running.iter().filter(|(_, r)| r.node == node).map(|(&k, _)| k).collect();
-                for key in doomed {
-                    let Some(run) = running.remove(&key) else { continue };
-                    metrics.killed += 1;
-                    sink.emit(&TelemetryEvent::Invocation(InvocationSpan {
-                        trace_id: 0, // single-tier: simulated spans have nothing to join against
-                        seq: run.index as u64,
-                        workload: run.sandbox.workload.0 as u64,
-                        function_index: trace.requests[run.index as usize].function_index,
-                        scheduled_ms: run.arrived_us / 1_000,
-                        target_us: run.arrived_us,
-                        dispatched_us: run.arrived_us,
-                        picked_up_us: run.started_us,
-                        completed_us: now_us,
-                        service_ms: 0.0,
-                        outcome: OutcomeClass::Transport,
-                        cold_start: run.started_cold,
-                        error: Some("node crash".to_string()),
-                    }));
+                // dead slab generation).
+                for run in engine.running.take_node(node) {
+                    engine.metrics.killed += 1;
+                    if spans_enabled {
+                        sink.emit(&TelemetryEvent::Invocation(InvocationSpan {
+                            trace_id: 0, // single-tier: nothing to join against
+                            seq: run.arrival_seq,
+                            workload: run.sandbox.workload.0 as u64,
+                            function_index: run.function_index,
+                            scheduled_ms: run.arrived_us / 1_000,
+                            target_us: run.arrived_us,
+                            dispatched_us: run.arrived_us,
+                            picked_up_us: run.started_us,
+                            completed_us: now_us,
+                            service_ms: 0.0,
+                            outcome: OutcomeClass::Transport,
+                            cold_start: run.started_cold,
+                            error: Some("node crash".to_string()),
+                        }));
+                    }
                 }
+                let n = &mut engine.nodes[node as usize];
                 n.busy_cores = 0;
                 // Warm state is gone: account idle time up to the crash,
                 // then drop every sandbox.
-                for s in n.idle.drain(..) {
-                    metrics.idle_mb_ms += s.memory_mb * (now_us - s.last_used_us) as f64 / 1_000.0;
-                    metrics.sandboxes_lost += 1;
+                for bucket in &mut n.idle {
+                    for s in bucket.drain(..) {
+                        engine.metrics.idle_mb_ms +=
+                            s.memory_mb * (now_us - s.last_used_us) as f64 / 1_000.0;
+                        engine.metrics.sandboxes_lost += 1;
+                    }
                 }
                 n.free_memory_mb = cluster.memory_mb_per_node;
                 // Queued work on the node is lost too.
-                metrics.killed += n.queue.len() as u64;
+                engine.metrics.killed += n.queue.len() as u64;
+                engine.queued_total -= n.queue.len() as u64;
                 n.queue.clear();
             }
         }
     }
 
     // Finalize idle-memory accounting for sandboxes still warm at the end.
-    for n in &nodes {
-        for s in &n.idle {
-            metrics.idle_mb_ms += s.memory_mb * (last_us - s.last_used_us) as f64 / 1_000.0;
+    metrics = engine.metrics;
+    for n in &engine.nodes {
+        for bucket in &n.idle {
+            for s in bucket {
+                metrics.idle_mb_ms += s.memory_mb * (last_us - s.last_used_us) as f64 / 1_000.0;
+            }
         }
         // Anything still queued never ran (cluster too small).
         metrics.starved += n.queue.len() as u64;
     }
     metrics.duration_ms = last_us as f64 / 1_000.0;
-    metrics.total_cores = (cluster.nodes * cluster.cores_per_node) as u64;
+    metrics.total_cores = total_cores as u64;
     sink.emit(&TelemetryEvent::RunEnd(RunSummary {
         issued: metrics.arrivals,
         completed: metrics.completions,
@@ -607,7 +670,7 @@ mod tests {
     use super::*;
     use crate::keepalive::{FixedTtl, LruPolicy};
     use crate::scheduler::{LeastLoaded, RoundRobin, WarmFirst};
-    use faasrail_core::Request;
+    use faasrail_core::{Request, RequestTrace};
     use faasrail_workloads::{CostModel, WorkloadPool};
 
     fn pool() -> WorkloadPool {
@@ -1108,5 +1171,77 @@ mod tests {
         assert_eq!(m.completions, 2);
         assert_eq!(m.killed, 0);
         assert_eq!(m.sandboxes_lost, 0);
+    }
+
+    #[test]
+    fn sim_events_counts_arrivals_and_internal_events() {
+        // Two arrivals served warm/cold on an idle node with a TTL policy:
+        // 2 arrivals + 2 finishes + 2 expiries = 6 discrete events.
+        let trace = trace_of(vec![(0, 7), (5_000, 7)]);
+        let mut lb = RoundRobin::default();
+        let mut ka = FixedTtl { ttl_ms: 60_000 };
+        let m = simulate(
+            &trace,
+            &pool(),
+            &ClusterConfig::single_node(4, 4_096.0),
+            &mut lb,
+            &mut ka,
+            &SimOptions::default(),
+        );
+        assert_eq!(m.sim_events, 6);
+        assert!(m.sim_events >= m.arrivals + m.completions);
+    }
+
+    #[test]
+    fn lazy_stream_source_matches_materialized_trace() {
+        // The engine is generic over the schedule source: a lazy
+        // ArrivalStream and the trace it materializes to must produce
+        // byte-identical metrics (the lab's core equivalence).
+        use faasrail_core::{
+            materialize, ArrivalStream, ExperimentSpec, IatModel, ScheduleModel, SpecEntry,
+        };
+        let spec = ExperimentSpec {
+            duration_minutes: 3,
+            target_max_rps: 10.0,
+            iat: IatModel::Poisson,
+            entries: (0..6)
+                .map(|i| SpecEntry {
+                    function_index: i,
+                    workload: WorkloadId(i % 10),
+                    alternates: vec![],
+                    trace_duration_ms: 25.0,
+                    per_minute: vec![40, 90, 15],
+                })
+                .collect(),
+        };
+        let model = ScheduleModel::from_spec(&spec);
+        let stream = ArrivalStream::new(&model, 17);
+        let trace = materialize(&stream);
+        assert!(trace.len() > 100, "spec must generate real load");
+
+        let run_lazy = || {
+            let mut lb = WarmFirst;
+            let mut ka = FixedTtl::ten_minutes();
+            simulate(
+                &stream,
+                &pool(),
+                &ClusterConfig::default(),
+                &mut lb,
+                &mut ka,
+                &SimOptions::default(),
+            )
+        };
+        let mut lb = WarmFirst;
+        let mut ka = FixedTtl::ten_minutes();
+        let eager = simulate(
+            &trace,
+            &pool(),
+            &ClusterConfig::default(),
+            &mut lb,
+            &mut ka,
+            &SimOptions::default(),
+        );
+        assert_eq!(run_lazy(), eager);
+        assert_eq!(run_lazy(), eager, "lazy cursor must be re-openable");
     }
 }

@@ -16,6 +16,7 @@ pub mod cluster;
 pub mod engine;
 pub mod keepalive;
 pub mod metrics;
+pub mod registry;
 pub mod rt_backend;
 pub mod scheduler;
 
@@ -25,5 +26,6 @@ pub use keepalive::{
     FixedTtl, GreedyDual, HybridHistogram, IdleSandbox, KeepAlivePolicy, LruPolicy,
 };
 pub use metrics::SimMetrics;
+pub use registry::{BalancerKind, PolicyKind};
 pub use rt_backend::{WarmCacheBackend, WarmCacheConfig};
 pub use scheduler::{HashAffinity, LeastLoaded, LoadBalancer, NodeView, RoundRobin, WarmFirst};

@@ -31,6 +31,10 @@ pub struct SimMetrics {
     pub sandboxes_lost: u64,
     /// Largest total queued count observed.
     pub max_queue: u64,
+    /// Discrete events processed (arrivals, finishes, expiries, prewarms,
+    /// crashes) — the denominator for events/sec throughput figures.
+    #[serde(default)]
+    pub sim_events: u64,
     /// End-to-end response time (arrival → completion), seconds.
     pub response: LogHistogram,
     /// Queue waiting time for requests that had to queue, seconds.
@@ -65,6 +69,7 @@ impl SimMetrics {
             killed: 0,
             sandboxes_lost: 0,
             max_queue: 0,
+            sim_events: 0,
             response: LogHistogram::latency_seconds(),
             queue_wait: LogHistogram::new(1e-6, 3_600.0, 1.05),
             idle_mb_ms: 0.0,

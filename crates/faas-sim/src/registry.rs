@@ -1,0 +1,136 @@
+//! Named constructors for keep-alive policies and load balancers.
+//!
+//! The CLI and the lab runner both need to turn strings like
+//! `"hybrid-histogram"` into fresh policy/balancer instances — and the lab
+//! runner needs to do it once *per grid cell*, because policies are
+//! stateful. Centralising the name ↔ constructor mapping here keeps the
+//! two front ends in lockstep: a policy added to the simulator becomes
+//! addressable everywhere by adding one enum variant.
+
+use crate::keepalive::{FixedTtl, GreedyDual, HybridHistogram, KeepAlivePolicy, LruPolicy};
+use crate::scheduler::{HashAffinity, LeastLoaded, LoadBalancer, RoundRobin, WarmFirst};
+
+/// Every keep-alive policy the simulator ships, by stable name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    FixedTtl,
+    Lru,
+    GreedyDual,
+    HybridHistogram,
+}
+
+impl PolicyKind {
+    /// All known policies, in canonical (report) order.
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::FixedTtl,
+        PolicyKind::Lru,
+        PolicyKind::GreedyDual,
+        PolicyKind::HybridHistogram,
+    ];
+
+    /// The stable CLI/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::FixedTtl => "fixed-ttl",
+            PolicyKind::Lru => "lru",
+            PolicyKind::GreedyDual => "greedy-dual",
+            PolicyKind::HybridHistogram => "hybrid-histogram",
+        }
+    }
+
+    /// Parse a CLI name. The error lists the valid names.
+    pub fn parse(s: &str) -> Result<PolicyKind, String> {
+        PolicyKind::ALL.into_iter().find(|k| k.name() == s).ok_or_else(|| {
+            let names: Vec<&str> = PolicyKind::ALL.iter().map(|k| k.name()).collect();
+            format!("unknown keep-alive policy {s:?} (expected one of {})", names.join(", "))
+        })
+    }
+
+    /// A fresh, stateless-to-date instance of the policy.
+    pub fn build(self) -> Box<dyn KeepAlivePolicy> {
+        match self {
+            PolicyKind::FixedTtl => Box::new(FixedTtl::ten_minutes()),
+            PolicyKind::Lru => Box::new(LruPolicy),
+            PolicyKind::GreedyDual => Box::new(GreedyDual),
+            PolicyKind::HybridHistogram => Box::new(HybridHistogram::new()),
+        }
+    }
+}
+
+/// Every load balancer the simulator ships, by stable name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BalancerKind {
+    RoundRobin,
+    LeastLoaded,
+    WarmFirst,
+    Hash,
+}
+
+impl BalancerKind {
+    /// All known balancers, in canonical (report) order.
+    pub const ALL: [BalancerKind; 4] = [
+        BalancerKind::RoundRobin,
+        BalancerKind::LeastLoaded,
+        BalancerKind::WarmFirst,
+        BalancerKind::Hash,
+    ];
+
+    /// The stable CLI/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BalancerKind::RoundRobin => "round-robin",
+            BalancerKind::LeastLoaded => "least-loaded",
+            BalancerKind::WarmFirst => "warm-first",
+            BalancerKind::Hash => "hash",
+        }
+    }
+
+    /// Parse a CLI name. Accepts `"hash-affinity"` (the balancer's report
+    /// name) as an alias for `"hash"`. The error lists the valid names.
+    pub fn parse(s: &str) -> Result<BalancerKind, String> {
+        if s == "hash-affinity" {
+            return Ok(BalancerKind::Hash);
+        }
+        BalancerKind::ALL.into_iter().find(|k| k.name() == s).ok_or_else(|| {
+            let names: Vec<&str> = BalancerKind::ALL.iter().map(|k| k.name()).collect();
+            format!("unknown balancer {s:?} (expected one of {})", names.join(", "))
+        })
+    }
+
+    /// A fresh instance of the balancer.
+    pub fn build(self) -> Box<dyn LoadBalancer> {
+        match self {
+            BalancerKind::RoundRobin => Box::new(RoundRobin::default()),
+            BalancerKind::LeastLoaded => Box::new(LeastLoaded),
+            BalancerKind::WarmFirst => Box::new(WarmFirst),
+            BalancerKind::Hash => Box::new(HashAffinity),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_round_trips_through_its_name() {
+        for k in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(k.name()).unwrap(), k);
+            assert_eq!(k.build().name(), k.name());
+        }
+        for k in BalancerKind::ALL {
+            assert_eq!(BalancerKind::parse(k.name()).unwrap(), k);
+        }
+        // `hash` is the CLI name; the balancer reports itself as
+        // `hash-affinity`, and parse accepts both.
+        assert_eq!(BalancerKind::parse("hash-affinity").unwrap(), BalancerKind::Hash);
+    }
+
+    #[test]
+    fn unknown_names_error_and_list_alternatives() {
+        let e = PolicyKind::parse("nope").unwrap_err();
+        assert!(e.contains("fixed-ttl") && e.contains("hybrid-histogram"), "{e}");
+        let e = BalancerKind::parse("nope").unwrap_err();
+        assert!(e.contains("round-robin") && e.contains("hash"), "{e}");
+    }
+}

@@ -1,7 +1,12 @@
 //! Property tests over the discrete-event engine: conservation laws must
-//! hold for arbitrary request traces, cluster shapes, and policies.
+//! hold for arbitrary request traces, cluster shapes, and policies, and
+//! the lazy arrival stream must be indistinguishable from the trace it
+//! materializes to.
 
-use faasrail_core::{Request, RequestTrace};
+use faasrail_core::{
+    generate_requests, materialize, ArrivalCursor, ArrivalStream, ExperimentSpec, IatModel,
+    Request, RequestTrace, ScheduleModel, ScheduleSource, SpecEntry,
+};
 use faasrail_faas_sim::{
     simulate, ClusterConfig, FixedTtl, GreedyDual, HybridHistogram, KeepAlivePolicy, LeastLoaded,
     LoadBalancer, LruPolicy, RoundRobin, SimOptions, WarmFirst,
@@ -42,6 +47,42 @@ fn balancer(which: u8) -> Box<dyn LoadBalancer> {
         2 => Box::new(WarmFirst),
         _ => Box::new(faasrail_faas_sim::HashAffinity),
     }
+}
+
+fn iat(which: u8) -> IatModel {
+    match which % 4 {
+        0 => IatModel::Poisson,
+        1 => IatModel::UniformRandom,
+        2 => IatModel::Equidistant,
+        _ => IatModel::Bursty { cv: 1.5 },
+    }
+}
+
+fn arb_spec() -> impl Strategy<Value = (ExperimentSpec, u64)> {
+    (
+        proptest::collection::vec((0u32..10, proptest::collection::vec(0u64..40, 3)), 1..8),
+        0u8..4,
+        proptest::arbitrary::any::<u64>(),
+    )
+        .prop_map(|(entries, which, seed)| {
+            let spec = ExperimentSpec {
+                duration_minutes: 3,
+                target_max_rps: 10.0,
+                iat: iat(which),
+                entries: entries
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (w, per_minute))| SpecEntry {
+                        function_index: i as u32,
+                        workload: WorkloadId(w),
+                        alternates: vec![],
+                        trace_duration_ms: 20.0,
+                        per_minute,
+                    })
+                    .collect(),
+            };
+            (spec, seed)
+        })
 }
 
 proptest! {
@@ -123,5 +164,47 @@ proptest! {
             // in flight at once), bounded by the core count.
             prop_assert!(m.cold_starts <= 4, "cold starts = {}", m.cold_starts);
         }
+    }
+
+    #[test]
+    fn lazy_stream_equals_materialized_path(
+        (spec, seed) in arb_spec(),
+        pol in 0u8..4,
+        bal in 0u8..4,
+    ) {
+        // The lazy ArrivalStream must yield exactly the arrival sequence
+        // generate_requests materializes for the same spec and seed...
+        let model = ScheduleModel::from_spec(&spec);
+        let stream = ArrivalStream::new(&model, seed);
+        let eager = generate_requests(&spec, seed);
+        let mut cursor = stream.cursor();
+        for (i, r) in eager.requests.iter().enumerate() {
+            let a = cursor.next_arrival();
+            prop_assert!(a.is_some(), "stream ended early at {i}");
+            let a = a.unwrap();
+            prop_assert_eq!(
+                (a.at_ms, a.workload, a.function_index),
+                (r.at_ms, r.workload, r.function_index),
+                "divergence at arrival {}", i
+            );
+        }
+        prop_assert!(cursor.next_arrival().is_none(), "stream outlives the trace");
+        prop_assert_eq!(materialize(&stream), eager.clone());
+
+        // ...and the engine must not be able to tell the two apart: same
+        // metrics, bit for bit, under every policy/balancer combination.
+        let pool = vanilla();
+        let cluster = ClusterConfig::default();
+        let run_lazy = {
+            let mut p = policy(pol);
+            let mut b = balancer(bal);
+            simulate(&stream, &pool, &cluster, b.as_mut(), p.as_mut(), &SimOptions::default())
+        };
+        let run_eager = {
+            let mut p = policy(pol);
+            let mut b = balancer(bal);
+            simulate(&eager, &pool, &cluster, b.as_mut(), p.as_mut(), &SimOptions::default())
+        };
+        prop_assert_eq!(run_lazy, run_eager);
     }
 }

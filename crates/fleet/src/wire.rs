@@ -236,4 +236,31 @@ mod tests {
         let json = std::str::from_utf8(&buf[4..]).unwrap();
         assert!(json.contains("\"msg\":\"ready\""), "{json}");
     }
+
+    /// An agent that never recorded lateness (unpaced) or service times
+    /// used to ship `min_seen: Infinity` inside its final metrics; JSON has
+    /// no infinity, so the coordinator failed to parse the `Done` frame and
+    /// booked a *completed* shard as lost. Empty histograms must round-trip.
+    #[test]
+    fn done_frame_with_empty_histograms_roundtrips() {
+        let mut metrics = faasrail_loadgen::RunMetrics::new();
+        metrics.issued = 10;
+        metrics.completed = 10;
+        metrics.response.record(0.25);
+        // `service` and `lateness` stay empty on purpose.
+        let msg =
+            FleetMessage::Done { shard: 0, run_start_wall_us: 1, metrics, events: Vec::new() };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        let mut cursor = Cursor::new(buf);
+        let got = read_frame(&mut cursor).unwrap().expect("frame parses");
+        match got {
+            FleetMessage::Done { metrics: m, .. } => {
+                assert_eq!(m.completed, 10);
+                assert_eq!(m.service.total(), 0);
+                assert_eq!(m.response.min(), 0.25);
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
 }

@@ -83,9 +83,11 @@ pub struct LogHistogram {
     underflow: u64,
     overflow: u64,
     total: u64,
-    /// Exact running min/max for tail reporting.
-    min_seen: f64,
-    max_seen: f64,
+    /// Exact running min/max for tail reporting. `None` until the first
+    /// observation — JSON has no ±infinity, so sentinel non-finite floats
+    /// would serialize as `null` and fail to round-trip.
+    min_seen: Option<f64>,
+    max_seen: Option<f64>,
 }
 
 impl LogHistogram {
@@ -105,8 +107,8 @@ impl LogHistogram {
             underflow: 0,
             overflow: 0,
             total: 0,
-            min_seen: f64::INFINITY,
-            max_seen: f64::NEG_INFINITY,
+            min_seen: None,
+            max_seen: None,
         }
     }
 
@@ -118,8 +120,8 @@ impl LogHistogram {
     /// Record one observation.
     pub fn record(&mut self, x: f64) {
         self.total += 1;
-        self.min_seen = self.min_seen.min(x);
-        self.max_seen = self.max_seen.max(x);
+        self.min_seen = Some(self.min_seen.map_or(x, |m| m.min(x)));
+        self.max_seen = Some(self.max_seen.map_or(x, |m| m.max(x)));
         if x < self.lo {
             self.underflow += 1;
             return;
@@ -139,12 +141,12 @@ impl LogHistogram {
 
     /// Exact minimum observation recorded (`+inf` when empty).
     pub fn min(&self) -> f64 {
-        self.min_seen
+        self.min_seen.unwrap_or(f64::INFINITY)
     }
 
     /// Exact maximum observation recorded (`-inf` when empty).
     pub fn max(&self) -> f64 {
-        self.max_seen
+        self.max_seen.unwrap_or(f64::NEG_INFINITY)
     }
 
     /// Lower edge of bucket `i`.
@@ -173,7 +175,7 @@ impl LogHistogram {
         let target = (q * self.total as f64).ceil().max(1.0) as u64;
         let mut acc = self.underflow;
         if acc >= target {
-            return self.min_seen;
+            return self.min();
         }
         for (i, &c) in self.counts.iter().enumerate() {
             acc += c;
@@ -181,7 +183,7 @@ impl LogHistogram {
                 return self.bucket_mid(i);
             }
         }
-        self.max_seen
+        self.max()
     }
 
     /// Observations below `lo`.
@@ -237,8 +239,14 @@ impl LogHistogram {
         self.underflow += other.underflow;
         self.overflow += other.overflow;
         self.total += other.total;
-        self.min_seen = self.min_seen.min(other.min_seen);
-        self.max_seen = self.max_seen.max(other.max_seen);
+        self.min_seen = match (self.min_seen, other.min_seen) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max_seen = match (self.max_seen, other.max_seen) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
     }
 }
 

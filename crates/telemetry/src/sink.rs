@@ -22,6 +22,13 @@ use crate::span::TelemetryEvent;
 pub trait EventSink: Send + Sync {
     fn emit(&self, event: &TelemetryEvent);
 
+    /// Whether this sink observes events at all. Hot loops may skip
+    /// constructing per-invocation events entirely when this is false —
+    /// the only implementation that returns false is [`NullSink`].
+    fn enabled(&self) -> bool {
+        true
+    }
+
     /// Flush any buffered state. Called once at the end of a run.
     fn flush(&self) {}
 }
@@ -32,6 +39,10 @@ pub struct NullSink;
 
 impl EventSink for NullSink {
     fn emit(&self, _event: &TelemetryEvent) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
 }
 
 /// Bounded in-memory buffer keeping the most recent events; older events

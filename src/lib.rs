@@ -21,6 +21,7 @@
 //! | [`sim`] | `faasrail-faas-sim` | Discrete-event FaaS cluster + warm-cache backend |
 //! | [`baselines`] | `faasrail-baselines` | Prior-work load generators (Fig. 1 comparators) |
 //! | [`fleet`] | `faasrail-fleet` | Sharded multi-process load generation (coordinator/agents) |
+//! | [`lab`] | `faasrail-lab` | Parallel experiment-grid runner over the simulator |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@ pub use faasrail_core as core;
 pub use faasrail_faas_sim as sim;
 pub use faasrail_fleet as fleet;
 pub use faasrail_gateway as gateway;
+pub use faasrail_lab as lab;
 pub use faasrail_loadgen as loadgen;
 pub use faasrail_stats as stats;
 pub use faasrail_telemetry as telemetry;
