@@ -31,9 +31,11 @@
 //!                     [--target HOST:PORT] [--events merged.jsonl]
 //!                     [--report-out fleet.json] [--progress-ms T]
 //!                     [--start-delay-ms T] [--agent-timeout-s N] [--live]
+//!                     [--lease-ms T] [--no-reshard]
 //! faasrail fleet agent
 //!                     --coordinator HOST:PORT [--name NAME]
 //!                     [--timeout-ms N] [--attempts N]
+//!                     [--max-rejoin-backoff-ms T] [--no-rejoin]
 //! faasrail serve      [--addr 127.0.0.1:7471] [--backend warm-cache|in-process|noop]
 //!                     [--pool p.json] [--conn-workers N] [--queue-cap N]
 //!                     [--read-timeout-s N] [--trace-out server.jsonl]
@@ -695,7 +697,7 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
             Arc::clone(&stop),
         )
     });
-    let inst = ReplayInstruments { sink: sink.as_ref(), recorder: recorder.as_deref() };
+    let inst = ReplayInstruments { sink: sink.as_ref(), recorder: recorder.as_deref(), pace: None };
 
     eprintln!(
         "replay: {} requests / {}-minute schedule; pacing=realtime compression={}x workers={} \
@@ -955,6 +957,8 @@ fn cmd_fleet_coordinate(args: &Args) -> Result<(), String> {
         probes: args.num("probes", 7u32)?,
         live: args.flag("live"),
         agent_timeout: std::time::Duration::from_secs(args.num("agent-timeout-s", 30u64)?),
+        lease_ms: args.num("lease-ms", 5_000u64)?,
+        reshard: !args.flag("no-reshard"),
     };
     let coordinator =
         Coordinator::bind(args.get_or("addr", "127.0.0.1:7571")).map_err(|e| e.to_string())?;
@@ -985,14 +989,39 @@ fn cmd_fleet_coordinate(args: &Args) -> Result<(), String> {
     }
     for a in &report.agents {
         eprintln!(
-            "fleet: shard {} ({}) assigned={} {} clock-offset={:.0}us(+/-{:.0}us)",
+            "fleet: shard {} ({}) assigned={} granted={} status={}{} max-lag={}ms \
+             clock-offset={:.0}us(+/-{:.0}us)",
             a.shard,
             a.name,
             a.assigned,
-            if a.completed { "completed" } else { "LOST" },
+            a.granted,
+            a.status,
+            if a.rejoined { " (rejoined)" } else { "" },
+            a.max_lag_ms,
             a.clock.offset_us,
             a.clock.error_us,
         );
+    }
+    if !report.reassignments.is_empty() {
+        eprintln!(
+            "fleet: {} reassignment grant(s) issued — {}",
+            report.reassignments.len(),
+            report
+                .reassignments
+                .iter()
+                .map(|r| format!(
+                    "{}→{} ({} reqs, {})",
+                    r.from_shard, r.to_shard, r.requests, r.reason
+                ))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+    }
+    for reason in &report.abort_reasons {
+        eprintln!("fleet: abort reason: {reason}");
+    }
+    if report.max_lag_ms > 0 {
+        eprintln!("fleet: worst offered-vs-achieved pacing lag {}ms", report.max_lag_ms);
     }
     let m = &report.metrics;
     println!(
@@ -1026,7 +1055,14 @@ fn cmd_fleet_agent(args: &Args) -> Result<(), String> {
     use std::sync::Arc;
 
     let addr = args.require("coordinator")?.to_string();
-    let cfg = AgentConfig { name: args.get_or("name", "").to_string(), ..AgentConfig::default() };
+    let cfg = AgentConfig {
+        name: args.get_or("name", "").to_string(),
+        rejoin: !args.flag("no-rejoin"),
+        max_rejoin_backoff: std::time::Duration::from_millis(
+            args.num("max-rejoin-backoff-ms", 5_000u64)?,
+        ),
+        ..AgentConfig::default()
+    };
     let timeout_ms = args.num("timeout-ms", 30_000u64)?;
     let attempts = args.num("attempts", 4u32)?;
     eprintln!("fleet agent: dialing coordinator at {addr}");
@@ -1039,12 +1075,8 @@ fn cmd_fleet_agent(args: &Args) -> Result<(), String> {
                     retry: RetryPolicy { max_attempts: attempts, ..RetryPolicy::default() },
                     ..HttpBackendConfig::default()
                 };
-                let backend = HttpBackend::connect(target, http_cfg).map_err(|e| {
-                    std::io::Error::new(
-                        std::io::ErrorKind::Other,
-                        format!("resolving {target}: {e}"),
-                    )
-                })?;
+                let backend = HttpBackend::connect(target, http_cfg)
+                    .map_err(|e| std::io::Error::other(format!("resolving {target}: {e}")))?;
                 eprintln!("fleet agent: replaying against {target}");
                 Arc::new(backend) as Arc<dyn faasrail_loadgen::Backend>
             }
@@ -1059,8 +1091,15 @@ fn cmd_fleet_agent(args: &Args) -> Result<(), String> {
     match run {
         Some(r) => {
             println!(
-                "fleet agent: shard {} done — issued={} completed={} errors={} aborted={}",
-                r.shard, r.metrics.issued, r.metrics.completed, r.metrics.errors, r.metrics.aborted
+                "fleet agent: shard {} done — issued={} completed={} errors={} aborted={} \
+                 grants-taken={} rejoins={}",
+                r.shard,
+                r.metrics.issued,
+                r.metrics.completed,
+                r.metrics.errors,
+                r.metrics.aborted,
+                r.granted,
+                r.rejoined,
             );
             Ok(())
         }

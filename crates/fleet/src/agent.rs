@@ -1,29 +1,48 @@
-//! The fleet agent: one process, one shard.
+//! The fleet agent: one process, one shard — plus whatever the control
+//! plane hands it mid-run.
 //!
-//! An agent dials the coordinator, answers the clock probes, receives its
-//! self-contained [`Assignment`] (shard trace + workload pool + replay
-//! config — no local files needed), arms itself, and fires the replay at
-//! the synchronized start instant. While replaying it streams cumulative
-//! [`Snapshot`]s back on the progress cadence; at the end it sends the
-//! final [`RunMetrics`] (plus the captured span log, when asked) in one
-//! `Done` frame.
+//! An agent dials the coordinator, exchanges `Hello`/`HelloAck` (protocol
+//! version + rejoin token + liveness lease), answers the clock probes,
+//! receives its self-contained [`Assignment`] (shard trace, workload pool,
+//! and replay config — no local files needed), arms itself, and fires the
+//! replay at the synchronized start instant. While replaying it streams
+//! cumulative [`Snapshot`]s back on the progress cadence, each carrying a
+//! [`WorkPrefix`] per work item — the contiguous-finished high-water marks
+//! the coordinator reshards from if this agent dies — plus its current
+//! pacing lag (backpressure signal).
 //!
-//! Abort paths: a `Abort` frame or coordinator EOF mid-run sets the
-//! replay's stop flag — the agent drains in-flight work, then still tries
-//! to deliver `Done` with the partial, `aborted`-marked metrics.
+//! Mid-run the coordinator may `Reassign` part of a dead shard's
+//! remainder; the agent acks, spawns a catch-up replay
+//! ([`faasrail_loadgen::replay_resumed`] — overdue arrivals fire
+//! immediately and book their deficit as lateness, never dropped or
+//! compressed), and keeps reporting. When every work item is accounted
+//! for, the coordinator sends `Finish` and the agent reports one `Done`
+//! with its merged metrics and (optionally) its span log.
+//!
+//! Failure paths: an `Abort` frame stops the replays, drains in-flight
+//! work, and still delivers `Done` with the partial, `aborted`-marked
+//! metrics. A *lost link* (EOF or a socket error) instead stops the
+//! replays and rejoins with bounded exponential backoff, presenting the
+//! `HelloAck` resume token — the coordinator already resharded this
+//! agent's work at the moment of loss, so the rejoined agent comes back
+//! as fresh capacity for subsequent reassignments.
 
+use std::collections::BTreeMap;
 use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use faasrail_loadgen::{
-    replay_observed, Backend, InProcessBackend, ReplayConfig, ReplayInstruments,
+    replay_resumed, Backend, InProcessBackend, PaceGauge, ReplayConfig, ReplayInstruments,
+    ResumeSpec, RunMetrics,
 };
-use faasrail_telemetry::{EventSink, NullSink, Recorder, RingSink};
+use faasrail_telemetry::{EventSink, OutcomeClass, Recorder, RingSink, TelemetryEvent};
 
-use crate::wire::{read_frame, wall_clock_us, write_frame, Assignment, FleetMessage};
+use crate::wire::{
+    read_frame, wall_clock_us, write_frame, Assignment, FleetMessage, WorkPrefix, PROTOCOL_VERSION,
+};
 
 /// Agent-side knobs (everything else arrives in the [`Assignment`]).
 #[derive(Debug, Clone)]
@@ -34,6 +53,12 @@ pub struct AgentConfig {
     /// before (or racing) the coordinator.
     pub connect_attempts: u32,
     pub retry_delay: Duration,
+    /// Reconnect after a lost coordinator link mid-run. Disable to get
+    /// the pre-elastic behavior: a lost link fails the agent.
+    pub rejoin: bool,
+    /// Cap on the exponential rejoin backoff (which starts at
+    /// `retry_delay` and doubles per attempt).
+    pub max_rejoin_backoff: Duration,
 }
 
 impl Default for AgentConfig {
@@ -42,6 +67,8 @@ impl Default for AgentConfig {
             name: String::new(),
             connect_attempts: 40,
             retry_delay: Duration::from_millis(250),
+            rejoin: true,
+            max_rejoin_backoff: Duration::from_secs(5),
         }
     }
 }
@@ -51,7 +78,131 @@ impl Default for AgentConfig {
 pub struct AgentRun {
     pub shard: u32,
     pub assigned: u64,
-    pub metrics: faasrail_loadgen::RunMetrics,
+    /// Reassignment grants this agent served on top of its own shard.
+    pub granted: u64,
+    /// Times the agent lost the coordinator link and rejoined.
+    pub rejoined: u32,
+    pub metrics: RunMetrics,
+}
+
+/// Contiguous-completion tracker for one work item, interposed as the
+/// replay's [`EventSink`].
+///
+/// Invocation spans carry their dispatch sequence number (`seq` equals
+/// the request's index in the work's trace, because the pacer dispatches
+/// in order); the tracker advances a watermark over the *contiguous*
+/// finished prefix, buffering out-of-order completions until the gap
+/// closes, and counts outcomes within the prefix. The resulting
+/// [`WorkPrefix`] is what `Progress` ships to the coordinator — exactly
+/// the state resharding needs if this agent dies.
+///
+/// Optionally forwards spans to a shared [`RingSink`] (span capture),
+/// shifting grant-replay timestamps onto the agent's main run timeline so
+/// one `run_start_wall_us` rebases the whole log.
+pub struct PrefixTracker {
+    work: u64,
+    /// Added to span timestamps before forwarding (grant replays start
+    /// later than the main run but share its event log).
+    shift_us: u64,
+    /// Forward `run_start`/`run_end` lifecycle events too (main work
+    /// only — grant replays would duplicate them in the shared log).
+    forward_lifecycle: bool,
+    capture: Option<Arc<RingSink>>,
+    state: Mutex<PrefixState>,
+}
+
+#[derive(Default)]
+struct PrefixState {
+    watermark: u64,
+    completed: u64,
+    errors: [u64; 4],
+    cold_starts: u64,
+    /// Finished out of order, waiting for the gap below them to close.
+    pending: BTreeMap<u64, (OutcomeClass, bool)>,
+}
+
+impl PrefixState {
+    fn apply(&mut self, outcome: OutcomeClass, cold: bool) {
+        match outcome.error_index() {
+            None => self.completed += 1,
+            Some(i) => self.errors[i] += 1,
+        }
+        if cold {
+            self.cold_starts += 1;
+        }
+        self.watermark += 1;
+    }
+
+    fn observe(&mut self, seq: u64, outcome: OutcomeClass, cold: bool) {
+        if seq == self.watermark {
+            self.apply(outcome, cold);
+            while let Some(&(o, c)) = self.pending.get(&self.watermark) {
+                self.pending.remove(&self.watermark);
+                self.apply(o, c);
+            }
+        } else if seq > self.watermark {
+            self.pending.insert(seq, (outcome, cold));
+        }
+        // seq < watermark would be a duplicate span; ignore.
+    }
+}
+
+impl PrefixTracker {
+    pub fn new(
+        work: u64,
+        shift_us: u64,
+        forward_lifecycle: bool,
+        capture: Option<Arc<RingSink>>,
+    ) -> Self {
+        PrefixTracker {
+            work,
+            shift_us,
+            forward_lifecycle,
+            capture,
+            state: Mutex::new(PrefixState::default()),
+        }
+    }
+
+    /// Current cumulative prefix, for a `Progress` frame.
+    pub fn prefix(&self) -> WorkPrefix {
+        let st = self.state.lock().unwrap();
+        WorkPrefix {
+            work: self.work,
+            watermark: st.watermark,
+            completed: st.completed,
+            errors: st.errors,
+            cold_starts: st.cold_starts,
+        }
+    }
+}
+
+impl EventSink for PrefixTracker {
+    fn emit(&self, event: &TelemetryEvent) {
+        match event {
+            TelemetryEvent::Invocation(span) => {
+                self.state.lock().unwrap().observe(span.seq, span.outcome, span.cold_start);
+                if let Some(ring) = &self.capture {
+                    if self.shift_us == 0 {
+                        ring.emit(event);
+                    } else {
+                        let mut s = span.clone();
+                        s.target_us += self.shift_us;
+                        s.dispatched_us += self.shift_us;
+                        s.picked_up_us += self.shift_us;
+                        s.completed_us += self.shift_us;
+                        ring.emit(&TelemetryEvent::Invocation(s));
+                    }
+                }
+            }
+            other => {
+                if self.forward_lifecycle {
+                    if let Some(ring) = &self.capture {
+                        ring.emit(other);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Dial the coordinator and serve one shard with the default backend
@@ -64,12 +215,28 @@ pub fn run_agent<A: ToSocketAddrs + Clone>(
     run_agent_with(addr, cfg, |_| Ok(Arc::new(InProcessBackend)))
 }
 
-/// [`run_agent`] with a caller-chosen backend, constructed once the
-/// assignment (and thus the `target`) is known. A backend that fails to
-/// construct fails the agent *before* it acknowledges `Ready`, so the
-/// coordinator sees a handshake error instead of a shard lost mid-run.
+/// How one coordinator session ended, from the agent's point of view.
+enum SessionEnd {
+    /// Clean exit: `Done` delivered (complete or operator-aborted run).
+    Finished(Box<AgentRun>),
+    /// Coordinator aborted before `Start` (e.g. it refused the agent).
+    AbortedBeforeStart,
+    /// The link died mid-run; the coordinator reshards this agent's work,
+    /// and the agent may rejoin with `token` as fresh capacity.
+    Lost { token: Option<String> },
+}
+
+/// [`run_agent`] with a caller-chosen backend, constructed once per
+/// session when the assignment (and thus the `target`) is known. A
+/// backend that fails to construct fails the agent *before* it
+/// acknowledges `Ready`, so the coordinator sees a handshake error
+/// instead of a shard lost mid-run.
 ///
 /// Returns `Ok(None)` if the coordinator aborted the run before start.
+/// A lost link mid-run rejoins with bounded exponential backoff (unless
+/// [`AgentConfig::rejoin`] is off) — the rejoined session presents the
+/// coordinator-issued resume token and serves whatever the control plane
+/// reassigns next.
 pub fn run_agent_with<A, F>(
     addr: A,
     cfg: &AgentConfig,
@@ -77,24 +244,89 @@ pub fn run_agent_with<A, F>(
 ) -> io::Result<Option<AgentRun>>
 where
     A: ToSocketAddrs + Clone,
-    F: FnOnce(&Assignment) -> io::Result<Arc<dyn Backend>>,
+    F: Fn(&Assignment) -> io::Result<Arc<dyn Backend>>,
+{
+    let mut token: Option<String> = None;
+    let mut backoff = cfg.retry_delay.max(Duration::from_millis(10));
+    let mut rejoined = 0u32;
+    loop {
+        match run_session(addr.clone(), cfg, &make_backend, token.take())? {
+            SessionEnd::Finished(mut run) => {
+                run.rejoined = rejoined;
+                return Ok(Some(*run));
+            }
+            SessionEnd::AbortedBeforeStart => return Ok(None),
+            SessionEnd::Lost { token: t } => {
+                if !cfg.rejoin {
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionAborted,
+                        "coordinator link lost mid-run (rejoin disabled)",
+                    ));
+                }
+                token = t;
+                rejoined += 1;
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2).min(cfg.max_rejoin_backoff);
+            }
+        }
+    }
+}
+
+/// One full coordinator session: connect, handshake, replay (original
+/// shard plus any grants), report.
+fn run_session<A, F>(
+    addr: A,
+    cfg: &AgentConfig,
+    make_backend: &F,
+    resume_token: Option<String>,
+) -> io::Result<SessionEnd>
+where
+    A: ToSocketAddrs + Clone,
+    F: Fn(&Assignment) -> io::Result<Arc<dyn Backend>>,
 {
     let stream = connect_with_retry(addr, cfg)?;
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
     let writer = Arc::new(Mutex::new(stream));
 
+    let eof = || io::Error::new(io::ErrorKind::UnexpectedEof, "coordinator hung up");
     {
         let mut w = writer.lock().unwrap();
-        let hello = FleetMessage::Hello { name: cfg.name.clone(), wall_us: wall_clock_us() };
+        let hello = FleetMessage::Hello {
+            name: cfg.name.clone(),
+            wall_us: wall_clock_us(),
+            proto: PROTOCOL_VERSION,
+            resume_token,
+        };
         write_frame(&mut *w, &hello)?;
     }
+    let session_token = match read_frame(&mut reader)?.ok_or_else(eof)? {
+        FleetMessage::HelloAck { proto, token, .. } => {
+            if proto != PROTOCOL_VERSION {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("coordinator speaks protocol v{proto}, this agent v{PROTOCOL_VERSION}"),
+                ));
+            }
+            token
+        }
+        FleetMessage::Abort { reason } => {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("coordinator refused this agent: {reason}"),
+            ))
+        }
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected hello_ack, got {other:?}"),
+            ))
+        }
+    };
 
     // Handshake: probes come in unknown number, then Assign, then Start.
-    let mut make_backend = Some(make_backend);
     let mut assigned: Option<(Assignment, Arc<dyn Backend>)> = None;
     let start_at_wall_us = loop {
-        let eof = || io::Error::new(io::ErrorKind::UnexpectedEof, "coordinator hung up");
         match read_frame(&mut reader)?.ok_or_else(eof)? {
             FleetMessage::Probe { seq, wall_us } => {
                 let reply =
@@ -102,17 +334,17 @@ where
                 write_frame(&mut *writer.lock().unwrap(), &reply)?;
             }
             FleetMessage::Assign { assignment: a } => {
-                let make = make_backend
-                    .take()
-                    .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "double assign"))?;
-                let backend = make(&a)?;
+                if assigned.is_some() {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "double assign"));
+                }
+                let backend = make_backend(&a)?;
                 let ready =
                     FleetMessage::Ready { shard: a.shard, requests: a.trace.requests.len() as u64 };
                 write_frame(&mut *writer.lock().unwrap(), &ready)?;
                 assigned = Some((a, backend));
             }
             FleetMessage::Start { at_agent_wall_us } => break at_agent_wall_us,
-            FleetMessage::Abort { .. } => return Ok(None),
+            FleetMessage::Abort { .. } => return Ok(SessionEnd::AbortedBeforeStart),
             other => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -123,104 +355,200 @@ where
     };
     let (assignment, backend) = assigned
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "start before assign"))?;
+    let shard = assignment.shard;
     let replay_cfg = ReplayConfig { pacing: assignment.pacing, workers: assignment.workers.max(1) };
-    let recorder = Arc::new(Recorder::new(replay_cfg.workers + 1));
-    let ring = assignment
-        .capture_events
-        .then(|| RingSink::with_capacity(assignment.trace.requests.len() + 16));
-    let stop = Arc::new(AtomicBool::new(false));
-    let done = Arc::new(AtomicBool::new(false));
+    let recorder = Recorder::new(replay_cfg.workers + 1);
+    let ring: Option<Arc<RingSink>> = assignment.capture_events.then(|| {
+        let cap = assignment.event_capacity.max(assignment.trace.requests.len() as u64 + 16).max(1)
+            as usize;
+        Arc::new(RingSink::with_capacity(cap))
+    });
+    let gauge = PaceGauge::new();
+    let stop = AtomicBool::new(false);
+    let pump_done = AtomicBool::new(false);
+    // Work items this session holds: the original shard, plus grants.
+    let works: Mutex<Vec<Arc<PrefixTracker>>> = Mutex::new(Vec::new());
+    // Replays still running (or accepted and not yet finished).
+    let active = AtomicUsize::new(0);
+    let results: Mutex<Vec<RunMetrics>> = Mutex::new(Vec::new());
+    let mut granted = 0u64;
 
     wait_until_wall_us(start_at_wall_us, &stop);
     let run_start_wall_us = wall_clock_us();
 
-    let metrics = std::thread::scope(|scope| {
-        // Progress pump: cumulative snapshots on the assigned cadence.
+    let end = std::thread::scope(|scope| -> io::Result<SessionEnd> {
+        // Register the main work *before* the pump can report idle.
+        let main_tracker = Arc::new(PrefixTracker::new(shard as u64, 0, true, ring.clone()));
+        works.lock().unwrap().push(Arc::clone(&main_tracker));
+        active.fetch_add(1, Ordering::AcqRel);
+
+        // Progress pump: cumulative snapshot + per-work prefixes + lag on
+        // the assigned cadence. Doubles as the liveness heartbeat — the
+        // coordinator's lease rides on these frames arriving.
         {
-            let recorder = Arc::clone(&recorder);
             let writer = Arc::clone(&writer);
-            let done = Arc::clone(&done);
+            let (recorder, gauge) = (&recorder, &gauge);
+            let (works, active, pump_done) = (&works, &active, &pump_done);
             let every = Duration::from_millis(assignment.progress_every_ms.max(50));
-            let shard = assignment.shard;
             scope.spawn(move || {
-                while !done.load(Ordering::Acquire) {
-                    std::thread::sleep(every);
-                    let msg = FleetMessage::Progress { shard, snapshot: recorder.snapshot() };
-                    if write_frame(&mut *writer.lock().unwrap(), &msg).is_err() {
-                        return; // coordinator gone; replay watcher will stop us
+                let mut since_send = Duration::ZERO;
+                while !pump_done.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(25));
+                    since_send += Duration::from_millis(25);
+                    if since_send < every {
+                        continue;
                     }
-                }
-            });
-        }
-        // Abort watcher: any coordinator frame other than silence means
-        // stop; so does EOF or a broken connection.
-        {
-            let stop = Arc::clone(&stop);
-            let done = Arc::clone(&done);
-            scope.spawn(move || {
-                reader.get_ref().set_read_timeout(Some(Duration::from_millis(250))).ok();
-                while !done.load(Ordering::Acquire) {
-                    match read_frame(&mut reader) {
-                        // Any frame here is Abort (or a protocol error) and
-                        // EOF means the coordinator died: stop either way.
-                        Ok(_) => {
-                            stop.store(true, Ordering::Release);
-                            return;
-                        }
-                        Err(e)
-                            if e.kind() == io::ErrorKind::WouldBlock
-                                || e.kind() == io::ErrorKind::TimedOut =>
-                        {
-                            continue
-                        }
-                        Err(_) => {
-                            stop.store(true, Ordering::Release);
-                            return;
-                        }
+                    since_send = Duration::ZERO;
+                    let msg = FleetMessage::Progress {
+                        shard,
+                        snapshot: recorder.snapshot(),
+                        prefixes: works.lock().unwrap().iter().map(|t| t.prefix()).collect(),
+                        lag_ms: gauge.lag_ms(),
+                        max_lag_ms: gauge.max_lag_ms(),
+                        idle: active.load(Ordering::Acquire) == 0,
+                    };
+                    if write_frame(&mut *writer.lock().unwrap(), &msg).is_err() {
+                        return; // link gone; the control loop will notice too
                     }
                 }
             });
         }
 
-        let sink: &dyn EventSink = match &ring {
-            Some(r) => r,
-            None => &NullSink,
+        // The original shard's replay.
+        {
+            let (assignment, backend) = (&assignment, &backend);
+            let (recorder, gauge, stop) = (&recorder, &gauge, &stop);
+            let (results, active, replay_cfg) = (&results, &active, &replay_cfg);
+            scope.spawn(move || {
+                let inst = ReplayInstruments {
+                    sink: &*main_tracker,
+                    recorder: Some(recorder),
+                    pace: Some(gauge),
+                };
+                let m = replay_resumed(
+                    &assignment.trace,
+                    &assignment.pool,
+                    backend,
+                    replay_cfg,
+                    stop,
+                    &inst,
+                    &ResumeSpec::default(),
+                );
+                results.lock().unwrap().push(m);
+                active.fetch_sub(1, Ordering::AcqRel);
+            });
+        }
+
+        // Control loop: grants, finish, abort, link loss.
+        reader.get_ref().set_read_timeout(Some(Duration::from_millis(250))).ok();
+        let outcome: io::Result<bool> = loop {
+            match read_frame(&mut reader) {
+                Ok(Some(FleetMessage::Reassign { grant })) => {
+                    granted += 1;
+                    active.fetch_add(1, Ordering::AcqRel);
+                    // Shift grant spans onto the main run's timeline so the
+                    // shared event log rebases with one run_start_wall_us.
+                    let shift_us = wall_clock_us().saturating_sub(run_start_wall_us);
+                    let tracker =
+                        Arc::new(PrefixTracker::new(grant.id, shift_us, false, ring.clone()));
+                    works.lock().unwrap().push(Arc::clone(&tracker));
+                    let ack = FleetMessage::ReassignAck {
+                        shard,
+                        grant: grant.id,
+                        requests: grant.trace.requests.len() as u64,
+                    };
+                    write_frame(&mut *writer.lock().unwrap(), &ack)?;
+                    let (assignment, backend) = (&assignment, &backend);
+                    let (recorder, gauge, stop) = (&recorder, &gauge, &stop);
+                    let (results, active, replay_cfg) = (&results, &active, &replay_cfg);
+                    scope.spawn(move || {
+                        let inst = ReplayInstruments {
+                            sink: &*tracker,
+                            recorder: Some(recorder),
+                            pace: Some(gauge),
+                        };
+                        let m = replay_resumed(
+                            &grant.trace,
+                            &assignment.pool,
+                            backend,
+                            replay_cfg,
+                            stop,
+                            &inst,
+                            &ResumeSpec { elapsed_ms: grant.elapsed_ms },
+                        );
+                        results.lock().unwrap().push(m);
+                        active.fetch_sub(1, Ordering::AcqRel);
+                    });
+                }
+                Ok(Some(FleetMessage::Finish)) => break Ok(true),
+                Ok(Some(FleetMessage::Abort { .. })) => {
+                    stop.store(true, Ordering::Release);
+                    break Ok(true);
+                }
+                Ok(Some(_)) => {}            // stray frame; ignore
+                Ok(None) => break Ok(false), // clean EOF: link lost
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(_) => break Ok(false), // broken link
+            }
         };
-        let inst = ReplayInstruments { sink, recorder: Some(&recorder) };
-        let metrics = replay_observed(
-            &assignment.trace,
-            &assignment.pool,
-            &backend,
-            &replay_cfg,
-            &stop,
-            &inst,
-        );
-        done.store(true, Ordering::Release);
-        metrics
-    });
+
+        // Drain: let every accepted replay run down (instantly, if the
+        // stop flag is up), then release the pump.
+        let deliver = outcome?;
+        if !deliver {
+            stop.store(true, Ordering::Release);
+        }
+        while active.load(Ordering::Acquire) > 0 {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        pump_done.store(true, Ordering::Release);
+        Ok(if deliver {
+            SessionEnd::Finished(Box::new(AgentRun {
+                shard,
+                assigned: assignment.trace.requests.len() as u64,
+                granted,
+                rejoined: 0,
+                metrics: RunMetrics::new(), // filled in below
+            }))
+        } else {
+            SessionEnd::Lost { token: Some(session_token) }
+        })
+    })?;
+
+    let mut run = match end {
+        SessionEnd::Finished(run) => run,
+        lost => return Ok(lost),
+    };
+    let mut metrics = RunMetrics::new();
+    for m in results.into_inner().unwrap() {
+        metrics.merge(&m);
+    }
+    run.metrics = metrics;
 
     let events = ring.map(|r| r.events()).unwrap_or_default();
     {
-        // Final cumulative progress, then the result. Best-effort: if the
-        // coordinator is gone it already booked this shard as lost.
+        // Final cumulative progress (with final prefixes), then the
+        // result. The progress is best-effort; Done must land.
         let mut w = writer.lock().unwrap();
-        let last =
-            FleetMessage::Progress { shard: assignment.shard, snapshot: recorder.snapshot() };
-        write_frame(&mut *w, &last).ok();
-        let done_msg = FleetMessage::Done {
-            shard: assignment.shard,
-            run_start_wall_us,
-            metrics: metrics.clone(),
-            events,
+        let last = FleetMessage::Progress {
+            shard,
+            snapshot: recorder.snapshot(),
+            prefixes: works.into_inner().unwrap().iter().map(|t| t.prefix()).collect(),
+            lag_ms: gauge.lag_ms(),
+            max_lag_ms: gauge.max_lag_ms(),
+            idle: true,
         };
+        write_frame(&mut *w, &last).ok();
+        let done_msg =
+            FleetMessage::Done { shard, run_start_wall_us, metrics: run.metrics.clone(), events };
         write_frame(&mut *w, &done_msg)?;
     }
-
-    Ok(Some(AgentRun {
-        shard: assignment.shard,
-        assigned: assignment.trace.requests.len() as u64,
-        metrics,
-    }))
+    Ok(SessionEnd::Finished(run))
 }
 
 fn connect_with_retry<A: ToSocketAddrs + Clone>(
@@ -238,7 +566,7 @@ fn connect_with_retry<A: ToSocketAddrs + Clone>(
             std::thread::sleep(cfg.retry_delay);
         }
     }
-    Err(last_err.unwrap_or_else(|| io::Error::new(io::ErrorKind::Other, "no connect attempts")))
+    Err(last_err.unwrap_or_else(|| io::Error::other("no connect attempts")))
 }
 
 /// Sleep until the agent wall clock reaches `target_us` (coarse sleep to
@@ -265,6 +593,7 @@ fn wait_until_wall_us(target_us: u64, stop: &AtomicBool) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use faasrail_telemetry::InvocationSpan;
 
     #[test]
     fn wait_until_reaches_target() {
@@ -289,5 +618,69 @@ mod tests {
             ..AgentConfig::default()
         };
         assert!(connect_with_retry("127.0.0.1:1", &cfg).is_err());
+    }
+
+    fn span(seq: u64, outcome: OutcomeClass, cold: bool) -> TelemetryEvent {
+        TelemetryEvent::Invocation(InvocationSpan {
+            trace_id: seq + 1,
+            seq,
+            workload: 0,
+            function_index: 0,
+            scheduled_ms: seq * 1_000,
+            target_us: 10,
+            dispatched_us: 20,
+            picked_up_us: 30,
+            completed_us: 40,
+            service_ms: 1.0,
+            outcome,
+            cold_start: cold,
+            error: None,
+        })
+    }
+
+    #[test]
+    fn prefix_tracker_advances_only_over_contiguous_completions() {
+        let t = PrefixTracker::new(3, 0, false, None);
+        t.emit(&span(0, OutcomeClass::Ok, true));
+        t.emit(&span(2, OutcomeClass::Timeout, false)); // hole at 1
+        let p = t.prefix();
+        assert_eq!(p.work, 3);
+        assert_eq!(p.watermark, 1, "seq 2 is beyond the hole");
+        assert_eq!((p.completed, p.cold_starts), (1, 1));
+        t.emit(&span(1, OutcomeClass::AppError, false)); // gap closes, 2 drains
+        let p = t.prefix();
+        assert_eq!(p.watermark, 3);
+        assert_eq!(p.completed, 1);
+        assert_eq!(p.errors, [1, 1, 0, 0]);
+        assert!(p.is_consistent());
+    }
+
+    #[test]
+    fn prefix_tracker_shifts_captured_spans() {
+        let ring = Arc::new(RingSink::with_capacity(8));
+        let t = PrefixTracker::new(0, 1_000, false, Some(Arc::clone(&ring)));
+        t.emit(&span(0, OutcomeClass::Ok, false));
+        match &ring.events()[0] {
+            TelemetryEvent::Invocation(s) => {
+                assert_eq!(s.target_us, 1_010);
+                assert_eq!(s.dispatched_us, 1_020);
+                assert_eq!(s.completed_us, 1_040);
+            }
+            other => panic!("expected span, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prefix_tracker_filters_lifecycle_for_grants() {
+        let ring = Arc::new(RingSink::with_capacity(8));
+        let grant = PrefixTracker::new(1, 0, false, Some(Arc::clone(&ring)));
+        grant.emit(&TelemetryEvent::RunEnd(faasrail_telemetry::RunSummary {
+            issued: 1,
+            completed: 1,
+            errors: 0,
+            aborted: false,
+            wall_us: 1,
+        }));
+        assert!(ring.is_empty(), "grant replays must not duplicate run_start/run_end");
     }
 }

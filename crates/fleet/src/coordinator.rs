@@ -1,4 +1,4 @@
-//! The fleet coordinator: shard, synchronize, collect, merge.
+//! The fleet coordinator: shard, synchronize, collect — and reshard.
 //!
 //! One coordinator drives N agents through the wire protocol in
 //! [`wire`](crate::wire). The shard partitioner is
@@ -7,17 +7,43 @@
 //! per-function load shapes the paper's representativeness argument rests
 //! on survive sharding intact.
 //!
-//! Crash tolerance: an agent that disconnects (or goes silent past the
-//! progress timeout) loses its shard. The coordinator keeps the shard's
-//! last progress snapshot as its result — everything that *finished* still
-//! counts — and books the remainder as aborted invocations. A fleet run
-//! therefore always terminates with a report; it never hangs on a dead
-//! agent.
+//! Since PR 7 the coordinator is an *elastic control plane*:
+//!
+//! * **Liveness.** Every agent connection carries a lease
+//!   ([`FleetConfig::lease_ms`]): the `Progress` stream doubles as a
+//!   heartbeat, and an agent that goes silent past the lease is declared
+//!   *stalled*, while a closed socket is a *crash* and an `Abort` frame an
+//!   *agent abort* — three distinguishable reasons in the report.
+//! * **Dynamic resharding.** A dead agent's work is not written off: the
+//!   coordinator accounts the contiguous-finished prefix from the last
+//!   acked [`WorkPrefix`] high-water mark ([`crate::reshard::prefix_metrics`] —
+//!   per-minute and per-kind series reconstructed from the retained shard
+//!   trace, so the merged offered series stays bit-identical to an
+//!   unkilled run), then re-partitions the remainder across survivors as
+//!   `Reassign` grants ([`crate::reshard::plan_grants`]). Only work no
+//!   survivor could take books as `aborted_invocations`; the outcome
+//!   partition `completed + errors + aborted == offered` holds exactly
+//!   throughout. `reshard: false` restores the pre-elastic behavior (the
+//!   whole remainder aborts with snapshot-level accounting).
+//! * **Rejoin & late join.** After the synchronized start the listener
+//!   keeps admitting connections: an agent reconnecting with its
+//!   `HelloAck` resume token — or a brand-new late joiner — is handed an
+//!   empty assignment and becomes fresh capacity for subsequent grants.
+//! * **Backpressure.** Agents report per-window pacing lag; the fleet-wide
+//!   worst case surfaces as [`FleetReport::max_lag_ms`] (offered-vs-
+//!   achieved skew), with catch-up always coordinated-omission-correct on
+//!   the agent side.
+//!
+//! Termination: the run ends when every work item is either finished
+//! (its owner's acked watermark covers its trace) or accounted as
+//! aborted; the coordinator then sends `Finish`, collects each agent's
+//! `Done`, and merges. A fleet run always terminates with a report.
 
+use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use serde::Serialize;
@@ -25,16 +51,25 @@ use serde::Serialize;
 use faasrail_core::RequestTrace;
 use faasrail_loadgen::{Pacing, RunMetrics, ShardSpec};
 use faasrail_telemetry::{
-    merge_event_logs, offset_from_probes, ClockOffset, RunReport, Snapshot, TelemetryEvent,
+    merge_event_logs, offset_from_probes, ClockOffset, ReassignSpan, RunReport, Snapshot,
+    TelemetryEvent,
 };
 use faasrail_workloads::WorkloadPool;
 
-use crate::wire::{read_frame, wall_clock_us, write_frame, Assignment, FleetMessage};
+use crate::reshard::{per_minute_of, plan_grants, prefix_metrics};
+use crate::wire::{
+    read_frame, wall_clock_us, write_frame, Assignment, FleetMessage, WorkPrefix, PROTOCOL_VERSION,
+};
+
+/// Grant work ids live in a separate id space from shard ids (which also
+/// name each agent's original work), so a late-joining shard can never
+/// collide with an issued grant.
+const GRANT_ID_BASE: u64 = 1 << 32;
 
 /// Knobs for one fleet run.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
-    /// Agents (= shards) to wait for before starting.
+    /// Agents (= initial shards) to wait for before starting.
     pub agents: usize,
     /// Replay worker threads per agent.
     pub workers: usize,
@@ -52,9 +87,16 @@ pub struct FleetConfig {
     pub probes: u32,
     /// Print a live fleet-wide progress line once per progress window.
     pub live: bool,
-    /// Silence window after which an agent is declared lost. Must be
-    /// comfortably larger than `progress_every_ms`.
+    /// Handshake-phase socket timeout (before the lease takes over).
     pub agent_timeout: Duration,
+    /// Liveness lease: an agent with no frame for this long is declared
+    /// stalled and its work reshards. Must comfortably exceed
+    /// `progress_every_ms`.
+    pub lease_ms: u64,
+    /// Reassign a dead agent's remainder to survivors mid-run. `false`
+    /// restores the pre-elastic accounting: the remainder books as
+    /// aborted from the last progress snapshot.
+    pub reshard: bool,
 }
 
 impl Default for FleetConfig {
@@ -70,6 +112,8 @@ impl Default for FleetConfig {
             probes: 7,
             live: false,
             agent_timeout: Duration::from_secs(30),
+            lease_ms: 5_000,
+            reshard: true,
         }
     }
 }
@@ -79,15 +123,22 @@ impl Default for FleetConfig {
 pub struct AgentReport {
     pub name: String,
     pub shard: u32,
-    /// Requests assigned to this shard.
+    /// Requests assigned to this shard at handshake (grants excluded).
     pub assigned: u64,
-    /// Whether the agent delivered its final `Done`; `false` means the
-    /// shard was lost mid-run and its remainder is booked as aborted.
+    /// Whether the agent delivered its final `Done`.
     pub completed: bool,
+    /// `"done"`, `"crash"`, `"stall"`, or `"abort: <reason>"`.
+    pub status: String,
+    /// Reassignment grants this agent took over from dead shards.
+    pub granted: u64,
+    /// Whether this slot was admitted mid-run (rejoin or late join).
+    pub rejoined: bool,
+    /// Last and worst reported pacing lag, milliseconds.
+    pub lag_ms: u64,
+    pub max_lag_ms: u64,
     /// Agent-minus-coordinator clock offset measured at handshake.
     pub clock: ClockOffset,
-    /// Last progress snapshot received (the final counters for a lost
-    /// agent; a completed agent's snapshot matches its metrics).
+    /// Last progress snapshot received.
     pub last_progress: Snapshot,
 }
 
@@ -97,13 +148,25 @@ pub struct FleetReport {
     pub shards: u32,
     /// Requests in the full (unsharded) schedule.
     pub offered: u64,
-    /// Offered invocations that never finished anywhere — shed by agent
-    /// loss or an operator abort. `metrics.completed + metrics.errors +
-    /// aborted_invocations == offered` always holds.
+    /// Offered invocations that never finished anywhere — work no
+    /// survivor could take, or an operator abort. `metrics.completed +
+    /// metrics.errors + aborted_invocations == offered` always holds.
     pub aborted_invocations: u64,
     /// Fleet-wide merged replay metrics.
     pub metrics: RunMetrics,
     pub agents: Vec<AgentReport>,
+    /// Every mid-run reassignment, in issue order.
+    pub reassignments: Vec<ReassignSpan>,
+    /// Abort reasons observed (agent aborts, protocol refusals, operator
+    /// stop) — distinguishable in the report since PR 7.
+    pub abort_reasons: Vec<String>,
+    /// Worst pacing lag reported by any agent, milliseconds (fleet-wide
+    /// offered-vs-achieved skew).
+    pub max_lag_ms: u64,
+    /// Per-minute series of aborted invocations (resharding runs only;
+    /// reconstructed from the unreassignable remainder traces).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub aborted_per_minute: Option<Vec<u64>>,
     /// Merged cross-agent report, present when `capture_events` was set
     /// and at least one agent returned its span log.
     #[serde(skip_serializing_if = "Option::is_none")]
@@ -120,14 +183,237 @@ struct AgentOutcome {
     events: Vec<TelemetryEvent>,
 }
 
-struct AgentSlot {
+#[derive(Debug, Clone, PartialEq)]
+enum SlotStatus {
+    Live,
+    Done,
+    Dead(String),
+}
+
+struct Slot {
     name: String,
     shard: u32,
     assigned: u64,
     offset: ClockOffset,
-    writer: Mutex<TcpStream>,
-    last_progress: Mutex<Snapshot>,
-    outcome: Mutex<Option<AgentOutcome>>,
+    writer: Arc<Mutex<TcpStream>>,
+    status: SlotStatus,
+    rejoined: bool,
+    last_progress: Snapshot,
+    prefixes: HashMap<u64, WorkPrefix>,
+    lag_ms: u64,
+    max_lag_ms: u64,
+    granted: u64,
+    outcome: Option<AgentOutcome>,
+    /// Work ids currently owned (original shard + live grants).
+    owned: Vec<u64>,
+}
+
+struct Work {
+    /// Retained trace (resharding runs); `None` under `reshard: false`.
+    trace: Option<RequestTrace>,
+    len: u64,
+    owner: usize,
+    origin_shard: u32,
+    /// Fully accounted without (or before) its owner's `Done`: salvaged
+    /// prefix + regranted/aborted remainder, or the owner reported in.
+    accounted: bool,
+}
+
+struct Inner {
+    slots: Vec<Slot>,
+    works: HashMap<u64, Work>,
+    next_grant_id: u64,
+    next_shard: u32,
+    abort_reasons: Vec<String>,
+    reassignments: Vec<ReassignSpan>,
+    /// Prefix metrics salvaged from dead agents' works.
+    salvaged: RunMetrics,
+    aborted_per_minute: Vec<u64>,
+}
+
+/// Shared control-plane state, threaded through collector threads.
+struct Control<'a> {
+    pool: &'a WorkloadPool,
+    cfg: &'a FleetConfig,
+    epoch_us: u64,
+    /// Operator abort in progress: deaths stop resharding (the work is
+    /// being cancelled anyway) and fall back to snapshot accounting.
+    aborting: &'a AtomicBool,
+    collectors: &'a AtomicUsize,
+    inner: Mutex<Inner>,
+}
+
+impl Control<'_> {
+    /// Trace time elapsed fleet-wide right now, milliseconds.
+    fn elapsed_trace_ms(&self) -> u64 {
+        let wall_ms = wall_clock_us().saturating_sub(self.epoch_us) / 1_000;
+        match self.cfg.pacing {
+            Pacing::RealTime { compression } => (wall_ms as f64 * compression) as u64,
+            _ => 0,
+        }
+    }
+
+    fn on_progress(
+        &self,
+        idx: usize,
+        snapshot: Snapshot,
+        prefixes: Vec<WorkPrefix>,
+        lag_ms: u64,
+        max_lag_ms: u64,
+    ) {
+        let mut inner = self.inner.lock().unwrap();
+        let slot = &mut inner.slots[idx];
+        slot.last_progress = snapshot;
+        slot.lag_ms = lag_ms;
+        slot.max_lag_ms = slot.max_lag_ms.max(max_lag_ms);
+        for p in prefixes {
+            slot.prefixes.insert(p.work, p);
+        }
+    }
+
+    fn on_done(&self, idx: usize, outcome: AgentOutcome) {
+        let mut inner = self.inner.lock().unwrap();
+        let slot = &mut inner.slots[idx];
+        slot.status = SlotStatus::Done;
+        slot.outcome = Some(outcome);
+        let owned = slot.owned.clone();
+        for w in owned {
+            if let Some(work) = inner.works.get_mut(&w) {
+                work.accounted = true;
+            }
+        }
+    }
+
+    /// Declare a slot dead and re-plan its work. `kind` is `"crash"`,
+    /// `"stall"`, or `"abort"` (with the agent's reason).
+    fn on_dead(&self, idx: usize, kind: &str, agent_reason: Option<String>) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.slots[idx].status != SlotStatus::Live {
+            return;
+        }
+        let reason = match &agent_reason {
+            Some(r) => format!("{kind}: {r}"),
+            None => kind.to_string(),
+        };
+        inner.slots[idx].status = SlotStatus::Dead(reason.clone());
+        let dead_shard = inner.slots[idx].shard;
+        if let Some(r) = agent_reason {
+            inner.abort_reasons.push(format!("shard {dead_shard}: {r}"));
+        }
+        let owned = std::mem::take(&mut inner.slots[idx].owned);
+
+        if !self.cfg.reshard || self.aborting.load(Ordering::Relaxed) {
+            // Pre-elastic accounting: the merge layer books this slot's
+            // finished work from its last snapshot and the remainder as
+            // aborted. Mark the works accounted so termination converges.
+            for w in owned {
+                if let Some(work) = inner.works.get_mut(&w) {
+                    work.accounted = true;
+                }
+            }
+            return;
+        }
+
+        let elapsed_ms = self.elapsed_trace_ms();
+        for w in owned {
+            let prefix = inner.slots[idx]
+                .prefixes
+                .get(&w)
+                .copied()
+                .unwrap_or(WorkPrefix { work: w, ..WorkPrefix::default() });
+            let Some(work) = inner.works.get(&w) else { continue };
+            let origin_shard = work.origin_shard;
+            let trace = work.trace.clone().expect("resharding runs retain work traces");
+
+            // 1. Salvage the contiguous-finished prefix: those outcomes
+            // happened; only their latency histograms die with the agent.
+            let salvage = prefix_metrics(&trace, self.pool, &prefix);
+            inner.salvaged.merge(&salvage);
+
+            // 2. Re-partition the remainder across survivors (sorted by
+            // shard id for determinism), or book it aborted if none.
+            let mut survivors: Vec<(usize, u32)> = inner
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(i, s)| *i != idx && s.status == SlotStatus::Live)
+                .map(|(i, s)| (i, s.shard))
+                .collect();
+            survivors.sort_by_key(|&(_, shard)| shard);
+            if survivors.is_empty() {
+                let remainder =
+                    faasrail_loadgen::remainder_after(&trace, prefix.watermark as usize);
+                let pm = per_minute_of(&remainder);
+                if inner.aborted_per_minute.len() < pm.len() {
+                    inner.aborted_per_minute.resize(pm.len(), 0);
+                }
+                for (a, b) in inner.aborted_per_minute.iter_mut().zip(&pm) {
+                    *a += b;
+                }
+            } else {
+                let shard_ids: Vec<u32> = survivors.iter().map(|&(_, s)| s).collect();
+                let next_id = inner.next_grant_id;
+                let grants = plan_grants(
+                    &trace,
+                    prefix.watermark,
+                    &shard_ids,
+                    next_id,
+                    origin_shard,
+                    elapsed_ms,
+                );
+                inner.next_grant_id += grants.len() as u64;
+                let at_us = wall_clock_us().saturating_sub(self.epoch_us);
+                for (target_shard, grant) in grants {
+                    let (tidx, _) = *survivors
+                        .iter()
+                        .find(|&&(_, s)| s == target_shard)
+                        .expect("planned target");
+                    let requests = grant.trace.requests.len() as u64;
+                    inner.works.insert(
+                        grant.id,
+                        Work {
+                            trace: Some(grant.trace.clone()),
+                            len: requests,
+                            owner: tidx,
+                            origin_shard,
+                            accounted: false,
+                        },
+                    );
+                    inner.slots[tidx].owned.push(grant.id);
+                    inner.slots[tidx].granted += 1;
+                    inner.reassignments.push(ReassignSpan {
+                        at_us,
+                        from_shard: dead_shard,
+                        to_shard: target_shard,
+                        work: grant.id,
+                        requests,
+                        reason: kind.to_string(),
+                    });
+                    // Best-effort send: a target that just died will fail
+                    // here, and its own death re-reshards this grant.
+                    let writer = Arc::clone(&inner.slots[tidx].writer);
+                    let msg = FleetMessage::Reassign { grant };
+                    write_frame(&mut *writer.lock().unwrap(), &msg).ok();
+                }
+            }
+            if let Some(work) = inner.works.get_mut(&w) {
+                work.accounted = true;
+            }
+        }
+    }
+
+    /// Every work item finished (acked watermark covers it) or accounted.
+    fn all_work_resolved(&self) -> bool {
+        let inner = self.inner.lock().unwrap();
+        inner.works.iter().all(|(id, work)| {
+            if work.accounted {
+                return true;
+            }
+            let slot = &inner.slots[work.owner];
+            slot.status == SlotStatus::Live
+                && slot.prefixes.get(id).map(|p| p.watermark >= work.len).unwrap_or(work.len == 0)
+        })
+    }
 }
 
 /// A bound fleet coordinator, ready to accept agents.
@@ -148,10 +434,12 @@ impl Coordinator {
     /// Run one fleet replay to completion and merge the results.
     ///
     /// Blocks accepting `cfg.agents` connections, handshakes each
-    /// (clock probes → shard assignment), fires the synchronized start,
-    /// then collects progress until every shard is done or lost. Setting
-    /// `stop` aborts the run cooperatively: agents drain in-flight work,
-    /// report their prefix, and the remainder books as aborted.
+    /// (version check → clock probes → shard assignment), fires the
+    /// synchronized start, then runs the control plane — collecting
+    /// progress, resharding dead agents' remainders, admitting rejoins —
+    /// until every offered invocation is accounted for. Setting `stop`
+    /// aborts cooperatively: agents drain in-flight work, report their
+    /// prefix, and the remainder books as aborted.
     pub fn run(
         &self,
         trace: &RequestTrace,
@@ -162,23 +450,23 @@ impl Coordinator {
         assert!(cfg.agents > 0, "a fleet needs at least one agent");
         let shards = cfg.agents as u32;
         let offered = trace.requests.len() as u64;
+        let run_token = format!("fleet-{:x}", wall_clock_us());
 
         // Phase 1: accept + handshake each agent sequentially. Sequential
         // is fine — the expensive part (shard traces) is precomputed, and
         // a synchronized start makes staggered handshakes harmless.
-        let mut slots: Vec<AgentSlot> = Vec::with_capacity(cfg.agents);
+        let mut slots: Vec<Slot> = Vec::with_capacity(cfg.agents);
         let mut readers: Vec<BufReader<TcpStream>> = Vec::with_capacity(cfg.agents);
         for shard in 0..shards {
             let (stream, peer) = self.listener.accept()?;
             stream.set_nodelay(true).ok();
             stream.set_read_timeout(Some(cfg.agent_timeout))?;
             let shard_trace = ShardSpec::new(shard, shards).filter(trace);
-            let assigned = shard_trace.requests.len() as u64;
+            let token = format!("{run_token}-{shard}");
             let (slot, reader) =
-                handshake(stream, peer, shard, shard_trace, pool, cfg).map_err(|e| {
-                    io::Error::new(e.kind(), format!("handshake with shard {shard}: {e}"))
-                })?;
-            assert_eq!(slot.assigned, assigned);
+                handshake(stream, peer, shard, shard_trace, pool, cfg, offered, token).map_err(
+                    |e| io::Error::new(e.kind(), format!("handshake with shard {shard}: {e}")),
+                )?;
             slots.push(slot);
             readers.push(reader);
         }
@@ -191,51 +479,137 @@ impl Coordinator {
             write_frame(&mut *w, &FleetMessage::Start { at_agent_wall_us })?;
         }
 
-        // Phase 3: collect. One reader thread per agent; the main thread
-        // watches the stop flag and renders the live fleet-wide view.
-        let remaining = AtomicUsize::new(slots.len());
+        // Phase 3: the control plane. One collector thread per agent (the
+        // lease is the socket read timeout), an admission thread for
+        // rejoins/late joiners, and the main thread deciding termination.
+        let mut works = HashMap::new();
+        for (i, slot) in slots.iter_mut().enumerate() {
+            works.insert(
+                slot.shard as u64,
+                Work {
+                    trace: cfg.reshard.then(|| ShardSpec::new(slot.shard, shards).filter(trace)),
+                    len: slot.assigned,
+                    owner: i,
+                    origin_shard: slot.shard,
+                    accounted: false,
+                },
+            );
+            slot.owned.push(slot.shard as u64);
+        }
+        let aborting = AtomicBool::new(false);
+        let collectors = AtomicUsize::new(slots.len());
+        let control = Control {
+            pool,
+            cfg,
+            epoch_us,
+            aborting: &aborting,
+            collectors: &collectors,
+            inner: Mutex::new(Inner {
+                slots,
+                works,
+                next_grant_id: GRANT_ID_BASE,
+                next_shard: shards,
+                abort_reasons: Vec::new(),
+                reassignments: Vec::new(),
+                salvaged: RunMetrics::new(),
+                aborted_per_minute: Vec::new(),
+            }),
+        };
+        let run_over = AtomicBool::new(false);
+        let finish_sent = AtomicBool::new(false);
+        let admission_busy = AtomicBool::new(false);
+
+        self.listener.set_nonblocking(true)?;
         std::thread::scope(|scope| {
-            for (slot, reader) in slots.iter().zip(readers) {
-                let remaining = &remaining;
+            let control = &control;
+            for (idx, reader) in readers.into_iter().enumerate() {
                 scope.spawn(move || {
-                    collect_agent(slot, reader);
-                    remaining.fetch_sub(1, Ordering::Release);
+                    collect_agent(control, idx, reader);
+                    control.collectors.fetch_sub(1, Ordering::AcqRel);
+                });
+            }
+
+            // Admission: rejoins and late joiners become spare capacity.
+            {
+                let (run_over, finish_sent, admission_busy) =
+                    (&run_over, &finish_sent, &admission_busy);
+                let (listener, trace) = (&self.listener, trace);
+                scope.spawn(move || {
+                    while !run_over.load(Ordering::Acquire) {
+                        match listener.accept() {
+                            Ok((stream, peer)) => {
+                                admission_busy.store(true, Ordering::Release);
+                                admit_spare(
+                                    control,
+                                    scope,
+                                    stream,
+                                    peer,
+                                    trace,
+                                    finish_sent.load(Ordering::Acquire),
+                                );
+                                admission_busy.store(false, Ordering::Release);
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(50));
+                            }
+                            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+                        }
+                    }
                 });
             }
 
             let window = Duration::from_millis(cfg.progress_every_ms.max(100));
-            let mut aborted_sent = false;
             let mut prev = Snapshot::default();
             let mut elapsed = Duration::ZERO;
-            while remaining.load(Ordering::Acquire) > 0 {
+            loop {
                 std::thread::sleep(Duration::from_millis(50));
                 elapsed += Duration::from_millis(50);
-                if stop.load(Ordering::Relaxed) && !aborted_sent {
-                    aborted_sent = true;
-                    for slot in &slots {
-                        let mut w = slot.writer.lock().unwrap();
+                if stop.load(Ordering::Relaxed) && !aborting.swap(true, Ordering::AcqRel) {
+                    let inner = control.inner.lock().unwrap();
+                    for slot in inner.slots.iter().filter(|s| s.status == SlotStatus::Live) {
                         let abort =
                             FleetMessage::Abort { reason: "coordinator stop requested".into() };
-                        write_frame(&mut *w, &abort).ok();
+                        write_frame(&mut *slot.writer.lock().unwrap(), &abort).ok();
+                    }
+                }
+                if !finish_sent.load(Ordering::Acquire)
+                    && !aborting.load(Ordering::Acquire)
+                    && control.all_work_resolved()
+                {
+                    finish_sent.store(true, Ordering::Release);
+                    let inner = control.inner.lock().unwrap();
+                    for slot in inner.slots.iter().filter(|s| s.status == SlotStatus::Live) {
+                        write_frame(&mut *slot.writer.lock().unwrap(), &FleetMessage::Finish).ok();
                     }
                 }
                 if cfg.live && elapsed.as_millis() % window.as_millis().max(1) < 50 {
+                    let inner = control.inner.lock().unwrap();
                     let mut merged = Snapshot::default();
-                    for slot in &slots {
-                        merged.merge(&slot.last_progress.lock().unwrap());
+                    for slot in &inner.slots {
+                        merged.merge(&slot.last_progress);
                     }
+                    let lag: u64 = inner.slots.iter().map(|s| s.lag_ms).max().unwrap_or(0);
                     let delta = merged.delta(&prev);
                     eprintln!(
-                        "[fleet {} agents] {}",
-                        slots.len(),
+                        "[fleet {} agents, lag {}ms] {}",
+                        inner.slots.len(),
+                        lag,
                         delta.progress_line(window.as_secs_f64(), elapsed.as_secs_f64())
                     );
                     prev = merged;
                 }
+                if collectors.load(Ordering::Acquire) == 0
+                    && !admission_busy.load(Ordering::Acquire)
+                {
+                    break;
+                }
             }
+            run_over.store(true, Ordering::Release);
         });
+        self.listener.set_nonblocking(false).ok();
 
-        Ok(merge_fleet(slots, shards, offered, epoch_us, cfg))
+        let inner = control.inner.into_inner().unwrap();
+        Ok(merge_fleet(inner, shards, offered, epoch_us, cfg))
     }
 }
 
@@ -250,7 +624,10 @@ fn proto_err(what: &str, got: &FleetMessage) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("expected {what}, got {got:?}"))
 }
 
-/// Hello → probes → Assign → Ready on a fresh agent connection.
+/// Hello → version check → HelloAck → probes → Assign → Ready on a fresh
+/// agent connection. Returns the armed slot plus whether the agent
+/// presented a resume token (a rejoin).
+#[allow(clippy::too_many_arguments)]
 fn handshake(
     stream: TcpStream,
     peer: SocketAddr,
@@ -258,21 +635,38 @@ fn handshake(
     shard_trace: RequestTrace,
     pool: &WorkloadPool,
     cfg: &FleetConfig,
-) -> io::Result<(AgentSlot, BufReader<TcpStream>)> {
+    offered: u64,
+    token: String,
+) -> io::Result<(Slot, BufReader<TcpStream>)> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream.try_clone()?);
 
     let eof = || io::Error::new(io::ErrorKind::UnexpectedEof, "agent hung up");
-    let name = match read_frame(&mut reader)?.ok_or_else(eof)? {
-        FleetMessage::Hello { name, .. } => {
-            if name.is_empty() {
-                format!("agent@{peer}")
-            } else {
-                name
+    let (name, rejoined) = match read_frame(&mut reader)?.ok_or_else(eof)? {
+        FleetMessage::Hello { name, proto, resume_token, .. } => {
+            let proto = crate::wire::effective_proto(proto);
+            if proto != PROTOCOL_VERSION {
+                let reason = format!(
+                    "protocol version mismatch: coordinator v{PROTOCOL_VERSION}, agent v{proto}"
+                );
+                write_frame(&mut writer, &FleetMessage::Abort { reason: reason.clone() }).ok();
+                writer.flush().ok();
+                return Err(io::Error::new(io::ErrorKind::InvalidData, reason));
             }
+            let name = if name.is_empty() { format!("agent@{peer}") } else { name };
+            (name, resume_token.is_some())
         }
         other => return Err(proto_err("hello", &other)),
     };
+    write_frame(
+        &mut writer,
+        &FleetMessage::HelloAck {
+            proto: PROTOCOL_VERSION,
+            token: token.clone(),
+            lease_ms: cfg.lease_ms,
+        },
+    )?;
+    writer.flush()?;
 
     let mut samples = Vec::with_capacity(cfg.probes as usize);
     for seq in 0..cfg.probes {
@@ -299,6 +693,7 @@ fn handshake(
         target: cfg.target.clone(),
         trace: shard_trace,
         pool: pool.clone(),
+        event_capacity: offered + 64,
     };
     write_frame(&mut writer, &FleetMessage::Assign { assignment })?;
     writer.flush()?;
@@ -314,36 +709,143 @@ fn handshake(
         other => return Err(proto_err("ready", &other)),
     }
 
-    let slot = AgentSlot {
+    let slot = Slot {
         name,
         shard,
         assigned,
         offset,
-        writer: Mutex::new(stream),
-        last_progress: Mutex::new(Snapshot::default()),
-        outcome: Mutex::new(None),
+        writer: Arc::new(Mutex::new(stream)),
+        status: SlotStatus::Live,
+        rejoined,
+        last_progress: Snapshot::default(),
+        prefixes: HashMap::new(),
+        lag_ms: 0,
+        max_lag_ms: 0,
+        granted: 0,
+        outcome: None,
+        owned: Vec::new(),
     };
     Ok((slot, reader))
 }
 
-/// Drain one agent's stream until `Done`, loss, or timeout. Never blocks
-/// forever: the socket carries the configured read timeout, so a silent
-/// agent resolves as lost after one quiet window.
-fn collect_agent(slot: &AgentSlot, mut reader: BufReader<TcpStream>) {
-    loop {
-        match read_frame(&mut reader) {
-            Ok(Some(FleetMessage::Progress { snapshot, .. })) => {
-                *slot.last_progress.lock().unwrap() = snapshot;
-            }
-            Ok(Some(FleetMessage::Done { run_start_wall_us, metrics, events, .. })) => {
-                *slot.last_progress.lock().unwrap() = snapshot_of(&metrics);
-                *slot.outcome.lock().unwrap() =
-                    Some(AgentOutcome { run_start_wall_us, metrics, events });
+/// Admit a mid-run connection (rejoin or late join) as spare capacity:
+/// full handshake with an *empty* assignment, a `Start` at the (past)
+/// epoch, registration as a live slot, and a collector thread. Refused
+/// with a clean `Abort` once the run is finishing.
+fn admit_spare<'scope, 'env>(
+    control: &'scope Control<'env>,
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    stream: TcpStream,
+    peer: SocketAddr,
+    trace: &RequestTrace,
+    finishing: bool,
+) {
+    stream.set_nodelay(true).ok();
+    if stream.set_read_timeout(Some(control.cfg.agent_timeout)).is_err() {
+        return;
+    }
+    if finishing {
+        let reason = "run is finishing; no capacity needed".to_string();
+        let mut w = stream;
+        write_frame(&mut w, &FleetMessage::Abort { reason: reason.clone() }).ok();
+        control.inner.lock().unwrap().abort_reasons.push(format!("refused {peer}: {reason}"));
+        return;
+    }
+    let (shard, token) = {
+        let mut inner = control.inner.lock().unwrap();
+        let shard = inner.next_shard;
+        inner.next_shard += 1;
+        (shard, format!("fleet-spare-{:x}-{shard}", wall_clock_us()))
+    };
+    let empty = RequestTrace { duration_minutes: trace.duration_minutes, requests: Vec::new() };
+    let offered = trace.requests.len() as u64;
+    match handshake(stream, peer, shard, empty, control.pool, control.cfg, offered, token) {
+        Ok((slot, reader)) => {
+            let at_agent_wall_us = rebase(control.epoch_us, slot.offset.offset_us);
+            if write_frame(
+                &mut *slot.writer.lock().unwrap(),
+                &FleetMessage::Start { at_agent_wall_us },
+            )
+            .is_err()
+            {
                 return;
             }
-            // Anything else — agent abort, protocol violation, clean EOF,
-            // read timeout, connection reset — resolves the shard as lost.
-            _ => return,
+            let idx = {
+                let mut inner = control.inner.lock().unwrap();
+                let idx = inner.slots.len();
+                inner.works.insert(
+                    shard as u64,
+                    Work {
+                        trace: control.cfg.reshard.then(|| RequestTrace {
+                            duration_minutes: trace.duration_minutes,
+                            requests: Vec::new(),
+                        }),
+                        len: 0,
+                        owner: idx,
+                        origin_shard: shard,
+                        accounted: false,
+                    },
+                );
+                let mut slot = slot;
+                slot.owned.push(shard as u64);
+                inner.slots.push(slot);
+                idx
+            };
+            control.collectors.fetch_add(1, Ordering::AcqRel);
+            scope.spawn(move || {
+                collect_agent(control, idx, reader);
+                control.collectors.fetch_sub(1, Ordering::AcqRel);
+            });
+        }
+        Err(e) => {
+            control
+                .inner
+                .lock()
+                .unwrap()
+                .abort_reasons
+                .push(format!("spare admission from {peer} failed: {e}"));
+        }
+    }
+}
+
+/// Drain one agent's stream until `Done` or death. The socket carries the
+/// liveness lease as its read timeout, so the three loss modes resolve
+/// distinguishably: timeout = stall, EOF/reset = crash, `Abort` frame =
+/// agent abort (with its reason).
+fn collect_agent(control: &Control<'_>, idx: usize, mut reader: BufReader<TcpStream>) {
+    let lease = Duration::from_millis(control.cfg.lease_ms.max(100));
+    reader.get_ref().set_read_timeout(Some(lease)).ok();
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some(FleetMessage::Progress { snapshot, prefixes, lag_ms, max_lag_ms, .. })) => {
+                control.on_progress(idx, snapshot, prefixes, lag_ms, max_lag_ms);
+            }
+            Ok(Some(FleetMessage::ReassignAck { .. })) => {} // liveness via the frame itself
+            Ok(Some(FleetMessage::Done { run_start_wall_us, metrics, events, .. })) => {
+                let snapshot = snapshot_of(&metrics);
+                control.on_progress(idx, snapshot, Vec::new(), 0, 0);
+                control.on_done(idx, AgentOutcome { run_start_wall_us, metrics, events });
+                return;
+            }
+            Ok(Some(FleetMessage::Abort { reason })) => {
+                control.on_dead(idx, "abort", Some(reason));
+                return;
+            }
+            Ok(Some(_)) => {} // stray frame; still proof of life
+            Ok(None) => {
+                control.on_dead(idx, "crash", None);
+                return;
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                control.on_dead(idx, "stall", None);
+                return;
+            }
+            Err(_) => {
+                control.on_dead(idx, "crash", None);
+                return;
+            }
         }
     }
 }
@@ -362,10 +864,10 @@ fn snapshot_of(m: &RunMetrics) -> Snapshot {
     s
 }
 
-/// A lost shard's contribution: everything its last snapshot says
-/// *finished*. In-flight and never-dispatched requests are excluded (the
-/// report books them as aborted), so the fleet-wide outcome partition
-/// stays exact.
+/// A lost shard's contribution under `reshard: false`: everything its
+/// last snapshot says *finished*. In-flight and never-dispatched requests
+/// are excluded (the report books them as aborted), so the fleet-wide
+/// outcome partition stays exact.
 fn metrics_from_snapshot(s: &Snapshot) -> RunMetrics {
     let mut m = RunMetrics::new();
     m.completed = s.completed;
@@ -382,21 +884,21 @@ fn metrics_from_snapshot(s: &Snapshot) -> RunMetrics {
 }
 
 fn merge_fleet(
-    slots: Vec<AgentSlot>,
+    inner: Inner,
     shards: u32,
     offered: u64,
     epoch_us: u64,
     cfg: &FleetConfig,
 ) -> FleetReport {
-    let mut metrics = RunMetrics::new();
-    let mut agents = Vec::with_capacity(slots.len());
+    let mut metrics = inner.salvaged;
+    let mut agents = Vec::with_capacity(inner.slots.len());
     let mut logs: Vec<Vec<TelemetryEvent>> = Vec::new();
-    for slot in slots {
-        let outcome = slot.outcome.into_inner().unwrap();
-        let last_progress = slot.last_progress.into_inner().unwrap();
-        let completed = outcome.is_some();
-        match outcome {
-            Some(out) => {
+    let mut max_lag_ms = 0;
+    for slot in inner.slots {
+        let completed = slot.outcome.is_some();
+        max_lag_ms = max_lag_ms.max(slot.max_lag_ms);
+        match (&slot.status, slot.outcome) {
+            (_, Some(out)) => {
                 metrics.merge(&out.metrics);
                 if !out.events.is_empty() {
                     logs.push(rebase_events(
@@ -407,15 +909,33 @@ fn merge_fleet(
                     ));
                 }
             }
-            None => metrics.merge(&metrics_from_snapshot(&last_progress)),
+            (SlotStatus::Dead(_), None) if !cfg.reshard => {
+                // Pre-elastic accounting: last snapshot only.
+                metrics.merge(&metrics_from_snapshot(&slot.last_progress));
+            }
+            // Resharding runs salvage dead slots' work at death time
+            // (already in `inner.salvaged`); an operator abort without a
+            // delivered Done degrades to the same snapshot accounting.
+            (SlotStatus::Dead(_), None) => {}
+            (_, None) => {}
         }
+        let status = match &slot.status {
+            SlotStatus::Done => "done".to_string(),
+            SlotStatus::Live => "live".to_string(),
+            SlotStatus::Dead(reason) => reason.clone(),
+        };
         agents.push(AgentReport {
             name: slot.name,
             shard: slot.shard,
             assigned: slot.assigned,
             completed,
+            status,
+            granted: slot.granted,
+            rejoined: slot.rejoined,
+            lag_ms: slot.lag_ms,
+            max_lag_ms: slot.max_lag_ms,
             clock: slot.offset,
-            last_progress,
+            last_progress: slot.last_progress,
         });
     }
     let finished = metrics.completed + metrics.errors;
@@ -424,10 +944,25 @@ fn merge_fleet(
         metrics.aborted = true;
     }
 
+    if !inner.reassignments.is_empty() {
+        logs.push(inner.reassignments.iter().cloned().map(TelemetryEvent::Reassign).collect());
+    }
     let events = merge_event_logs(&logs);
     let run_report =
         (cfg.capture_events && !events.is_empty()).then(|| RunReport::from_events(&events));
-    FleetReport { shards, offered, aborted_invocations, metrics, agents, run_report, events }
+    FleetReport {
+        shards,
+        offered,
+        aborted_invocations,
+        metrics,
+        agents,
+        reassignments: inner.reassignments,
+        abort_reasons: inner.abort_reasons,
+        max_lag_ms,
+        aborted_per_minute: cfg.reshard.then_some(inner.aborted_per_minute),
+        run_report,
+        events,
+    }
 }
 
 /// Shift one agent's run-relative span timestamps onto the fleet epoch:
@@ -478,10 +1013,12 @@ mod tests {
 
     #[test]
     fn lost_shard_counts_only_finished_work() {
-        let mut s = Snapshot::default();
-        s.issued = 100; // 20 in flight when the agent died
-        s.completed = 70;
-        s.errors = [4, 3, 2, 1];
+        let s = Snapshot {
+            issued: 100, // 20 in flight when the agent died
+            completed: 70,
+            errors: [4, 3, 2, 1],
+            ..Snapshot::default()
+        };
         let m = metrics_from_snapshot(&s);
         assert_eq!(m.issued, 80, "in-flight requests are not counted as issued");
         assert_eq!(m.completed + m.errors, 80);
@@ -516,9 +1053,9 @@ mod tests {
         };
         let end = RunSummary { issued: 1, completed: 1, errors: 0, aborted: false, wall_us: 9 };
         let events = vec![TelemetryEvent::Invocation(span), TelemetryEvent::RunEnd(end)];
-        // Agent clock runs 500us ahead; its replay started 2000us (agent
-        // clock) after... run_start_wall_us = 10_500 on the agent clock is
-        // 10_000 coordinator time, epoch at 8_000 → shift = +2_000.
+        // Agent clock runs 500us ahead; run_start_wall_us = 10_500 on the
+        // agent clock is 10_000 coordinator time, epoch at 8_000 → shift
+        // = +2_000.
         let out = rebase_events(events, 10_500, 500.0, 8_000);
         match &out[0] {
             TelemetryEvent::Invocation(s) => {

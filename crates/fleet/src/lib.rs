@@ -1,4 +1,5 @@
-//! FaaSRail fleet mode: sharded multi-process load generation.
+//! FaaSRail fleet mode: sharded multi-process load generation with an
+//! elastic control plane.
 //!
 //! One machine's replayer tops out at its core count; the traces FaaSRail
 //! downscales do not. Fleet mode splits a mapped request schedule across N
@@ -16,23 +17,42 @@
 //!   across skewed machines;
 //! * **self-contained assignments** — agents receive their shard trace
 //!   and the workload pool over the wire; they need no local spec files;
+//! * **liveness leases** — the `Progress` stream doubles as a heartbeat;
+//!   an agent silent past [`FleetConfig::lease_ms`] is declared *stalled*,
+//!   a closed socket is a *crash*, an `Abort` frame an agent abort — all
+//!   distinguishable in the report;
+//! * **dynamic resharding** — a dead agent costs nothing but its latency
+//!   histograms: the coordinator salvages the contiguous-finished prefix
+//!   from the last acked [`wire::WorkPrefix`] high-water mark
+//!   ([`reshard::prefix_metrics`]) and re-partitions the remainder across
+//!   survivors as `Reassign` grants ([`reshard::plan_grants`]), keeping
+//!   `completed + errors + aborted == offered` exact and the merged
+//!   offered per-minute series bit-identical to an unkilled run;
+//! * **rejoin** — agents reconnect with bounded exponential backoff and
+//!   an idempotent resume token, coming back as fresh capacity for
+//!   subsequent grants;
+//! * **backpressure visibility** — agents report coordinated-omission-
+//!   correct pacing lag per window; the fleet-wide worst case surfaces as
+//!   [`FleetReport::max_lag_ms`];
 //! * **live fleet view + merged results** — agents stream cumulative
 //!   [`faasrail_telemetry::Snapshot`]s on a fixed cadence and return final
 //!   [`faasrail_loadgen::RunMetrics`] (plus optional span logs, rebased
 //!   onto the shared epoch and merged via
-//!   [`faasrail_telemetry::merge_event_logs`]) in one [`FleetReport`];
-//! * **crash tolerance** — a lost agent costs its shard's remainder, not
-//!   the run: finished work still counts, the rest books as
-//!   `aborted_invocations`, and the coordinator always terminates.
+//!   [`faasrail_telemetry::merge_event_logs`]) in one [`FleetReport`].
 //!
-//! The protocol ([`wire`]) is length-prefixed JSON over TCP — no
-//! dependencies beyond the workspace's own serde stack, debuggable with
-//! `nc`.
+//! The protocol ([`wire`], version [`wire::PROTOCOL_VERSION`]) is
+//! length-prefixed JSON over TCP — no dependencies beyond the workspace's
+//! own serde stack, debuggable with `nc`.
 
 pub mod agent;
 pub mod coordinator;
+pub mod reshard;
 pub mod wire;
 
-pub use agent::{run_agent, run_agent_with, AgentConfig, AgentRun};
+pub use agent::{run_agent, run_agent_with, AgentConfig, AgentRun, PrefixTracker};
 pub use coordinator::{AgentReport, Coordinator, FleetConfig, FleetReport};
-pub use wire::{read_frame, wall_clock_us, write_frame, Assignment, FleetMessage};
+pub use reshard::{per_minute_of, plan_grants, prefix_metrics};
+pub use wire::{
+    read_frame, wall_clock_us, write_frame, Assignment, FleetMessage, Grant, WorkPrefix,
+    PROTOCOL_VERSION,
+};

@@ -7,22 +7,29 @@
 //! the length prefix keeps framing independent of the payload so a
 //! partial read never resynchronizes mid-object.
 //!
-//! The conversation, coordinator-side view:
+//! The conversation, coordinator-side view (protocol v2):
 //!
 //! ```text
-//! agent → Hello                 (name + agent wall clock)
+//! agent → Hello                 (name, proto version, optional resume token)
+//! coord → HelloAck              (proto version, resume token, lease window)
 //! coord → Probe × N             (clock-offset sampling)
 //! agent → ProbeReply × N
 //! coord → Assign                (shard trace + pool + replay config)
 //! agent → Ready
 //! coord → Start                 (epoch, already rebased to agent clock)
-//! agent → Progress × many       (cumulative Snapshot, every progress window)
+//! agent → Progress × many       (Snapshot + per-work prefixes + pacing lag)
+//! coord → Reassign × any        (a dead shard's remainder, mid-run)
+//! agent → ReassignAck × any
+//! coord → Finish                (all work accounted — report and exit)
 //! agent → Done                  (final RunMetrics + optional event log)
 //! ```
 //!
-//! Either side may send [`FleetMessage::Abort`] at any point; agents treat
-//! coordinator EOF as an implicit abort, and the coordinator treats agent
-//! EOF before `Done` as a lost shard.
+//! Either side may send [`FleetMessage::Abort`] at any point. A version
+//! mismatch in `Hello` is answered with a clean `Abort {reason}` instead
+//! of a mid-run decode error. Agents treat coordinator EOF as a lost link
+//! (they rejoin with their resume token); the coordinator treats agent EOF
+//! before `Done` as a crashed shard and a missed lease deadline (no frame
+//! for longer than `lease_ms`) as a stalled one.
 
 use std::io::{self, Read, Write};
 
@@ -37,6 +44,15 @@ use faasrail_workloads::WorkloadPool;
 /// trace inline, so frames are large by design — but a corrupt length
 /// prefix must not trigger a multi-gigabyte allocation.
 pub const MAX_FRAME_BYTES: usize = 256 << 20;
+
+/// Fleet wire-protocol version. Bumped on incompatible changes; a
+/// coordinator answers a mismatched [`FleetMessage::Hello`] with a clean
+/// `Abort {reason}` naming both versions, so mixed deployments fail at
+/// handshake instead of as a decode error mid-run.
+///
+/// v1: PR 5 static shards. v2: `HelloAck`, per-work progress prefixes,
+/// `Reassign`/`ReassignAck`/`Finish` (elastic control plane).
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// One shard's complete marching orders. Self-contained on purpose: the
 /// agent needs no local spec, pool, or trace files — everything it will
@@ -61,9 +77,71 @@ pub struct Assignment {
     /// of requests).
     pub trace: RequestTrace,
     pub pool: WorkloadPool,
+    /// Span-capture ring capacity the agent should provision. Reassigned
+    /// work can grow an agent's span log well past its own assignment, so
+    /// the coordinator sizes the ring for the whole offered schedule.
+    /// `0` (and absent, for v1 senders) means "own assignment only".
+    #[serde(default)]
+    pub event_capacity: u64,
+}
+
+/// Cumulative contiguous-completion state of one work item (an agent's
+/// original shard or a reassignment grant), shipped inside `Progress`.
+///
+/// `watermark` is the length of the *finished prefix* of the work's trace:
+/// every request with index `< watermark` has a final outcome, counted in
+/// the per-class fields below. Requests beyond the watermark may also have
+/// finished (out of order) but are not counted here — on agent loss the
+/// coordinator re-executes them with the remainder, trading (bounded)
+/// double execution for exact accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkPrefix {
+    /// Work id: the agent's shard index for its original assignment, or
+    /// the grant id for reassigned work.
+    pub work: u64,
+    /// Finished-prefix length (requests with a final outcome, contiguous
+    /// from the start of the work's trace).
+    pub watermark: u64,
+    /// Successes within the prefix.
+    pub completed: u64,
+    /// `[app_error, timeout, transport, shed]` within the prefix.
+    pub errors: [u64; 4],
+    /// Cold starts within the prefix.
+    pub cold_starts: u64,
+}
+
+impl WorkPrefix {
+    /// `completed + errors == watermark` must hold for a well-formed
+    /// prefix (every request in the prefix has exactly one outcome).
+    pub fn is_consistent(&self) -> bool {
+        self.completed + self.errors.iter().sum::<u64>() == self.watermark
+    }
+}
+
+/// One reassignment: part of a dead shard's remaining schedule, handed to
+/// a survivor mid-run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Grant {
+    /// Unique work id for this grant (distinct from every shard index and
+    /// every other grant in the run).
+    pub id: u64,
+    /// The shard that originally owned this work (for reports).
+    pub origin_shard: u32,
+    /// Trace time already elapsed fleet-wide when the grant was issued,
+    /// milliseconds. The survivor replays the grant with
+    /// [`faasrail_loadgen::ResumeSpec`] at this offset: overdue requests
+    /// fire immediately and book their full deficit as lateness, future
+    /// requests fire at their original schedule positions.
+    pub elapsed_ms: u64,
+    /// The remainder trace (original `at_ms` stamps, so every invocation
+    /// stays in its original offered-minute bucket).
+    pub trace: RequestTrace,
 }
 
 /// Every message that crosses the coordinator/agent link.
+// One frame of this type lives at a time per link, so the size skew
+// between `Done` and the control frames costs nothing in practice.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(tag = "msg", rename_all = "snake_case")]
 pub enum FleetMessage {
@@ -72,6 +150,28 @@ pub enum FleetMessage {
         name: String,
         /// Agent wall clock (unix micros) at send time.
         wall_us: u64,
+        /// Agent's [`PROTOCOL_VERSION`]. A v1 agent doesn't send the
+        /// field at all, so it decodes as 0 — normalize with
+        /// [`effective_proto`] before comparing.
+        #[serde(default)]
+        proto: u32,
+        /// Resume token from a previous `HelloAck`, present when this
+        /// connection is a rejoin after a lost link. Idempotent: the
+        /// coordinator re-admits the agent as fresh capacity regardless of
+        /// how many times the same token reconnects.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        resume_token: Option<String>,
+    },
+    /// Coordinator's answer to `Hello`, first frame in the other
+    /// direction. Carries the lease the agent must beat with `Progress`
+    /// frames and the token it should present on rejoin.
+    HelloAck {
+        proto: u32,
+        /// Opaque rejoin token, unique per admitted connection.
+        token: String,
+        /// Liveness lease: the coordinator declares the agent stalled
+        /// after this many milliseconds without a frame.
+        lease_ms: u64,
     },
     /// Clock-offset probe (coordinator → agent). `wall_us` is the
     /// coordinator's send instant, echoed back for matching.
@@ -103,7 +203,37 @@ pub enum FleetMessage {
     Progress {
         shard: u32,
         snapshot: Snapshot,
+        /// Contiguous-completion state of every work item this agent
+        /// holds (its shard plus any grants) — the high-water marks the
+        /// coordinator reshards from if this agent dies.
+        #[serde(default, skip_serializing_if = "Vec::is_empty")]
+        prefixes: Vec<WorkPrefix>,
+        /// Most recent dispatch lateness across the agent's replays,
+        /// milliseconds (backpressure signal).
+        #[serde(default)]
+        lag_ms: u64,
+        /// Worst dispatch lateness seen so far, milliseconds.
+        #[serde(default)]
+        max_lag_ms: u64,
+        /// True when every work item this agent holds has fully finished
+        /// and it is waiting for more grants or `Finish`.
+        #[serde(default)]
+        idle: bool,
     },
+    /// Reassign part of a dead shard's remainder to this agent (mid-run,
+    /// coordinator → agent).
+    Reassign {
+        grant: Grant,
+    },
+    /// Agent accepted a grant and armed its replay.
+    ReassignAck {
+        shard: u32,
+        /// The grant id being acknowledged.
+        grant: u64,
+        requests: u64,
+    },
+    /// All offered work is accounted for — agents report `Done` and exit.
+    Finish,
     /// Final shard result. `run_start_wall_us` is the agent wall clock at
     /// its replay's t=0, so span timestamps (run-relative micros) can be
     /// rebased onto the fleet epoch.
@@ -117,6 +247,16 @@ pub enum FleetMessage {
     Abort {
         reason: String,
     },
+}
+
+/// Normalize a wire-decoded protocol version: pre-versioning (v1) agents
+/// send no `proto` field, which decodes as 0.
+pub fn effective_proto(proto: u32) -> u32 {
+    if proto == 0 {
+        1
+    } else {
+        proto
+    }
 }
 
 /// Serialize `msg` as one length-prefixed frame.
@@ -192,10 +332,30 @@ mod tests {
     #[test]
     fn frames_roundtrip_back_to_back() {
         let msgs = vec![
-            FleetMessage::Hello { name: "agent-0".into(), wall_us: 123 },
+            FleetMessage::Hello {
+                name: "agent-0".into(),
+                wall_us: 123,
+                proto: PROTOCOL_VERSION,
+                resume_token: Some("tok-3".into()),
+            },
+            FleetMessage::HelloAck {
+                proto: PROTOCOL_VERSION,
+                token: "tok-3".into(),
+                lease_ms: 5_000,
+            },
             FleetMessage::Probe { seq: 7, wall_us: 456 },
             FleetMessage::ProbeReply { seq: 7, wall_us: 456, agent_wall_us: 789 },
             FleetMessage::Start { at_agent_wall_us: 1_000_000 },
+            FleetMessage::Reassign {
+                grant: Grant {
+                    id: 9,
+                    origin_shard: 2,
+                    elapsed_ms: 61_000,
+                    trace: faasrail_core::RequestTrace { duration_minutes: 3, requests: vec![] },
+                },
+            },
+            FleetMessage::ReassignAck { shard: 1, grant: 9, requests: 0 },
+            FleetMessage::Finish,
             FleetMessage::Abort { reason: "operator interrupt".into() },
         ];
         let mut buf = Vec::new();
@@ -227,6 +387,47 @@ mod tests {
         let mut cursor = Cursor::new(buf);
         let err = read_frame(&mut cursor).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    /// A v1 `Hello` has no `proto` field; it must decode as version 1
+    /// (so the coordinator can answer with a clean version-mismatch
+    /// abort), and a v1 `Progress` without prefixes must still parse.
+    #[test]
+    fn v1_frames_decode_with_defaults() {
+        let hello: FleetMessage =
+            serde_json::from_str(r#"{"msg":"hello","name":"old","wall_us":5}"#).unwrap();
+        match hello {
+            FleetMessage::Hello { proto, resume_token, .. } => {
+                assert_eq!(effective_proto(proto), 1);
+                assert_eq!(resume_token, None);
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+        let snap = serde_json::to_string(&Snapshot::default()).unwrap();
+        let line = format!(r#"{{"msg":"progress","shard":0,"snapshot":{snap}}}"#);
+        let progress: FleetMessage = serde_json::from_str(&line).expect("v1 progress parses");
+        match progress {
+            FleetMessage::Progress { prefixes, lag_ms, idle, .. } => {
+                assert!(prefixes.is_empty());
+                assert_eq!(lag_ms, 0);
+                assert!(!idle);
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn work_prefix_consistency() {
+        let p = WorkPrefix {
+            work: 3,
+            watermark: 10,
+            completed: 7,
+            errors: [1, 1, 1, 0],
+            cold_starts: 2,
+        };
+        assert!(p.is_consistent());
+        let bad = WorkPrefix { watermark: 10, completed: 7, ..WorkPrefix::default() };
+        assert!(!bad.is_consistent());
     }
 
     #[test]

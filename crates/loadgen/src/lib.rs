@@ -24,5 +24,8 @@ pub use backend::{
     Backend, InProcessBackend, InvocationRequest, InvocationResult, NoopBackend, OutcomeClass,
 };
 pub use metrics::RunMetrics;
-pub use replay::{replay, replay_observed, replay_until, Pacing, ReplayConfig, ReplayInstruments};
-pub use shard::{shard_of, ShardSpec};
+pub use replay::{
+    replay, replay_observed, replay_resumed, replay_until, PaceGauge, Pacing, ReplayConfig,
+    ReplayInstruments, ResumeSpec,
+};
+pub use shard::{partition_remainder, remainder_after, shard_of, ShardSpec};

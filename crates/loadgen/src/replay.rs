@@ -77,14 +77,64 @@ pub struct ReplayInstruments<'a> {
     /// `workers + 1` shards is contention-free (any shard count still
     /// works — indices wrap).
     pub recorder: Option<&'a Recorder>,
+    /// Optional live pacing-lag gauge, updated by the pacer on every
+    /// real-time dispatch. Lets a supervisor (e.g. a fleet agent's
+    /// progress pump) report how far behind schedule the replay runs
+    /// without touching the lateness histogram mid-run.
+    pub pace: Option<&'a PaceGauge>,
 }
 
 static NULL_SINK: NullSink = NullSink;
 
 impl Default for ReplayInstruments<'_> {
     fn default() -> Self {
-        ReplayInstruments { sink: &NULL_SINK, recorder: None }
+        ReplayInstruments { sink: &NULL_SINK, recorder: None, pace: None }
     }
+}
+
+/// Lock-free view of the pacer's current schedule lag. The pacer stores
+/// each dispatch's lateness; readers poll the most recent and the maximum
+/// seen. Microsecond granularity, saturating at `u64::MAX`.
+#[derive(Debug, Default)]
+pub struct PaceGauge {
+    lag_us: std::sync::atomic::AtomicU64,
+    max_lag_us: std::sync::atomic::AtomicU64,
+}
+
+impl PaceGauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one dispatch's lateness (seconds behind schedule).
+    pub fn record_secs(&self, lateness_s: f64) {
+        let us = (lateness_s.max(0.0) * 1e6).min(u64::MAX as f64) as u64;
+        self.lag_us.store(us, Ordering::Relaxed);
+        self.max_lag_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Most recent dispatch lateness, milliseconds.
+    pub fn lag_ms(&self) -> u64 {
+        self.lag_us.load(Ordering::Relaxed) / 1_000
+    }
+
+    /// Worst dispatch lateness seen this run, milliseconds.
+    pub fn max_lag_ms(&self) -> u64 {
+        self.max_lag_us.load(Ordering::Relaxed) / 1_000
+    }
+}
+
+/// Where in trace time a replay resumes. A remainder trace handed to a
+/// fleet survivor keeps its original `at_ms` stamps; `elapsed_ms` says how
+/// much trace time has already passed fleet-wide, so requests scheduled at
+/// or before it fire immediately — *recorded as late by exactly their
+/// deficit* (coordinated-omission-correct: catch-up work is never dropped
+/// and its lateness is never hidden) — while later requests fire at their
+/// original schedule positions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ResumeSpec {
+    /// Trace time already elapsed when this replay starts, milliseconds.
+    pub elapsed_ms: u64,
 }
 
 struct Job {
@@ -211,6 +261,25 @@ pub fn replay_observed<B: Backend>(
     stop: &AtomicBool,
     inst: &ReplayInstruments<'_>,
 ) -> RunMetrics {
+    replay_resumed(trace, pool, backend, cfg, stop, inst, &ResumeSpec::default())
+}
+
+/// [`replay_observed`], resuming mid-schedule. With `resume.elapsed_ms ==
+/// 0` this is exactly `replay_observed`. With a positive elapsed time,
+/// requests already due dispatch immediately and record their true
+/// lateness (their schedule deficit divided by the compression factor),
+/// and requests still in the future fire at original schedule positions —
+/// the pacing a fleet survivor needs to take over a dead agent's
+/// remaining minutes without compressing or dropping the backlog.
+pub fn replay_resumed<B: Backend>(
+    trace: &RequestTrace,
+    pool: &WorkloadPool,
+    backend: &B,
+    cfg: &ReplayConfig,
+    stop: &AtomicBool,
+    inst: &ReplayInstruments<'_>,
+    resume: &ResumeSpec,
+) -> RunMetrics {
     assert!(cfg.workers > 0, "need at least one worker");
     if let Pacing::RealTime { compression } = cfg.pacing {
         assert!(compression > 0.0, "compression must be positive");
@@ -299,8 +368,8 @@ pub fn replay_observed<B: Backend>(
         // dispatched, so a stopped run reports its true prefix.
         let pacer_shard = cfg.workers;
         let mut pacer = RunMetrics::new();
-        let mut seq = 0u64;
-        for r in &trace.requests {
+        for (seq, r) in trace.requests.iter().enumerate() {
+            let seq = seq as u64;
             if stop.load(Ordering::Relaxed) {
                 pacer.aborted = true;
                 break;
@@ -308,16 +377,30 @@ pub fn replay_observed<B: Backend>(
             let workload = pool.get(r.workload).expect("request workload in pool");
             let mut target_us = None;
             if let Pacing::RealTime { compression } = cfg.pacing {
-                let target =
-                    start + Duration::from_secs_f64(r.at_ms as f64 / 1_000.0 / compression);
-                if !wait_until(target, stop) {
-                    pacer.aborted = true;
-                    break;
+                // Offset from the replay's own start on the *resumed*
+                // timeline; non-positive means the request was already due
+                // when this replay began.
+                let offset_ms = r.at_ms as i64 - resume.elapsed_ms as i64;
+                let lateness_s = if offset_ms > 0 {
+                    let target =
+                        start + Duration::from_secs_f64(offset_ms as f64 / 1_000.0 / compression);
+                    if !wait_until(target, stop) {
+                        pacer.aborted = true;
+                        break;
+                    }
+                    target_us = Some(us_since(start, target));
+                    (Instant::now().saturating_duration_since(target)).as_secs_f64()
+                } else {
+                    // Catch-up dispatch: fire now, but account the full
+                    // deficit as lateness — never silently re-time the
+                    // schedule.
+                    target_us = Some(0);
+                    (-offset_ms) as f64 / 1_000.0 / compression + start.elapsed().as_secs_f64()
+                };
+                pacer.lateness.record(lateness_s);
+                if let Some(gauge) = inst.pace {
+                    gauge.record_secs(lateness_s);
                 }
-                pacer
-                    .lateness
-                    .record((Instant::now().saturating_duration_since(target)).as_secs_f64());
-                target_us = Some(us_since(start, target));
             }
             pacer.record_issued(r.at_ms);
             if let Some(recorder) = inst.recorder {
@@ -338,7 +421,6 @@ pub fn replay_observed<B: Backend>(
                 // lateness by construction.
                 target_us: target_us.unwrap_or_else(|| us_since(start, dispatched)),
             };
-            seq += 1;
             if tx.send(job).is_err() {
                 break; // all workers died; stop issuing
             }
@@ -631,6 +713,68 @@ mod tests {
     }
 
     #[test]
+    fn resumed_replay_catches_up_without_dropping_or_reordering() {
+        // 40 requests spaced 10 ms apart; resume at 200 ms into trace
+        // time. The first ~21 are overdue and must fire immediately (the
+        // whole replay finishes well before the 400 ms the full schedule
+        // would need), and nothing is dropped.
+        let trace = tiny_trace(40, 10);
+        let pool = vanilla_pool();
+        let gauge = PaceGauge::new();
+        let inst = ReplayInstruments { sink: &NULL_SINK, recorder: None, pace: Some(&gauge) };
+        let start = Instant::now();
+        let m = replay_resumed(
+            &trace,
+            &pool,
+            &NoopBackend,
+            &ReplayConfig { pacing: Pacing::RealTime { compression: 1.0 }, workers: 2 },
+            &AtomicBool::new(false),
+            &inst,
+            &ResumeSpec { elapsed_ms: 200 },
+        );
+        let elapsed = start.elapsed();
+        assert_eq!(m.issued, 40, "catch-up must not drop overdue requests");
+        assert_eq!(m.completed, 40);
+        // Only the post-resume tail (at_ms in 210..=390) is paced: ~190 ms.
+        assert!(elapsed < Duration::from_millis(390), "resume must skip elapsed time: {elapsed:?}");
+        assert!(elapsed >= Duration::from_millis(180), "future requests stay on schedule");
+        // Coordinated-omission correctness: the overdue prefix records its
+        // full deficit as lateness (at_ms=0 was 200 ms overdue).
+        assert!(m.lateness.quantile(0.999) >= 0.15, "deficit must be recorded as lateness");
+        assert!(gauge.max_lag_ms() >= 150, "gauge saw the catch-up backlog");
+    }
+
+    #[test]
+    fn resume_at_zero_is_plain_observed_replay() {
+        let trace = tiny_trace(30, 1);
+        let pool = vanilla_pool();
+        let m = replay_resumed(
+            &trace,
+            &pool,
+            &NoopBackend,
+            &ReplayConfig { pacing: Pacing::RealTime { compression: 10.0 }, workers: 2 },
+            &AtomicBool::new(false),
+            &ReplayInstruments::default(),
+            &ResumeSpec::default(),
+        );
+        assert_eq!(m.issued, 30);
+        assert_eq!(m.completed, 30);
+        assert!(!m.aborted);
+    }
+
+    #[test]
+    fn pace_gauge_tracks_latest_and_max() {
+        let g = PaceGauge::new();
+        assert_eq!(g.lag_ms(), 0);
+        g.record_secs(0.250);
+        g.record_secs(0.010);
+        assert_eq!(g.lag_ms(), 10, "latest wins");
+        assert_eq!(g.max_lag_ms(), 250, "max is sticky");
+        g.record_secs(-1.0);
+        assert_eq!(g.lag_ms(), 0, "negative lateness clamps to zero");
+    }
+
+    #[test]
     fn closed_loop_hides_queueing_open_loop_exposes() {
         struct Slow;
         impl Backend for Slow {
@@ -670,7 +814,7 @@ mod tests {
         struct Flaky(AtomicU64);
         impl Backend for Flaky {
             fn invoke(&self, _req: &InvocationRequest) -> InvocationResult {
-                if self.0.fetch_add(1, Ordering::Relaxed) % 3 == 0 {
+                if self.0.fetch_add(1, Ordering::Relaxed).is_multiple_of(3) {
                     InvocationResult::timeout("deadline")
                 } else {
                     InvocationResult::success(0.1, false)
@@ -680,7 +824,7 @@ mod tests {
         let trace = tiny_trace(90, 0);
         let pool = vanilla_pool();
         let sink = RingSink::with_capacity(200);
-        let inst = ReplayInstruments { sink: &sink, recorder: None };
+        let inst = ReplayInstruments { sink: &sink, recorder: None, pace: None };
         let m = replay_observed(
             &trace,
             &pool,
@@ -730,7 +874,7 @@ mod tests {
         let trace = tiny_trace(80, 0);
         let pool = vanilla_pool();
         let sink = RingSink::with_capacity(200);
-        let inst = ReplayInstruments { sink: &sink, recorder: None };
+        let inst = ReplayInstruments { sink: &sink, recorder: None, pace: None };
         replay_observed(
             &trace,
             &pool,
@@ -777,7 +921,7 @@ mod tests {
         });
         let m = {
             let sink = JsonlSink::create(&path).unwrap();
-            let inst = ReplayInstruments { sink: &sink, recorder: None };
+            let inst = ReplayInstruments { sink: &sink, recorder: None, pace: None };
             replay_observed(
                 &trace,
                 &pool,
@@ -814,8 +958,11 @@ mod tests {
         let trace = tiny_trace(120, 0);
         let pool = vanilla_pool();
         let recorder = Recorder::new(3); // workers + 1
-        let inst =
-            ReplayInstruments { sink: &faasrail_telemetry::NullSink, recorder: Some(&recorder) };
+        let inst = ReplayInstruments {
+            sink: &faasrail_telemetry::NullSink,
+            recorder: Some(&recorder),
+            pace: None,
+        };
         let m = replay_observed(
             &trace,
             &pool,
@@ -845,10 +992,10 @@ mod tests {
             impl Backend for Flaky {
                 fn invoke(&self, _req: &InvocationRequest) -> InvocationResult {
                     let i = self.0.fetch_add(1, Ordering::Relaxed);
-                    if i % self.1 == 0 {
+                    if i.is_multiple_of(self.1) {
                         InvocationResult::transport("refused")
                     } else {
-                        InvocationResult::success(0.05, i % 7 == 0)
+                        InvocationResult::success(0.05, i.is_multiple_of(7))
                     }
                 }
             }
@@ -874,6 +1021,7 @@ mod tests {
             let inst = ReplayInstruments {
                 sink: &faasrail_telemetry::NullSink,
                 recorder: Some(&recorder),
+                pace: None,
             };
             let m = replay_observed(
                 &trace,

@@ -31,6 +31,42 @@ pub fn shard_of(function_index: u32, shards: u32) -> u32 {
     (splitmix64(function_index as u64) % shards as u64) as u32
 }
 
+/// The unfinished suffix of `trace`: every request at or beyond the
+/// contiguous-completion `watermark` (an index into `trace.requests`).
+/// Request timestamps are preserved, so replaying the remainder with a
+/// resume offset keeps each invocation in its original minute bucket.
+pub fn remainder_after(trace: &RequestTrace, watermark: usize) -> RequestTrace {
+    RequestTrace {
+        duration_minutes: trace.duration_minutes,
+        requests: trace.requests.get(watermark..).unwrap_or(&[]).to_vec(),
+    }
+}
+
+/// Deterministically re-partition a lost shard's remainder across the
+/// `survivors` (arbitrary agent identifiers, order-significant). Every
+/// request of one Function lands on the same survivor — the same
+/// function-keyed invariant as the original sharding — and the returned
+/// parts exactly partition `trace`. Survivors with no work are omitted.
+///
+/// # Panics
+/// Panics if `survivors` is empty.
+pub fn partition_remainder(trace: &RequestTrace, survivors: &[u32]) -> Vec<(u32, RequestTrace)> {
+    assert!(!survivors.is_empty(), "cannot partition a remainder across zero survivors");
+    let n = survivors.len() as u32;
+    let mut parts: Vec<(u32, RequestTrace)> = survivors
+        .iter()
+        .map(|&s| {
+            (s, RequestTrace { duration_minutes: trace.duration_minutes, requests: Vec::new() })
+        })
+        .collect();
+    for r in &trace.requests {
+        let slot = shard_of(r.function_index, n) as usize;
+        parts[slot].1.requests.push(*r);
+    }
+    parts.retain(|(_, t)| !t.requests.is_empty());
+    parts
+}
+
 /// One shard of a sharded replay: `index` of `count`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShardSpec {
@@ -182,5 +218,46 @@ mod tests {
     #[should_panic]
     fn out_of_range_index_rejected() {
         ShardSpec::new(4, 4);
+    }
+
+    #[test]
+    fn remainder_after_is_the_unfinished_suffix() {
+        let full = trace(10, 4);
+        let rem = remainder_after(&full, 15);
+        assert_eq!(rem.requests, full.requests[15..].to_vec());
+        assert_eq!(rem.duration_minutes, full.duration_minutes);
+        assert_eq!(remainder_after(&full, 0), full, "watermark 0 keeps everything");
+        assert!(remainder_after(&full, full.requests.len()).requests.is_empty());
+        assert!(remainder_after(&full, usize::MAX).requests.is_empty(), "past-end is empty");
+    }
+
+    #[test]
+    fn partition_remainder_partitions_exactly_and_keeps_function_affinity() {
+        let full = trace(40, 5);
+        let rem = remainder_after(&full, 37);
+        let survivors = [7u32, 2, 9];
+        let parts = partition_remainder(&rem, &survivors);
+        // Exact partition: union equals the remainder, order preserved per part.
+        let mut union: Vec<_> = parts.iter().flat_map(|(_, t)| t.requests.clone()).collect();
+        union.sort_by_key(|r| (r.at_ms, r.function_index));
+        let mut want = rem.requests.clone();
+        want.sort_by_key(|r| (r.at_ms, r.function_index));
+        assert_eq!(union, want);
+        for (owner, t) in &parts {
+            assert!(survivors.contains(owner));
+            assert!(!t.requests.is_empty(), "empty parts must be omitted");
+            assert!(t.requests.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+            for r in &t.requests {
+                assert_eq!(survivors[shard_of(r.function_index, 3) as usize], *owner);
+            }
+        }
+        // Deterministic: same inputs, same plan.
+        assert_eq!(parts, partition_remainder(&rem, &survivors));
+    }
+
+    #[test]
+    #[should_panic]
+    fn partition_remainder_rejects_zero_survivors() {
+        partition_remainder(&trace(3, 2), &[]);
     }
 }

@@ -60,6 +60,6 @@ pub use report::{
 };
 pub use sink::{EventSink, JsonlSink, NullSink, RingSink};
 pub use span::{
-    derive_trace_id, format_trace_id, parse_trace_id, InvocationSpan, OutcomeClass, RunInfo,
-    RunSummary, ServerFault, ServerSpan, TelemetryEvent,
+    derive_trace_id, format_trace_id, parse_trace_id, InvocationSpan, OutcomeClass, ReassignSpan,
+    RunInfo, RunSummary, ServerFault, ServerSpan, TelemetryEvent,
 };

@@ -208,6 +208,10 @@ pub struct RunReport {
     pub completed_per_minute: Vec<u64>,
     /// Failed spans per scheduled minute.
     pub errors_per_minute: Vec<u64>,
+    /// Fleet reassignment grants seen in the event stream (0 for
+    /// single-process runs).
+    #[serde(default)]
+    pub reassignments: u64,
 }
 
 fn bump(v: &mut Vec<u64>, minute: usize) {
@@ -249,6 +253,7 @@ impl RunReport {
                 // report ignores them (see `with_server_events` for the
                 // cross-tier join).
                 TelemetryEvent::ServerSpan(_) => {}
+                TelemetryEvent::Reassign(_) => report.reassignments += 1,
             }
         }
 
@@ -442,6 +447,7 @@ pub fn merge_event_logs<L: AsRef<[TelemetryEvent]>>(logs: &[L]) -> Vec<Telemetry
     let mut seen = HashSet::new();
     let mut spans: Vec<InvocationSpan> = Vec::new();
     let mut server_spans = Vec::new();
+    let mut reassigns = Vec::new();
     for log in logs {
         for event in log.as_ref() {
             match event {
@@ -469,16 +475,19 @@ pub fn merge_event_logs<L: AsRef<[TelemetryEvent]>>(logs: &[L]) -> Vec<Telemetry
                     }
                 }
                 TelemetryEvent::ServerSpan(span) => server_spans.push(span.clone()),
+                TelemetryEvent::Reassign(span) => reassigns.push(span.clone()),
             }
         }
     }
     spans.sort_by_key(|s| (s.dispatched_us, s.trace_id, s.seq));
     server_spans.sort_by_key(|s| (s.accepted_us, s.trace_id, s.seq));
+    reassigns.sort_by_key(|r| (r.at_us, r.work, r.to_shard));
 
-    let mut out = Vec::with_capacity(spans.len() + server_spans.len() + 2);
+    let mut out = Vec::with_capacity(spans.len() + server_spans.len() + reassigns.len() + 2);
     out.extend(run.map(TelemetryEvent::RunStart));
     out.extend(spans.into_iter().map(TelemetryEvent::Invocation));
     out.extend(server_spans.into_iter().map(TelemetryEvent::ServerSpan));
+    out.extend(reassigns.into_iter().map(TelemetryEvent::Reassign));
     out.extend(end.map(TelemetryEvent::RunEnd));
     out
 }

@@ -334,6 +334,29 @@ pub struct RunSummary {
     pub wall_us: u64,
 }
 
+/// A fleet control-plane reassignment: the coordinator moved part of a
+/// lost agent's remaining schedule to a survivor mid-run. Emitted into
+/// merged fleet event streams so a report reader can see exactly when and
+/// why offered load changed hands.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReassignSpan {
+    /// When the coordinator issued the grant, µs from run start (merged
+    /// epoch).
+    pub at_us: u64,
+    /// Shard that owned the work before it was lost.
+    pub from_shard: u32,
+    /// Shard that picked the work up.
+    pub to_shard: u32,
+    /// Grant id (unique per reassignment within a run; `0` is reserved
+    /// for an agent's original assignment).
+    pub work: u64,
+    /// Invocations transferred by this grant.
+    pub requests: u64,
+    /// Why the source agent was declared dead (`"crash"`, `"stall"`, or
+    /// an abort reason).
+    pub reason: String,
+}
+
 /// One telemetry event. Serialized as JSONL with an `event` tag, so logs
 /// are grep-able and stream-parseable line by line.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -343,6 +366,8 @@ pub enum TelemetryEvent {
     Invocation(InvocationSpan),
     /// Server-side gateway span (only present in server trace logs).
     ServerSpan(ServerSpan),
+    /// Fleet reassignment (only present in merged fleet logs).
+    Reassign(ReassignSpan),
     RunEnd(RunSummary),
 }
 

@@ -1,0 +1,211 @@
+//! Property tests for the resharding algebra: random kill/rejoin
+//! schedules against the *pure* planning layer (`prefix_metrics`,
+//! `plan_grants`, `per_minute_of`), asserting the invariants the elastic
+//! control plane stakes its accounting on:
+//!
+//! * **exact partition** — across any sequence of kills, regrants,
+//!   rejoins, and a no-survivor collapse, `completed + errors + aborted`
+//!   equals the offered schedule exactly, per outcome kind and per
+//!   minute (issued + aborted minute series == offered minute series,
+//!   element-wise);
+//! * **determinism** — replaying the identical kill schedule produces an
+//!   identical grant plan and identical merged metrics.
+//!
+//! The outcome of every request is a pure function of its function index
+//! (the same convention the e2e fleet tests use), so "what the agent
+//! would have reported" is computable without running anything.
+
+use faasrail::core::{Request, RequestTrace};
+use faasrail::fleet::{per_minute_of, plan_grants, prefix_metrics, WorkPrefix};
+use faasrail::loadgen::{partition_remainder, RunMetrics};
+use faasrail::prelude::*;
+use faasrail::workloads::WorkloadId;
+use proptest::prelude::*;
+
+/// Deterministic outcome of one request: error bucket index or success
+/// (with a cold-start flag), keyed on the function index alone.
+fn claimed_prefix(trace: &RequestTrace, work: u64, watermark: usize) -> WorkPrefix {
+    let mut p = WorkPrefix { work, watermark: watermark as u64, ..WorkPrefix::default() };
+    for r in &trace.requests[..watermark] {
+        match r.function_index % 7 {
+            0 => p.errors[0] += 1,
+            1 => p.errors[1] += 1,
+            2 => p.errors[3] += 1,
+            _ => {
+                p.completed += 1;
+                if r.function_index.is_multiple_of(5) {
+                    p.cold_starts += 1;
+                }
+            }
+        }
+    }
+    assert!(p.is_consistent());
+    p
+}
+
+/// One kill event in the schedule: which live shard dies (as a fraction
+/// of the live set), how far through each of its works it got, and
+/// whether a fresh agent rejoins right after.
+#[derive(Debug, Clone)]
+struct Kill {
+    victim_frac: f64,
+    watermark_frac: f64,
+    rejoin: bool,
+}
+
+/// What one simulated run produced — everything determinism must cover.
+struct Simulated {
+    metrics: RunMetrics,
+    aborted_per_minute: Vec<u64>,
+    /// (target shard, grant id, request count, first at_ms) per grant.
+    plan: Vec<(u32, u64, usize, u64)>,
+}
+
+/// Drive the pure planning layer through a full fleet lifetime: initial
+/// hash partition, kills with prefix salvage + remainder regrants (or
+/// aborts when no survivor is left), optional rejoins as fresh capacity,
+/// and full completion of whatever is still owned at the end.
+fn simulate(trace: &RequestTrace, pool: &WorkloadPool, shards: u32, kills: &[Kill]) -> Simulated {
+    let shard_ids: Vec<u32> = (0..shards).collect();
+    let mut alive = shard_ids.clone();
+    let mut next_shard = shards;
+    let mut next_id: u64 = 1 << 32;
+    // (work id, owner shard, origin shard, trace)
+    let mut works: Vec<(u64, u32, u32, RequestTrace)> = partition_remainder(trace, &shard_ids)
+        .into_iter()
+        .map(|(s, part)| (s as u64, s, s, part))
+        .collect();
+    let mut metrics = RunMetrics::new();
+    let mut aborted_per_minute: Vec<u64> = Vec::new();
+    let mut plan = Vec::new();
+
+    for kill in kills {
+        if alive.is_empty() {
+            break;
+        }
+        let victim = alive[(kill.victim_frac * alive.len() as f64) as usize % alive.len()];
+        alive.retain(|&s| s != victim);
+        let (dead, surviving): (Vec<_>, Vec<_>) =
+            works.drain(..).partition(|&(_, owner, _, _)| owner == victim);
+        works = surviving;
+        for (id, _, origin, work_trace) in dead {
+            let n = work_trace.requests.len();
+            let watermark = (kill.watermark_frac * n as f64) as usize % (n + 1);
+            let prefix = claimed_prefix(&work_trace, id, watermark);
+            metrics.merge(&prefix_metrics(&work_trace, pool, &prefix));
+            if alive.is_empty() {
+                let rest = faasrail::loadgen::remainder_after(&work_trace, watermark);
+                let pm = per_minute_of(&rest);
+                if aborted_per_minute.len() < pm.len() {
+                    aborted_per_minute.resize(pm.len(), 0);
+                }
+                for (a, b) in aborted_per_minute.iter_mut().zip(&pm) {
+                    *a += b;
+                }
+            } else {
+                let grants = plan_grants(&work_trace, watermark as u64, &alive, next_id, origin, 0);
+                next_id += grants.len() as u64;
+                for (target, grant) in grants {
+                    plan.push((
+                        target,
+                        grant.id,
+                        grant.trace.requests.len(),
+                        grant.trace.requests.first().map(|r| r.at_ms).unwrap_or(0),
+                    ));
+                    works.push((grant.id, target, grant.origin_shard, grant.trace));
+                }
+            }
+        }
+        if kill.rejoin {
+            alive.push(next_shard);
+            alive.sort_unstable();
+            next_shard += 1;
+        }
+    }
+
+    // Whoever is still alive finishes everything it holds.
+    for (id, _, _, work_trace) in works {
+        let n = work_trace.requests.len();
+        let prefix = claimed_prefix(&work_trace, id, n);
+        metrics.merge(&prefix_metrics(&work_trace, pool, &prefix));
+    }
+    Simulated { metrics, aborted_per_minute, plan }
+}
+
+fn padded(v: &[u64], len: usize) -> Vec<u64> {
+    let mut out = v.to_vec();
+    out.resize(len.max(out.len()), 0);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random traces, shard counts, and kill/rejoin schedules: the
+    /// outcome partition stays exact — in total, per error kind, and
+    /// minute by minute — and the plan is a pure function of the inputs.
+    #[test]
+    fn random_kill_schedules_preserve_the_partition_exactly(
+        raw in prop::collection::vec((0u64..180_000, 0u32..60, 0u32..4), 20..200),
+        shards in 2u32..5,
+        kills in prop::collection::vec(
+            (0.0f64..1.0, 0.0f64..1.0, 0u8..2).prop_map(|(v, w, r)| Kill {
+                victim_frac: v,
+                watermark_frac: w,
+                rejoin: r == 1,
+            }),
+            0..6,
+        ),
+    ) {
+        let pool = WorkloadPool::vanilla(&CostModel::default_calibration());
+        let mut requests: Vec<Request> = raw
+            .iter()
+            .map(|&(at_ms, fi, w)| Request {
+                at_ms,
+                workload: WorkloadId(w % pool.len() as u32),
+                function_index: fi,
+            })
+            .collect();
+        requests.sort_by_key(|r| r.at_ms);
+        let trace = RequestTrace { duration_minutes: 3, requests };
+        let offered = trace.requests.len() as u64;
+
+        let sim = simulate(&trace, &pool, shards, &kills);
+        let m = &sim.metrics;
+        let aborted: u64 = sim.aborted_per_minute.iter().sum();
+
+        // Total partition: every offered request finished somewhere or
+        // aborted with no survivor — never both, never neither.
+        prop_assert_eq!(m.completed + m.errors + aborted, offered);
+        prop_assert_eq!(m.issued, m.completed + m.errors);
+        prop_assert_eq!(
+            m.app_errors + m.timeouts + m.transport_errors + m.shed,
+            m.errors,
+            "error kinds partition the error total"
+        );
+
+        // Per-kind conservation: issued requests carry their workload kind.
+        prop_assert_eq!(m.per_kind.values().sum::<u64>(), m.issued);
+
+        // Per-minute: issued + aborted == offered, element-wise.
+        let full = per_minute_of(&trace);
+        let len = full.len();
+        let issued_pm = padded(&m.issued_per_minute, len);
+        let aborted_pm = padded(&sim.aborted_per_minute, len);
+        let full_pm = padded(&full, len);
+        for (minute, ((i, a), f)) in
+            issued_pm.iter().zip(&aborted_pm).zip(&full_pm).enumerate()
+        {
+            prop_assert_eq!(i + a, *f, "minute {} must balance", minute);
+        }
+
+        // Determinism: the identical schedule replans identically.
+        let again = simulate(&trace, &pool, shards, &kills);
+        prop_assert_eq!(&sim.plan, &again.plan, "grant plan must be deterministic");
+        prop_assert_eq!(
+            serde_json::to_string(&sim.metrics).unwrap(),
+            serde_json::to_string(&again.metrics).unwrap()
+        );
+        prop_assert_eq!(&sim.aborted_per_minute, &again.aborted_per_minute);
+    }
+}

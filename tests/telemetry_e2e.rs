@@ -244,7 +244,7 @@ fn jsonl_event_log_reconstructs_the_exact_run_metrics_partition() {
         &client,
         &ReplayConfig { pacing: Pacing::Unpaced, workers: 4 },
         &AtomicBool::new(false),
-        &ReplayInstruments { sink: &sink, recorder: None },
+        &ReplayInstruments { sink: &sink, recorder: None, pace: None },
     );
     drop(client);
     handle.stop();

@@ -154,7 +154,7 @@ fn zero_drop_replay_joins_every_client_span_and_stages_telescope() {
         &client,
         &ReplayConfig { pacing: Pacing::Unpaced, workers: 4 },
         &AtomicBool::new(false),
-        &ReplayInstruments { sink: &sink, recorder: None },
+        &ReplayInstruments { sink: &sink, recorder: None, pace: None },
     );
     drop(client);
     handle.stop(); // joins the accept loop, which flushes the trace sink
@@ -238,7 +238,7 @@ fn overload_orphans_are_exactly_the_sheds_and_unreached_transport_errors() {
         &client,
         &ReplayConfig { pacing: Pacing::Unpaced, workers: 4 },
         &AtomicBool::new(false),
-        &ReplayInstruments { sink: &sink, recorder: None },
+        &ReplayInstruments { sink: &sink, recorder: None, pace: None },
     );
     drop(client);
     handle.stop();
@@ -342,7 +342,7 @@ fn injected_faults_classify_server_spans_and_survive_clock_skew() {
         &client,
         &ReplayConfig { pacing: Pacing::Unpaced, workers: 4 },
         &AtomicBool::new(false),
-        &ReplayInstruments { sink: &sink, recorder: None },
+        &ReplayInstruments { sink: &sink, recorder: None, pace: None },
     );
     drop(client);
     handle.stop();
