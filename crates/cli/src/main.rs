@@ -31,11 +31,13 @@
 //!                     [--target HOST:PORT] [--events merged.jsonl]
 //!                     [--report-out fleet.json] [--progress-ms T]
 //!                     [--start-delay-ms T] [--agent-timeout-s N] [--live]
-//!                     [--lease-ms T] [--no-reshard]
+//!                     [--lease-ms T] [--no-reshard] [--console ADDR]
 //! faasrail fleet agent
 //!                     --coordinator HOST:PORT [--name NAME]
 //!                     [--timeout-ms N] [--attempts N]
 //!                     [--max-rejoin-backoff-ms T] [--no-rejoin]
+//! faasrail fleet top  --coordinator ADDR   # the coordinator's --console address
+//!                     [--interval-ms T] [--iterations N]  # N=0: until the run ends
 //! faasrail serve      [--addr 127.0.0.1:7471] [--backend warm-cache|in-process|noop]
 //!                     [--pool p.json] [--conn-workers N] [--queue-cap N]
 //!                     [--read-timeout-s N] [--trace-out server.jsonl]
@@ -78,7 +80,7 @@ use faasrail_workloads::{CostModel, WorkloadKind, WorkloadPool};
 use std::fs;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: faasrail <gen-trace|build-pool|shrink|requests|smirnov|simulate|replay|report|serve|fleet coordinate|fleet agent|lab run|calibrate|analyze|compare|evaluate|export> [options]
+const USAGE: &str = "usage: faasrail <gen-trace|build-pool|shrink|requests|smirnov|simulate|replay|report|serve|fleet coordinate|fleet agent|fleet top|lab run|calibrate|analyze|compare|evaluate|export> [options]
 run with a bad option to see each command's requirements; see crate docs for the full grammar";
 
 fn main() -> ExitCode {
@@ -197,6 +199,7 @@ fn run(args: &Args) -> Result<(), String> {
         "serve" => cmd_serve(args),
         "fleet coordinate" => cmd_fleet_coordinate(args),
         "fleet agent" => cmd_fleet_agent(args),
+        "fleet top" => cmd_fleet_top(args),
         "lab run" => cmd_lab_run(args),
         "calibrate" => cmd_calibrate(args),
         "analyze" => cmd_analyze(args),
@@ -959,9 +962,16 @@ fn cmd_fleet_coordinate(args: &Args) -> Result<(), String> {
         agent_timeout: std::time::Duration::from_secs(args.num("agent-timeout-s", 30u64)?),
         lease_ms: args.num("lease-ms", 5_000u64)?,
         reshard: !args.flag("no-reshard"),
+        console: args.get("console").map(str::to_string),
     };
     let coordinator =
         Coordinator::bind(args.get_or("addr", "127.0.0.1:7571")).map_err(|e| e.to_string())?;
+    if let Some(console) = &cfg.console {
+        eprintln!(
+            "fleet: ops console at http://{console} — \
+             /state /metrics /healthz /dashboard (fleet top --coordinator {console})"
+        );
+    }
     eprintln!(
         "fleet: coordinating {} agents at {} — {} requests / {}-minute schedule, target={}",
         cfg.agents,
@@ -1104,6 +1114,48 @@ fn cmd_fleet_agent(args: &Args) -> Result<(), String> {
             Ok(())
         }
         None => Err("coordinator aborted the run before start".into()),
+    }
+}
+
+/// `faasrail fleet top --coordinator ADDR` — live terminal view of a
+/// running fleet, rendered from the coordinator's `/state` endpoint (the
+/// address given to `fleet coordinate --console`). Redraws every
+/// `--interval-ms` until the console stops answering (run over) or
+/// `--iterations` frames have been drawn (`0` = no limit).
+fn cmd_fleet_top(args: &Args) -> Result<(), String> {
+    use faasrail_fleet::{fetch_state, render_top};
+
+    let addr = args.require("coordinator")?.to_string();
+    let interval = std::time::Duration::from_millis(args.num("interval-ms", 1_000u64)?);
+    let iterations = args.num("iterations", 0u64)?;
+    let mut drawn = 0u64;
+    let mut misses = 0u32;
+    loop {
+        match fetch_state(&addr, 0) {
+            Ok(view) => {
+                misses = 0;
+                drawn += 1;
+                // Clear screen + home, then one full frame: a plain redraw
+                // keeps this usable under `watch`, pipes, and dumb terminals.
+                print!("\x1b[2J\x1b[H{}", render_top(&view));
+                use std::io::Write;
+                std::io::stdout().flush().map_err(|e| e.to_string())?;
+            }
+            Err(e) => {
+                misses += 1;
+                if drawn == 0 && misses >= 3 {
+                    return Err(format!("fleet top: no console at {addr}: {e}"));
+                }
+                if misses >= 3 {
+                    eprintln!("fleet top: console at {addr} stopped answering ({e}) — run over");
+                    return Ok(());
+                }
+            }
+        }
+        if iterations > 0 && drawn >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
     }
 }
 

@@ -51,11 +51,13 @@ use serde::Serialize;
 use faasrail_core::RequestTrace;
 use faasrail_loadgen::{Pacing, RunMetrics, ShardSpec};
 use faasrail_telemetry::{
-    merge_event_logs, offset_from_probes, ClockOffset, ReassignSpan, RunReport, Snapshot,
-    TelemetryEvent,
+    merge_event_logs, offset_from_probes, ClockOffset, DeltaWindow, ReassignSpan, RunReport,
+    Snapshot, TelemetryEvent,
 };
 use faasrail_workloads::WorkloadPool;
 
+use crate::console::ConsoleServer;
+use crate::history::{AgentState, History};
 use crate::reshard::{per_minute_of, plan_grants, prefix_metrics};
 use crate::wire::{
     read_frame, wall_clock_us, write_frame, Assignment, FleetMessage, WorkPrefix, PROTOCOL_VERSION,
@@ -97,6 +99,11 @@ pub struct FleetConfig {
     /// restores the pre-elastic accounting: the remainder books as
     /// aborted from the last progress snapshot.
     pub reshard: bool,
+    /// Serve the HTTP ops console (`/state`, `/metrics`, `/healthz`,
+    /// `/dashboard`) on this address for the duration of the run. Ignored
+    /// when the coordinator was pre-bound via [`Coordinator::with_console`]
+    /// (which is how tests discover a `port 0` console address).
+    pub console: Option<String>,
 }
 
 impl Default for FleetConfig {
@@ -114,6 +121,7 @@ impl Default for FleetConfig {
             agent_timeout: Duration::from_secs(30),
             lease_ms: 5_000,
             reshard: true,
+            console: None,
         }
     }
 }
@@ -419,16 +427,30 @@ impl Control<'_> {
 /// A bound fleet coordinator, ready to accept agents.
 pub struct Coordinator {
     listener: TcpListener,
+    console: Option<ConsoleServer>,
 }
 
 impl Coordinator {
     pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<Coordinator> {
-        Ok(Coordinator { listener: TcpListener::bind(addr)? })
+        Ok(Coordinator { listener: TcpListener::bind(addr)?, console: None })
     }
 
     /// The bound address — hand this to agents (`port 0` resolves here).
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// Pre-bind the ops console so its address (e.g. `port 0`) is known
+    /// before [`Coordinator::run`] blocks. Takes precedence over
+    /// [`FleetConfig::console`].
+    pub fn with_console<A: ToSocketAddrs>(mut self, addr: A) -> io::Result<Coordinator> {
+        self.console = Some(ConsoleServer::bind(addr)?);
+        Ok(self)
+    }
+
+    /// The console's bound address, when pre-bound via `with_console`.
+    pub fn console_addr(&self) -> Option<SocketAddr> {
+        self.console.as_ref().and_then(|c| c.local_addr().ok())
     }
 
     /// Run one fleet replay to completion and merge the results.
@@ -451,6 +473,24 @@ impl Coordinator {
         let shards = cfg.agents as u32;
         let offered = trace.requests.len() as u64;
         let run_token = format!("fleet-{:x}", wall_clock_us());
+
+        // Ops console: pre-bound (`with_console`) or bound here from the
+        // config. It serves from before the first handshake until the
+        // final merge, so operators can watch the whole run.
+        let console_bound;
+        let console: Option<&ConsoleServer> = match (&self.console, &cfg.console) {
+            (Some(c), _) => Some(c),
+            (None, Some(addr)) => {
+                console_bound = ConsoleServer::bind(addr.as_str())?;
+                Some(&console_bound)
+            }
+            (None, None) => None,
+        };
+        let console_run = match console {
+            Some(c) => Some(c.start()?),
+            None => None,
+        };
+        let history: Option<Arc<History>> = console.map(|c| c.history());
 
         // Phase 1: accept + handshake each agent sequentially. Sequential
         // is fine — the expensive part (shard traces) is precomputed, and
@@ -559,7 +599,8 @@ impl Coordinator {
             }
 
             let window = Duration::from_millis(cfg.progress_every_ms.max(100));
-            let mut prev = Snapshot::default();
+            let history = &history;
+            let mut live_windows = DeltaWindow::new();
             let mut elapsed = Duration::ZERO;
             loop {
                 std::thread::sleep(Duration::from_millis(50));
@@ -582,21 +623,31 @@ impl Coordinator {
                         write_frame(&mut *slot.writer.lock().unwrap(), &FleetMessage::Finish).ok();
                     }
                 }
-                if cfg.live && elapsed.as_millis() % window.as_millis().max(1) < 50 {
+                if (cfg.live || history.is_some())
+                    && elapsed.as_millis() % window.as_millis().max(1) < 50
+                {
                     let inner = control.inner.lock().unwrap();
                     let mut merged = Snapshot::default();
                     for slot in &inner.slots {
                         merged.merge(&slot.last_progress);
                     }
-                    let lag: u64 = inner.slots.iter().map(|s| s.lag_ms).max().unwrap_or(0);
-                    let delta = merged.delta(&prev);
-                    eprintln!(
-                        "[fleet {} agents, lag {}ms] {}",
-                        inner.slots.len(),
-                        lag,
-                        delta.progress_line(window.as_secs_f64(), elapsed.as_secs_f64())
-                    );
-                    prev = merged;
+                    if let Some(h) = history {
+                        let at_ms = wall_clock_us().saturating_sub(epoch_us) / 1_000;
+                        h.publish(at_ms, &merged, agent_states(&inner.slots));
+                        h.set_timeline(inner.reassignments.clone(), inner.abort_reasons.clone());
+                    }
+                    if cfg.live {
+                        let lag: u64 = inner.slots.iter().map(|s| s.lag_ms).max().unwrap_or(0);
+                        // Same DeltaWindow machinery as the console history
+                        // and `fleet top`, so the three views always agree.
+                        let delta = live_windows.advance(&merged);
+                        eprintln!(
+                            "[fleet {} agents, lag {}ms] {}",
+                            inner.slots.len(),
+                            lag,
+                            delta.progress_line(window.as_secs_f64(), elapsed.as_secs_f64())
+                        );
+                    }
                 }
                 if collectors.load(Ordering::Acquire) == 0
                     && !admission_busy.load(Ordering::Acquire)
@@ -607,6 +658,22 @@ impl Coordinator {
             run_over.store(true, Ordering::Release);
         });
         self.listener.set_nonblocking(false).ok();
+
+        // One terminal sample so consumers that poll after the last window
+        // still see final lease states and the complete timeline.
+        if let Some(h) = &history {
+            let inner = control.inner.lock().unwrap();
+            let mut merged = Snapshot::default();
+            for slot in &inner.slots {
+                merged.merge(&slot.last_progress);
+            }
+            let at_ms = wall_clock_us().saturating_sub(epoch_us) / 1_000;
+            h.publish(at_ms, &merged, agent_states(&inner.slots));
+            h.set_timeline(inner.reassignments.clone(), inner.abort_reasons.clone());
+        }
+        if let Some(run) = console_run {
+            run.stop();
+        }
 
         let inner = control.inner.into_inner().unwrap();
         Ok(merge_fleet(inner, shards, offered, epoch_us, cfg))
@@ -848,6 +915,30 @@ fn collect_agent(control: &Control<'_>, idx: usize, mut reader: BufReader<TcpStr
             }
         }
     }
+}
+
+/// Project the control plane's slots onto the console's per-agent rows.
+fn agent_states(slots: &[Slot]) -> Vec<AgentState> {
+    slots
+        .iter()
+        .map(|s| AgentState {
+            name: s.name.clone(),
+            shard: s.shard,
+            status: match &s.status {
+                SlotStatus::Live => "live".to_string(),
+                SlotStatus::Done => "done".to_string(),
+                SlotStatus::Dead(reason) => reason.clone(),
+            },
+            rejoined: s.rejoined,
+            granted: s.granted,
+            lag_ms: s.lag_ms,
+            max_lag_ms: s.max_lag_ms,
+            issued: s.last_progress.issued,
+            completed: s.last_progress.completed,
+            errors: s.last_progress.errors_total(),
+            shed: s.last_progress.errors[3],
+        })
+        .collect()
 }
 
 /// Project final metrics back onto the progress-snapshot shape so a

@@ -38,19 +38,34 @@
 //!   [`faasrail_telemetry::Snapshot`]s on a fixed cadence and return final
 //!   [`faasrail_loadgen::RunMetrics`] (plus optional span logs, rebased
 //!   onto the shared epoch and merged via
-//!   [`faasrail_telemetry::merge_event_logs`]) in one [`FleetReport`].
+//!   [`faasrail_telemetry::merge_event_logs`]) in one [`FleetReport`];
+//! * **ops console** — with [`FleetConfig::console`] (or
+//!   [`Coordinator::with_console`]) the coordinator serves an embedded
+//!   HTTP observability plane ([`console`], backed by the bounded
+//!   [`history::History`] ring): `GET /state` windowed JSON with a `since`
+//!   cursor, `GET /metrics` fleet-wide Prometheus 0.0.4 with per-agent
+//!   label vectors, `GET /healthz` lease-state counts, and a
+//!   self-contained `GET /dashboard` page — plus [`console::render_top`]
+//!   behind `faasrail fleet top` for terminal operators.
 //!
 //! The protocol ([`wire`], version [`wire::PROTOCOL_VERSION`]) is
 //! length-prefixed JSON over TCP — no dependencies beyond the workspace's
 //! own serde stack, debuggable with `nc`.
 
 pub mod agent;
+pub mod console;
 pub mod coordinator;
+pub mod history;
 pub mod reshard;
 pub mod wire;
 
 pub use agent::{run_agent, run_agent_with, AgentConfig, AgentRun, PrefixTracker};
+pub use console::{fetch_state, render_top, ConsoleHandle, ConsoleServer, DASHBOARD_HTML};
 pub use coordinator::{AgentReport, Coordinator, FleetConfig, FleetReport};
+pub use history::{
+    AgentState, FleetSample, HealthCounts, History, StateView, WindowStats,
+    DEFAULT_HISTORY_CAPACITY,
+};
 pub use reshard::{per_minute_of, plan_grants, prefix_metrics};
 pub use wire::{
     read_frame, wall_clock_us, write_frame, Assignment, FleetMessage, Grant, WorkPrefix,

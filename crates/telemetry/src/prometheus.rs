@@ -38,6 +38,24 @@ fn escape_help(help: &str) -> String {
     help.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
+/// Escape a label *value* per the text-format grammar: inside the double
+/// quotes, backslash, double-quote, and line-feed must be written as `\\`,
+/// `\"`, and `\n`. Label values are the one place arbitrary user strings
+/// (agent names, error reasons) reach the exposition, so this is load-
+/// bearing for scrape correctness, not cosmetics.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 fn valid_metric_name(name: &str) -> bool {
     !name.is_empty()
         && name.chars().enumerate().all(|(i, c)| {
@@ -64,10 +82,11 @@ impl PromText {
 
     /// A counter family with one label dimension; every listed series is
     /// emitted, including zero-valued ones, so scrapes always expose the
-    /// full class partition.
+    /// full class partition. Label values are escaped per the grammar.
     pub fn counter_vec(&mut self, name: &str, help: &str, label: &str, series: &[(&str, u64)]) {
         self.header(name, help, "counter");
         for (value, count) in series {
+            let value = escape_label_value(value);
             let _ = writeln!(self.buf, "{name}{{{label}=\"{value}\"}} {count}");
         }
     }
@@ -76,6 +95,16 @@ impl PromText {
     pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
         self.header(name, help, "gauge");
         let _ = writeln!(self.buf, "{name} {value}");
+    }
+
+    /// A gauge family with one label dimension (escaped like
+    /// [`PromText::counter_vec`]).
+    pub fn gauge_vec(&mut self, name: &str, help: &str, label: &str, series: &[(&str, f64)]) {
+        self.header(name, help, "gauge");
+        for (value, v) in series {
+            let value = escape_label_value(value);
+            let _ = writeln!(self.buf, "{name}{{{label}=\"{value}\"}} {v}");
+        }
     }
 
     /// A [`LogHistogram`] as a native Prometheus histogram: cumulative
@@ -145,6 +174,36 @@ mod tests {
         let out = p.finish();
         assert!(out.contains("e_total{class=\"timeout\"} 3\n"), "{out}");
         assert!(out.contains("e_total{class=\"shed\"} 0\n"), "{out}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut p = PromText::new();
+        p.counter_vec(
+            "e_total",
+            "Errors.",
+            "agent",
+            &[("quo\"te", 1), ("back\\slash", 2), ("new\nline", 3)],
+        );
+        p.gauge_vec("lag_ms", "Lag.", "agent", &[("quo\"te", 4.5)]);
+        let out = p.finish();
+        assert!(out.contains("e_total{agent=\"quo\\\"te\"} 1\n"), "{out}");
+        assert!(out.contains("e_total{agent=\"back\\\\slash\"} 2\n"), "{out}");
+        assert!(out.contains("e_total{agent=\"new\\nline\"} 3\n"), "{out}");
+        assert!(out.contains("lag_ms{agent=\"quo\\\"te\"} 4.5\n"), "{out}");
+        // The raw line-feed must never reach the payload mid-line.
+        for line in out.lines() {
+            assert!(!line.ends_with("new"), "unescaped newline split a sample line: {out}");
+        }
+    }
+
+    #[test]
+    fn escape_label_value_grammar() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        assert_eq!(escape_label_value("\\\"\n"), "\\\\\\\"\\n");
     }
 
     #[test]

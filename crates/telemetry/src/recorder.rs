@@ -264,6 +264,49 @@ impl Snapshot {
     }
 }
 
+/// Turns a stream of *cumulative* snapshots into consecutive windowed
+/// deltas. This is the single windowing implementation shared by the
+/// stderr progress line ([`spawn_progress_printer`]), the fleet console's
+/// `/state` history, and `fleet top` — all three feed successive cumulative
+/// snapshots through [`DeltaWindow::advance`] and therefore can never
+/// disagree about what a window contains.
+///
+/// Invariant: because each window is `current.delta(&previous)` against the
+/// previous *cumulative* snapshot, the counter-wise sum (histogram-merge)
+/// of every window emitted since construction reconstructs the latest
+/// cumulative snapshot exactly.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaWindow {
+    prev: Snapshot,
+}
+
+impl DeltaWindow {
+    /// Start from an empty baseline: the first `advance` returns the whole
+    /// cumulative snapshot as one window.
+    pub fn new() -> Self {
+        DeltaWindow::default()
+    }
+
+    /// Start from an existing cumulative baseline (e.g. a printer attached
+    /// mid-run that should not replay history as one giant window).
+    pub fn starting_at(baseline: Snapshot) -> Self {
+        DeltaWindow { prev: baseline }
+    }
+
+    /// Feed the next cumulative snapshot; returns everything recorded since
+    /// the previous call (or since the baseline, on the first call).
+    pub fn advance(&mut self, cumulative: &Snapshot) -> Snapshot {
+        let window = cumulative.delta(&self.prev);
+        self.prev = cumulative.clone();
+        window
+    }
+
+    /// The cumulative snapshot most recently fed through `advance`.
+    pub fn cumulative(&self) -> &Snapshot {
+        &self.prev
+    }
+}
+
 /// Spawn a monitor thread printing a [`Snapshot::progress_line`] to stderr
 /// every `interval` until `stop` becomes true. Join the handle after
 /// setting `stop` to cut the final partial window short.
@@ -274,7 +317,7 @@ pub fn spawn_progress_printer(
 ) -> JoinHandle<()> {
     thread::spawn(move || {
         let start = Instant::now();
-        let mut prev = recorder.snapshot();
+        let mut windows = DeltaWindow::starting_at(recorder.snapshot());
         let mut prev_at = start;
         while !stop.load(Ordering::Relaxed) {
             // Sleep in small slices so a stop request is honoured promptly.
@@ -286,8 +329,7 @@ pub fn spawn_progress_printer(
                 thread::sleep(Duration::from_millis(20).min(interval));
             }
             let now = Instant::now();
-            let snap = recorder.snapshot();
-            let window = snap.delta(&prev);
+            let window = windows.advance(&recorder.snapshot());
             eprintln!(
                 "{}",
                 window.progress_line(
@@ -295,7 +337,6 @@ pub fn spawn_progress_printer(
                     now.duration_since(start).as_secs_f64(),
                 )
             );
-            prev = snap;
             prev_at = now;
         }
     })
@@ -364,6 +405,34 @@ mod tests {
         // Degenerate window duration must not divide by zero.
         let line = Snapshot::default().progress_line(0.0, 0.0);
         assert!(line.contains("offered 0.0 rps"), "{line}");
+    }
+
+    #[test]
+    fn delta_window_sums_back_to_cumulative() {
+        let r = Recorder::new(2);
+        let mut windows = DeltaWindow::new();
+        let mut total = Snapshot::default();
+        for i in 0..5u64 {
+            r.record_issued(i as usize);
+            if i % 2 == 0 {
+                r.record_outcome(i as usize, OutcomeClass::Ok, 0.010 * (i + 1) as f64, false);
+            } else {
+                r.record_outcome(i as usize, OutcomeClass::Timeout, 1.0, false);
+            }
+            let w = windows.advance(&r.snapshot());
+            assert_eq!(w.issued, 1, "each window holds exactly the new work");
+            total.merge(&w);
+        }
+        assert_eq!(total, r.snapshot(), "sum of windows reconstructs the cumulative snapshot");
+        assert_eq!(windows.cumulative(), &r.snapshot());
+        // An empty window is empty, not negative. (Only the counters:
+        // `delta` deliberately carries the running min/max through, since
+        // extrema cannot be un-observed window by window.)
+        let z = windows.advance(&r.snapshot());
+        assert_eq!(z.issued, 0);
+        assert_eq!(z.completed, 0);
+        assert_eq!(z.errors, [0; 4]);
+        assert_eq!(z.response.total(), 0);
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Helpers shared by the root integration tests.
+//!
+//! Each `tests/*.rs` binary that says `mod common;` compiles its own copy,
+//! so every item is `#[allow(dead_code)]` — not every binary uses every
+//! helper.
+
+/// A Prometheus metric (or label) name: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+#[allow(dead_code)]
+pub fn is_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Scan one `{label="value",...}` body with escape-aware value parsing.
+/// Returns the parsed `(name, unescaped_value)` pairs or panics with
+/// `line` in the message. Inside a quoted value only `\\`, `\"` and `\n`
+/// are legal escapes (text format 0.0.4); raw `"` ends the value and raw
+/// newlines cannot occur (the caller iterates lines).
+#[allow(dead_code)]
+fn parse_label_set(inner: &str, line: &str) -> Vec<(String, String)> {
+    let mut pairs = Vec::new();
+    let mut chars = inner.chars().peekable();
+    loop {
+        // Label name up to '='.
+        let mut name = String::new();
+        while let Some(&c) = chars.peek() {
+            if c == '=' {
+                break;
+            }
+            name.push(c);
+            chars.next();
+        }
+        if name.is_empty() && chars.peek().is_none() {
+            break; // empty label set `{}` or a trailing comma — both legal
+        }
+        assert!(is_metric_name(&name), "bad label name {name:?}: {line}");
+        assert_eq!(chars.next(), Some('='), "label without '=': {line}");
+        assert_eq!(chars.next(), Some('"'), "label value must be quoted: {line}");
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('"') => break,
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => panic!("illegal escape \\{other:?} in label value: {line}"),
+                },
+                Some(c) => value.push(c),
+                None => panic!("unterminated label value: {line}"),
+            }
+        }
+        pairs.push((name, value));
+        match chars.next() {
+            Some(',') => continue,
+            None => break,
+            Some(c) => panic!("junk {c:?} after label value: {line}"),
+        }
+    }
+    pairs
+}
+
+/// Assert `text` is well-formed Prometheus text exposition format 0.0.4:
+/// only `# HELP`/`# TYPE` comments, every sample parseable as
+/// `name[{label="value",...}] value` with escape-aware label values (no
+/// raw quotes or newlines inside; only `\\`, `\"`, `\n` escapes), and
+/// every sample's base metric declared by a preceding `# TYPE` line
+/// (histogram samples may append the `_bucket`/`_sum`/`_count` suffixes).
+#[allow(dead_code)]
+pub fn assert_valid_prometheus_0_0_4(text: &str) {
+    let mut types: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    let mut samples = 0usize;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().expect("HELP must name a metric");
+            assert!(is_metric_name(name), "bad metric name in HELP: {line}");
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().expect("TYPE must name a metric");
+            let ty = it.next().expect("TYPE must give a type");
+            assert!(is_metric_name(name), "bad metric name in TYPE: {line}");
+            assert!(
+                ["counter", "gauge", "histogram", "summary", "untyped"].contains(&ty),
+                "unknown metric type: {line}"
+            );
+            assert!(it.next().is_none(), "trailing junk in TYPE: {line}");
+            types.insert(name.to_string(), ty.to_string());
+        } else {
+            assert!(!line.starts_with('#'), "only HELP/TYPE comments are allowed: {line}");
+            let (series, value) = line.rsplit_once(' ').expect("sample line needs a value");
+            let v: f64 = value.parse().unwrap_or_else(|_| panic!("unparseable value: {line}"));
+            assert!(v.is_finite(), "non-finite sample value: {line}");
+            let name = match series.split_once('{') {
+                Some((n, labels)) => {
+                    let inner = labels
+                        .strip_suffix('}')
+                        .unwrap_or_else(|| panic!("unterminated label set: {line}"));
+                    parse_label_set(inner, line);
+                    n
+                }
+                None => series,
+            };
+            assert!(is_metric_name(name), "bad sample name: {line}");
+            let declared = types.iter().any(|(base, ty)| {
+                name == base
+                    || (ty == "histogram"
+                        && [
+                            format!("{base}_bucket"),
+                            format!("{base}_sum"),
+                            format!("{base}_count"),
+                        ]
+                        .iter()
+                        .any(|s| s == name))
+            });
+            assert!(declared, "sample without a preceding TYPE declaration: {line}");
+            samples += 1;
+        }
+    }
+    assert!(samples > 0, "no samples in exposition");
+}

@@ -103,6 +103,7 @@ fn fast_fleet_config(agents: usize, capture_events: bool) -> FleetConfig {
         agent_timeout: Duration::from_secs(10),
         lease_ms: 5_000,
         reshard: true,
+        console: None,
     }
 }
 

@@ -11,6 +11,9 @@
 //!    `RunMetrics` recorded it: issued, per-class outcomes, cold starts,
 //!    and the per-minute offered/achieved series.
 
+mod common;
+
+use common::assert_valid_prometheus_0_0_4;
 use faasrail::gateway::{FaultConfig, Gateway, GatewayConfig, HttpBackend, HttpBackendConfig};
 use faasrail::loadgen::{
     replay_observed, Backend, InvocationRequest, InvocationResult, Pacing, ReplayConfig,
@@ -19,7 +22,6 @@ use faasrail::loadgen::{
 use faasrail::prelude::*;
 use faasrail::telemetry::{parse_jsonl, JsonlSink, Recorder, RunReport};
 use faasrail::trace::azure::{generate as gen_azure, AzureTraceConfig};
-use std::collections::HashMap;
 use std::fs::File;
 use std::io::BufReader;
 use std::sync::atomic::AtomicBool;
@@ -61,82 +63,31 @@ fn generated_requests(seed: u64, n: usize) -> (RequestTrace, WorkloadPool) {
     (reqs, pool)
 }
 
-fn is_metric_name(s: &str) -> bool {
-    let mut chars = s.chars();
-    match chars.next() {
-        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
-        _ => return false,
-    }
-    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
-}
+/// Hostile label values round-trip the exposition grammar: the encoder
+/// escapes `\`, `"`, and newlines, and the shared validator's escape-aware
+/// scanner accepts the result (it rejects the raw forms).
+#[test]
+fn counter_vec_label_escaping_survives_the_grammar_check() {
+    use faasrail::telemetry::{escape_label_value, PromText};
+    let mut out = PromText::new();
+    out.counter_vec(
+        "faasrail_test_agent_issued_total",
+        "per-agent issued",
+        "agent",
+        &[("agent \"A\"", 3), ("path\\host", 5), ("multi\nline", 8)],
+    );
+    let text = out.finish();
+    assert_valid_prometheus_0_0_4(&text);
+    assert!(text.contains(r#"{agent="agent \"A\""} 3"#), "{text}");
+    assert!(text.contains(r#"{agent="path\\host"} 5"#), "{text}");
+    assert!(text.contains(r#"{agent="multi\nline"} 8"#), "{text}");
+    assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
 
-/// Assert `text` is well-formed Prometheus text exposition format 0.0.4:
-/// only `# HELP`/`# TYPE` comments, every sample parseable as
-/// `name[{label="value",...}] value`, and every sample's base metric
-/// declared by a preceding `# TYPE` line (histogram samples may append the
-/// `_bucket`/`_sum`/`_count` suffixes).
-fn assert_valid_prometheus_0_0_4(text: &str) {
-    let mut types: HashMap<String, String> = HashMap::new();
-    let mut samples = 0usize;
-    for line in text.lines() {
-        if line.is_empty() {
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix("# HELP ") {
-            let name = rest.split_whitespace().next().expect("HELP must name a metric");
-            assert!(is_metric_name(name), "bad metric name in HELP: {line}");
-        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
-            let mut it = rest.split_whitespace();
-            let name = it.next().expect("TYPE must name a metric");
-            let ty = it.next().expect("TYPE must give a type");
-            assert!(is_metric_name(name), "bad metric name in TYPE: {line}");
-            assert!(
-                ["counter", "gauge", "histogram", "summary", "untyped"].contains(&ty),
-                "unknown metric type: {line}"
-            );
-            assert!(it.next().is_none(), "trailing junk in TYPE: {line}");
-            types.insert(name.to_string(), ty.to_string());
-        } else {
-            assert!(!line.starts_with('#'), "only HELP/TYPE comments are allowed: {line}");
-            let (series, value) = line.rsplit_once(' ').expect("sample line needs a value");
-            let v: f64 = value.parse().unwrap_or_else(|_| panic!("unparseable value: {line}"));
-            assert!(v.is_finite(), "non-finite sample value: {line}");
-            let name = match series.split_once('{') {
-                Some((n, labels)) => {
-                    let inner = labels
-                        .strip_suffix('}')
-                        .unwrap_or_else(|| panic!("unterminated label set: {line}"));
-                    for pair in inner.split(',').filter(|p| !p.is_empty()) {
-                        let (k, val) = pair
-                            .split_once('=')
-                            .unwrap_or_else(|| panic!("label without '=': {line}"));
-                        assert!(is_metric_name(k), "bad label name: {line}");
-                        assert!(
-                            val.len() >= 2 && val.starts_with('"') && val.ends_with('"'),
-                            "label value must be quoted: {line}"
-                        );
-                    }
-                    n
-                }
-                None => series,
-            };
-            assert!(is_metric_name(name), "bad sample name: {line}");
-            let declared = types.iter().any(|(base, ty)| {
-                name == base
-                    || (ty == "histogram"
-                        && [
-                            format!("{base}_bucket"),
-                            format!("{base}_sum"),
-                            format!("{base}_count"),
-                        ]
-                        .iter()
-                        .any(|s| s == name))
-            });
-            assert!(declared, "sample without a preceding TYPE declaration: {line}");
-            samples += 1;
-        }
-    }
-    assert!(samples > 0, "no samples in exposition");
+    // The validator itself must reject an unescaped quote in a value —
+    // otherwise the assertions above prove nothing.
+    let bad = "# TYPE e_total counter\ne_total{agent=\"un\"escaped\"} 1\n";
+    let refused = std::panic::catch_unwind(|| assert_valid_prometheus_0_0_4(bad)).is_err();
+    assert!(refused, "validator accepted a raw quote inside a label value");
 }
 
 #[test]
