@@ -1,0 +1,79 @@
+//! The online-tier benchmark harness and perf-trajectory format.
+//!
+//! Three pieces (DESIGN.md §8):
+//!
+//! * [`report`] — the versioned [`BenchReport`](report::BenchReport)
+//!   JSON schema both tiers emit (`BENCH_gateway.json`,
+//!   `BENCH_sim_day1.json`): workload spec, RPS ladder with per-stage
+//!   p50/p95/p99/p999, saturation summary, environment metadata;
+//! * [`driver`] — open-loop fixed-rate measurement rungs over the
+//!   replayer, plus a deterministic bracket-and-bisect saturation
+//!   search that is pure over an injected measure function;
+//! * [`diff`] — direction-aware, noise-floored regression diffing
+//!   between two reports, the `bench diff` CI gate.
+
+pub mod diff;
+pub mod driver;
+pub mod report;
+
+pub use diff::{diff_reports, BenchDiff, DiffRow};
+pub use driver::{run_fixed_rate, saturation_search, FixedRateSpec, SearchConfig};
+pub use report::{
+    AcceptCriteria, BenchEnv, BenchReport, BenchWorkload, LatencyQuantiles, QuantileAcc, RateRun,
+    SaturationSummary, SimStats, StageLatencies, SCHEMA,
+};
+
+/// Re-emit a lab-tier [`faasrail_lab::BenchRecord`] through the shared
+/// trajectory schema, so `BENCH_sim_day1.json` and `BENCH_gateway.json`
+/// diff with the same tool.
+pub fn sim_report(record: &faasrail_lab::BenchRecord) -> BenchReport {
+    let workload = BenchWorkload {
+        arrivals: "grid".to_string(),
+        duration_s: 0.0,
+        workers: record.parallel as u64,
+        seed: 0,
+        target: format!("sim {}", record.scale),
+    };
+    let mut r = BenchReport::new(&record.name, "sim", workload);
+    r.sim = Some(SimStats {
+        scale: record.scale.clone(),
+        cells: record.cells as u64,
+        parallel: record.parallel as u64,
+        arrivals: record.arrivals,
+        events: record.events,
+        wall_ms: record.wall_ms,
+        events_per_sec: record.events_per_sec,
+        peak_rss_mb: record.peak_rss_mb,
+    });
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_record_maps_into_the_shared_schema() {
+        let rec = faasrail_lab::BenchRecord {
+            name: "sim-day1".to_string(),
+            scale: "small".to_string(),
+            cells: 3,
+            parallel: 2,
+            arrivals: 1000,
+            events: 5000,
+            wall_ms: 250,
+            events_per_sec: 20_000.0,
+            peak_rss_mb: 64.0,
+        };
+        let r = sim_report(&rec);
+        assert_eq!(r.schema, SCHEMA);
+        assert_eq!(r.tier, "sim");
+        let sim = r.sim.as_ref().unwrap();
+        assert_eq!(sim.events, 5000);
+        assert_eq!(sim.events_per_sec, 20_000.0);
+        assert!(r.runs.is_empty() && r.saturation.is_none());
+        // And it survives the schema round trip like any other report.
+        let back = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(r, back);
+    }
+}

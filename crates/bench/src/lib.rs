@@ -9,6 +9,8 @@
 //! `small` (default; ~2 K-function traces, seconds per figure) or `paper`
 //! (full 49.7 K-function / 908 M-invocation scale; use release builds).
 
+pub mod harness;
+
 use faasrail_stats::ecdf::{Ecdf, WeightedEcdf};
 use faasrail_trace::azure::AzureTraceConfig;
 use faasrail_trace::huawei::HuaweiTraceConfig;

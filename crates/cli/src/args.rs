@@ -2,23 +2,26 @@
 
 use std::collections::BTreeMap;
 
-/// Parsed arguments: a subcommand plus `--key value` options.
+/// Parsed arguments: a subcommand plus `--key value` options and
+/// optional bare positionals.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Args {
     pub command: String,
     options: BTreeMap<String, Vec<String>>,
     flags: Vec<String>,
+    positionals: Vec<String>,
 }
 
 impl Args {
     /// Parse from an iterator of arguments (excluding the program name).
     ///
-    /// Grammar: `<command> [<subcommand>] (--key value | --flag)*`. One
-    /// bare word directly after the command merges into it (`fleet
-    /// coordinate` → command `"fleet coordinate"`); any later positional
-    /// is an error. A `--key` followed by another `--…` token or nothing
-    /// is treated as a boolean flag; a repeated `--key value` accumulates
-    /// (see [`Args::get_all`]).
+    /// Grammar: `<command> [<subcommand>] (--key value | --flag | <positional>)*`.
+    /// One bare word directly after the command merges into it (`fleet
+    /// coordinate` → command `"fleet coordinate"`); later bare words are
+    /// collected as positionals (`bench diff OLD NEW`) — commands that
+    /// take none reject them via [`Args::no_positionals`]. A `--key`
+    /// followed by another `--…` token or nothing is treated as a boolean
+    /// flag; a repeated `--key value` accumulates (see [`Args::get_all`]).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
         let mut it = args.into_iter().peekable();
         let mut command = it.next().ok_or("missing command")?;
@@ -33,7 +36,8 @@ impl Args {
         let mut out = Args { command, ..Default::default() };
         while let Some(tok) = it.next() {
             let Some(key) = tok.strip_prefix("--") else {
-                return Err(format!("unexpected positional argument {tok}"));
+                out.positionals.push(tok);
+                continue;
             };
             match it.peek() {
                 Some(next) if !next.starts_with("--") => {
@@ -44,6 +48,32 @@ impl Args {
             }
         }
         Ok(out)
+    }
+
+    /// Bare positional arguments, in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// Error unless exactly `n` positionals were given (for commands with
+    /// a fixed positional grammar, e.g. `bench diff OLD NEW`).
+    pub fn expect_positionals(&self, n: usize, what: &str) -> Result<&[String], String> {
+        if self.positionals.len() != n {
+            return Err(format!(
+                "expected {n} positional argument(s) ({what}), got {}",
+                self.positionals.len()
+            ));
+        }
+        Ok(self.positionals())
+    }
+
+    /// Error if any positional was given (the default for option-only
+    /// commands, so a stray word stays a usage error).
+    pub fn no_positionals(&self) -> Result<(), String> {
+        match self.positionals.first() {
+            Some(stray) => Err(format!("unexpected positional argument {stray}")),
+            None => Ok(()),
+        }
     }
 
     /// String option. A repeated option resolves to its last value.
@@ -130,9 +160,28 @@ mod tests {
     }
 
     #[test]
-    fn rejects_second_positional() {
-        assert!(parse(&["cmd", "sub", "stray"]).is_err());
-        assert!(parse(&["cmd", "--n", "1", "stray"]).is_err());
+    fn positionals_are_collected_and_gated() {
+        let a = parse(&["cmd", "sub", "stray"]).unwrap();
+        assert_eq!(a.command, "cmd sub");
+        assert_eq!(a.positionals(), ["stray".to_string()]);
+        assert!(a.no_positionals().is_err(), "option-only commands still reject strays");
+        let a = parse(&["cmd", "--n", "1", "stray"]).unwrap();
+        assert!(a.no_positionals().is_err());
+        assert_eq!(a.get("n"), Some("1"));
+    }
+
+    #[test]
+    fn bench_diff_positional_grammar() {
+        let a = parse(&["bench", "diff", "old.json", "new.json", "--threshold", "0.1"]).unwrap();
+        assert_eq!(a.command, "bench diff");
+        let pos = a.expect_positionals(2, "OLD NEW").unwrap();
+        assert_eq!(pos, ["old.json".to_string(), "new.json".to_string()]);
+        assert_eq!(a.get("threshold"), Some("0.1"));
+        assert!(a.expect_positionals(1, "X").is_err());
+        assert!(parse(&["bench", "diff", "only.json"])
+            .unwrap()
+            .expect_positionals(2, "OLD NEW")
+            .is_err());
     }
 
     #[test]

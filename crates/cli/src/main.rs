@@ -50,6 +50,20 @@
 //!                     [--jitter X] [--iat poisson|uniform|equidistant|bursty]
 //!                     [--out report.json] [--md report.md]
 //!                     [--bench-out bench.json] [--bench-name NAME]
+//! faasrail bench saturate
+//!                     [--target HOST:PORT]        # default: self-hosted loopback noop gateway
+//!                     [--p99-ms 50] [--max-error-rate 0.001] [--max-lateness-ms 100]
+//!                     [--start-rps 64] [--max-rps 65536] [--resolution-rps 16]
+//!                     [--max-probes 24] [--duration-s 2] [--workers N] [--poisson]
+//!                     [--seed N] [--timeout-ms 1000] [--pool p.json] [--workload-id N]
+//!                     [--name NAME] [--out BENCH_gateway.json]
+//! faasrail bench fixed
+//!                     [--rps R --rps R ...]       # the measurement ladder (default: 200)
+//!                     [--target HOST:PORT] [--duration-s 2] [--workers N] [--poisson]
+//!                     [--seed N] [--timeout-ms 1000] [--pool p.json] [--workload-id N]
+//!                     [--name NAME] [--out BENCH_gateway.json]
+//! faasrail bench diff OLD.json NEW.json
+//!                     [--threshold 0.10] [--advisory]   # advisory: report, never fail
 //! faasrail calibrate  [--repeats N]
 //! faasrail analyze    --trace t.json
 //! faasrail compare    --a r1.json --b r2.json --pool p.json
@@ -80,7 +94,7 @@ use faasrail_workloads::{CostModel, WorkloadKind, WorkloadPool};
 use std::fs;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: faasrail <gen-trace|build-pool|shrink|requests|smirnov|simulate|replay|report|serve|fleet coordinate|fleet agent|fleet top|lab run|calibrate|analyze|compare|evaluate|export> [options]
+const USAGE: &str = "usage: faasrail <gen-trace|build-pool|shrink|requests|smirnov|simulate|replay|report|serve|fleet coordinate|fleet agent|fleet top|lab run|bench saturate|bench fixed|bench diff|calibrate|analyze|compare|evaluate|export> [options]
 run with a bad option to see each command's requirements; see crate docs for the full grammar";
 
 fn main() -> ExitCode {
@@ -187,6 +201,11 @@ fn slowest_table(
 }
 
 fn run(args: &Args) -> Result<(), String> {
+    // Only `bench diff OLD NEW` has a positional grammar; everywhere else
+    // a bare word is a usage mistake, not input.
+    if args.command != "bench diff" {
+        args.no_positionals()?;
+    }
     match args.command.as_str() {
         "gen-trace" => gen_trace(args),
         "build-pool" => build_pool(args),
@@ -201,6 +220,9 @@ fn run(args: &Args) -> Result<(), String> {
         "fleet agent" => cmd_fleet_agent(args),
         "fleet top" => cmd_fleet_top(args),
         "lab run" => cmd_lab_run(args),
+        "bench saturate" => cmd_bench_run(args, true),
+        "bench fixed" => cmd_bench_run(args, false),
+        "bench diff" => cmd_bench_diff(args),
         "calibrate" => cmd_calibrate(args),
         "analyze" => cmd_analyze(args),
         "evaluate" => cmd_evaluate(args),
@@ -650,10 +672,183 @@ fn cmd_lab_run(args: &Args) -> Result<(), String> {
         eprintln!("lab: wrote markdown {md}");
     }
     if let Some(bench) = args.get("bench-out") {
+        // Re-emitted through the shared trajectory schema so the sim and
+        // gateway BENCH files diff with the same `bench diff` gate.
         let rec = BenchRecord::from_stats(args.get_or("bench-name", "lab"), scale, &stats);
-        let s = serde_json::to_string_pretty(&rec).map_err(|e| format!("serializing: {e}"))?;
-        fs::write(bench, s).map_err(|e| format!("writing {bench}: {e}"))?;
-        eprintln!("lab: wrote bench record {bench}");
+        let report = faasrail_bench::harness::sim_report(&rec);
+        fs::write(bench, report.to_json()).map_err(|e| format!("writing {bench}: {e}"))?;
+        eprintln!("lab: wrote bench report {bench} ({})", report.schema);
+    }
+    Ok(())
+}
+
+/// `faasrail bench saturate|fixed` — the online-tier benchmark harness.
+///
+/// Runs open-loop fixed-rate rungs (coordinated-omission-correct: pacer
+/// lateness is measured, bounded, and disqualifying) against a gateway
+/// over real TCP, and writes the result through the shared
+/// `faasrail-bench/v1` trajectory schema. With no `--target`, a loopback
+/// noop-backend gateway is self-hosted so the command measures the
+/// gateway + client stack in isolation, reproducibly.
+fn cmd_bench_run(args: &Args, saturate: bool) -> Result<(), String> {
+    use faasrail_bench::harness::{
+        run_fixed_rate, saturation_search, AcceptCriteria, BenchReport, BenchWorkload,
+        FixedRateSpec, SearchConfig,
+    };
+    use faasrail_gateway::{
+        BreakerConfig, Gateway, GatewayConfig, HttpBackend, HttpBackendConfig, RetryPolicy,
+    };
+    use faasrail_loadgen::ArrivalProcess;
+    use faasrail_workloads::WorkloadId;
+    use std::sync::Arc;
+
+    let duration_s = args.num("duration-s", 2.0f64)?;
+    let workers = args.num("workers", 8usize)?;
+    let seed = args.num("seed", 42u64)?;
+    let timeout_ms = args.num("timeout-ms", 1_000u64)?;
+    let process =
+        if args.flag("poisson") { ArrivalProcess::Poisson } else { ArrivalProcess::Uniform };
+    let workload = WorkloadId(args.num("workload-id", 7u32)?);
+    let pool: WorkloadPool = match args.get("pool") {
+        Some(p) => read_json(p)?,
+        None => WorkloadPool::vanilla(&CostModel::default_calibration()),
+    };
+    if pool.get(workload).is_none() {
+        return Err(format!("workload id {} not in the pool", workload.0));
+    }
+
+    // Target: an external gateway, or a self-hosted loopback gateway with
+    // the noop backend (stopped on exit) so the bench is one command.
+    let (target, target_desc, local) = match args.get("target") {
+        Some(t) => (t.to_string(), t.to_string(), None),
+        None => {
+            let handle = Gateway::bind(
+                "127.0.0.1:0",
+                Arc::new(faasrail_loadgen::NoopBackend),
+                GatewayConfig::default(),
+            )
+            .map_err(|e| format!("binding loopback gateway: {e}"))?
+            .spawn();
+            let addr = handle.addr().to_string();
+            eprintln!("bench: self-hosted loopback gateway (noop backend) at {addr}");
+            (addr.clone(), format!("{addr}/noop (self-hosted)"), Some(handle))
+        }
+    };
+
+    // One attempt, no breaker: a saturation probe must *see* every
+    // failure, not paper over it with retries or fail fast around it.
+    let http_cfg = HttpBackendConfig {
+        request_timeout: std::time::Duration::from_millis(timeout_ms),
+        retry: RetryPolicy { max_attempts: 1, ..RetryPolicy::default() },
+        breaker: BreakerConfig::tripping(0, std::time::Duration::from_millis(1_000)),
+        ..HttpBackendConfig::default()
+    };
+    let backend =
+        HttpBackend::connect(&target, http_cfg).map_err(|e| format!("resolving {target}: {e}"))?;
+
+    let spec = |rps: f64| FixedRateSpec { rps, duration_s, workers, process, seed, workload };
+    let arrivals = if args.flag("poisson") { "poisson" } else { "uniform" };
+    let workload_spec = BenchWorkload {
+        arrivals: arrivals.to_string(),
+        duration_s,
+        workers: workers as u64,
+        seed,
+        target: target_desc,
+    };
+    let default_name = if saturate { "gateway-saturate" } else { "gateway-fixed" };
+    let mut report = BenchReport::new(args.get_or("name", default_name), "gateway", workload_spec);
+
+    if saturate {
+        let criteria = AcceptCriteria {
+            p99_ms: args.num("p99-ms", 50.0f64)?,
+            max_error_rate: args.num("max-error-rate", 0.001f64)?,
+            max_lateness_p99_ms: args.num("max-lateness-ms", 100.0f64)?,
+        };
+        let search = SearchConfig {
+            start_rps: args.num("start-rps", 64.0f64)?,
+            max_rps: args.num("max-rps", 65_536.0f64)?,
+            resolution_rps: args.num("resolution-rps", 16.0f64)?,
+            max_probes: args.num("max-probes", 24usize)?,
+        };
+        eprintln!(
+            "bench: saturation search start={} max={} (p99<={}ms err<={} lateness-p99<={}ms), \
+             {}s per probe, {} workers, {} arrivals",
+            search.start_rps,
+            search.max_rps,
+            criteria.p99_ms,
+            criteria.max_error_rate,
+            criteria.max_lateness_p99_ms,
+            duration_s,
+            workers,
+            arrivals,
+        );
+        let (summary, runs) = saturation_search(
+            |rps| {
+                eprintln!("bench: probing {rps:.0} rps...");
+                run_fixed_rate(&backend, &pool, &spec(rps))
+            },
+            &criteria,
+            &search,
+        );
+        eprintln!(
+            "bench: max sustained {:.0} rps after {} probes",
+            summary.max_sustained_rps, summary.probes
+        );
+        report.runs = runs;
+        report.saturation = Some(summary);
+    } else {
+        let mut rates: Vec<f64> = Vec::new();
+        for r in args.get_all("rps") {
+            rates.push(r.parse().map_err(|_| format!("invalid value for --rps: {r}"))?);
+        }
+        if rates.is_empty() {
+            rates.push(200.0);
+        }
+        for rps in rates {
+            eprintln!("bench: fixed-rate rung {rps:.0} rps for {duration_s}s...");
+            report.runs.push(run_fixed_rate(&backend, &pool, &spec(rps)));
+        }
+    }
+
+    if let Some(handle) = local {
+        handle.stop();
+    }
+    let out = args.get_or("out", "BENCH_gateway.json");
+    fs::write(out, report.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!("bench: wrote {out}");
+    print!("{}", report.to_markdown());
+    Ok(())
+}
+
+/// `faasrail bench diff OLD NEW` — the perf-trajectory regression gate:
+/// markdown delta table on stdout, nonzero exit when any shared metric
+/// regresses past `--threshold` (unless `--advisory`).
+fn cmd_bench_diff(args: &Args) -> Result<(), String> {
+    use faasrail_bench::harness::{diff_reports, BenchReport};
+    let pos = args.expect_positionals(2, "OLD.json NEW.json")?;
+    let read = |path: &str| -> Result<BenchReport, String> {
+        let s = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        BenchReport::from_json(&s).map_err(|e| format!("{path}: {e}"))
+    };
+    let old = read(&pos[0])?;
+    let new = read(&pos[1])?;
+    let threshold = args.num("threshold", 0.10f64)?;
+    let diff = diff_reports(&old, &new)?;
+    println!(
+        "# bench diff: {} ({}) → {} ({})\n",
+        old.name,
+        old.env.build.short_sha(),
+        new.name,
+        new.env.build.short_sha(),
+    );
+    print!("{}", diff.to_markdown(threshold));
+    let regressions = diff.regressions(threshold);
+    if !regressions.is_empty() && !args.flag("advisory") {
+        return Err(format!(
+            "{} metric(s) regressed past the {:.0}% threshold",
+            regressions.len(),
+            threshold * 100.0
+        ));
     }
     Ok(())
 }

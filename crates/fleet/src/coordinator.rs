@@ -183,6 +183,14 @@ pub struct FleetReport {
     /// serialized into the report JSON; write it as JSONL separately).
     #[serde(skip_serializing)]
     pub events: Vec<TelemetryEvent>,
+    /// Build provenance of the coordinator binary that merged this run.
+    pub build: faasrail_telemetry::BuildInfo,
+    /// The console history ring's contents at drain — the bounded,
+    /// windowed fleet timeline (same `FleetSample`s `/state` served
+    /// live), persisted so the trajectory survives the run for post-hoc
+    /// analysis.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub console_history: Option<Vec<crate::history::FleetSample>>,
 }
 
 struct AgentOutcome {
@@ -676,7 +684,11 @@ impl Coordinator {
         }
 
         let inner = control.inner.into_inner().unwrap();
-        Ok(merge_fleet(inner, shards, offered, epoch_us, cfg))
+        let mut report = merge_fleet(inner, shards, offered, epoch_us, cfg);
+        // Persist the bounded console timeline (published above even when
+        // no console was served) so the run's trajectory outlives the run.
+        report.console_history = history.as_ref().map(|h| h.samples());
+        Ok(report)
     }
 }
 
@@ -1053,6 +1065,8 @@ fn merge_fleet(
         aborted_per_minute: cfg.reshard.then_some(inner.aborted_per_minute),
         run_report,
         events,
+        build: faasrail_telemetry::BuildInfo::current(),
+        console_history: None,
     }
 }
 

@@ -248,6 +248,14 @@ impl History {
         self.inner.lock().unwrap().raw_windows.iter().cloned().collect()
     }
 
+    /// The retained samples, oldest first — the bounded windowed timeline
+    /// the coordinator persists into the fleet report after drain, so the
+    /// run's trajectory survives for post-hoc analysis once the console
+    /// is gone.
+    pub fn samples(&self) -> Vec<FleetSample> {
+        self.inner.lock().unwrap().samples.iter().cloned().collect()
+    }
+
     /// Replace the reassignment timeline + abort reasons (the coordinator
     /// owns the authoritative copies; both are tiny).
     pub fn set_timeline(&self, reassignments: Vec<ReassignSpan>, abort_reasons: Vec<String>) {

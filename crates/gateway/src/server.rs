@@ -8,8 +8,10 @@
 //! * `POST /invoke` — a [`InvocationRequest`] JSON body; replies `200` with
 //!   the backend's [`InvocationResult`] (application failures travel as
 //!   `ok: false` bodies, not HTTP errors);
-//! * `GET /healthz` — liveness probe, as JSON with live queue depth and
-//!   shed total so load balancers can see overload without scraping;
+//! * `GET /healthz` — liveness probe, as JSON with live queue depth,
+//!   shed total, and build provenance (version + git sha) so load
+//!   balancers see overload — and operators see *what's deployed* —
+//!   without scraping;
 //! * `GET /stats` — aggregate and per-connection counters as JSON;
 //! * `GET /metrics` — the same counters in Prometheus text format (0.0.4)
 //!   plus per-stage residency histograms (queue wait / service / flush /
@@ -763,10 +765,13 @@ fn handle_connection(conn: ConnMeta, ctx: &WorkerCtx) -> io::Result<()> {
                 }
             }
             ("GET", "/healthz") => {
+                let build = faasrail_telemetry::BuildInfo::current();
                 let body = format!(
-                    "{{\"status\":\"ok\",\"queue_depth\":{},\"shed\":{}}}",
+                    "{{\"status\":\"ok\",\"queue_depth\":{},\"shed\":{},\"version\":\"{}\",\"git_sha\":\"{}\"}}",
                     stats.queue_depth.load(Ordering::Relaxed),
                     stats.shed.load(Ordering::Relaxed),
+                    build.version,
+                    build.git_sha,
                 );
                 http::write_response(
                     &mut (&stream),
@@ -863,6 +868,8 @@ mod tests {
         assert!(health.contains("\"status\":\"ok\""), "{health}");
         assert!(health.contains("\"queue_depth\":0"), "{health}");
         assert!(health.contains("\"shed\":0"), "{health}");
+        assert!(health.contains("\"version\":\""), "{health}");
+        assert!(health.contains("\"git_sha\":\""), "{health}");
         assert!(resp.keep_alive);
 
         let resp = roundtrip(&stream, "GET", "/nope", b"");

@@ -19,6 +19,7 @@ pub mod backend;
 pub mod metrics;
 pub mod replay;
 pub mod shard;
+pub mod synth;
 
 pub use backend::{
     Backend, InProcessBackend, InvocationRequest, InvocationResult, NoopBackend, OutcomeClass,
@@ -29,3 +30,4 @@ pub use replay::{
     ReplayInstruments, ResumeSpec,
 };
 pub use shard::{partition_remainder, remainder_after, shard_of, ShardSpec};
+pub use synth::{fixed_rate_trace, ArrivalProcess};

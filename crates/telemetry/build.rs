@@ -1,0 +1,86 @@
+//! Captures build provenance at compile time so every artifact the
+//! runtime emits (run reports, fleet reports, bench reports, `/healthz`)
+//! is attributable to a commit without shelling out at runtime.
+//!
+//! Dependency-free: the git HEAD is read straight from `.git/` rather
+//! than via a `git` subprocess, so the build works in containers without
+//! git installed.
+
+use std::env;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn main() {
+    println!(
+        "cargo:rustc-env=FAASRAIL_GIT_SHA={}",
+        git_sha().unwrap_or_else(|| "unknown".to_string())
+    );
+    println!(
+        "cargo:rustc-env=FAASRAIL_RUSTC_VERSION={}",
+        rustc_version().unwrap_or_else(|| "unknown".to_string())
+    );
+}
+
+/// Resolve the current commit sha by reading `.git/HEAD` (and the ref
+/// file it points at) from the nearest enclosing git directory.
+fn git_sha() -> Option<String> {
+    let manifest = PathBuf::from(env::var("CARGO_MANIFEST_DIR").ok()?);
+    let git_dir = manifest.ancestors().map(|a| a.join(".git")).find(|g| g.exists())?;
+    // Rebuild when HEAD moves (new commit / branch switch).
+    println!("cargo:rerun-if-changed={}", git_dir.join("HEAD").display());
+    let head = fs::read_to_string(git_dir.join("HEAD")).ok()?;
+    let head = head.trim();
+    if let Some(refname) = head.strip_prefix("ref: ") {
+        let ref_path = git_dir.join(refname.trim());
+        println!("cargo:rerun-if-changed={}", ref_path.display());
+        if let Ok(sha) = fs::read_to_string(&ref_path) {
+            return trim_sha(&sha);
+        }
+        // Ref may be packed.
+        packed_ref_sha(&git_dir, refname.trim())
+    } else {
+        // Detached HEAD: the file holds the sha itself.
+        trim_sha(head)
+    }
+}
+
+fn packed_ref_sha(git_dir: &Path, refname: &str) -> Option<String> {
+    let packed = fs::read_to_string(git_dir.join("packed-refs")).ok()?;
+    for line in packed.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if let (Some(sha), Some(name)) = (parts.next(), parts.next()) {
+            if name == refname {
+                return trim_sha(sha);
+            }
+        }
+    }
+    None
+}
+
+fn trim_sha(raw: &str) -> Option<String> {
+    let s = raw.trim();
+    if s.len() >= 7 && s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        Some(s.to_string())
+    } else {
+        None
+    }
+}
+
+fn rustc_version() -> Option<String> {
+    let rustc = env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string());
+    let out = Command::new(rustc).arg("--version").output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let v = String::from_utf8(out.stdout).ok()?;
+    let v = v.trim();
+    if v.is_empty() {
+        None
+    } else {
+        Some(v.to_string())
+    }
+}

@@ -1,0 +1,72 @@
+//! Build provenance: which commit, compiler, and crate version produced
+//! an artifact.
+//!
+//! The values are baked in at compile time by the crate's build script
+//! (`build.rs` reads `.git/HEAD` directly and asks `$RUSTC --version`),
+//! so [`BuildInfo::current`] is allocation-only — no subprocess, no
+//! filesystem access at runtime. Every durable artifact the system
+//! writes (run reports, fleet reports, bench reports) and the gateway's
+//! `/healthz` carry a `BuildInfo`, which is what makes a perf trajectory
+//! across commits trustworthy: a `BENCH_*.json` that doesn't say which
+//! sha produced it is an anecdote, not a measurement.
+
+use serde::{Deserialize, Serialize};
+
+/// Compile-time build provenance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BuildInfo {
+    /// Crate version (`CARGO_PKG_VERSION` of the telemetry crate, which
+    /// is the shared workspace version).
+    pub version: String,
+    /// Full git commit sha at build time, or `"unknown"` outside a git
+    /// checkout.
+    pub git_sha: String,
+    /// `rustc --version` string of the compiler that built the binary.
+    pub rustc: String,
+    /// Whether debug assertions were enabled (perf numbers from a debug
+    /// build are not comparable to release numbers).
+    pub debug: bool,
+}
+
+impl BuildInfo {
+    /// The build info of the running binary.
+    pub fn current() -> BuildInfo {
+        BuildInfo {
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            git_sha: env!("FAASRAIL_GIT_SHA").to_string(),
+            rustc: env!("FAASRAIL_RUSTC_VERSION").to_string(),
+            debug: cfg!(debug_assertions),
+        }
+    }
+
+    /// Abbreviated sha for human-facing output (12 chars, like git log).
+    pub fn short_sha(&self) -> &str {
+        let n = self.git_sha.len().min(12);
+        &self.git_sha[..n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn current_is_populated_and_round_trips() {
+        let b = BuildInfo::current();
+        assert!(!b.version.is_empty());
+        assert!(!b.git_sha.is_empty());
+        assert!(!b.rustc.is_empty());
+        let json = serde_json::to_string(&b).unwrap();
+        let back: BuildInfo = serde_json::from_str(&json).unwrap();
+        assert_eq!(b, back);
+    }
+
+    #[test]
+    fn short_sha_truncates_but_never_panics() {
+        let mut b = BuildInfo::current();
+        b.git_sha = "abc".to_string();
+        assert_eq!(b.short_sha(), "abc");
+        b.git_sha = "0123456789abcdef0123456789abcdef01234567".to_string();
+        assert_eq!(b.short_sha(), "0123456789ab");
+    }
+}

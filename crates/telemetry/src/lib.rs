@@ -39,6 +39,7 @@
 //! event log comparable across in-process, over-the-wire, and simulated
 //! runs.
 
+pub mod build;
 pub mod join;
 pub mod prometheus;
 pub mod recorder;
@@ -48,6 +49,7 @@ pub mod span;
 
 /// Re-exported so downstream crates (the gateway's per-stage `/metrics`
 /// histograms) don't need a direct `faasrail-stats` dependency.
+pub use build::BuildInfo;
 pub use faasrail_stats::LogHistogram;
 pub use join::{
     join_spans, offset_from_probes, ClockOffset, CrossTierStages, JoinedSpan, SpanJoin,

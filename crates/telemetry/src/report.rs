@@ -212,6 +212,11 @@ pub struct RunReport {
     /// single-process runs).
     #[serde(default)]
     pub reassignments: u64,
+    /// Build provenance of the binary that folded this report (git sha,
+    /// crate version, compiler). `None` only for reports deserialized
+    /// from logs predating the field.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub build: Option<crate::build::BuildInfo>,
 }
 
 fn bump(v: &mut Vec<u64>, minute: usize) {
@@ -228,7 +233,8 @@ impl RunReport {
     where
         I: IntoIterator<Item = &'a TelemetryEvent>,
     {
-        let mut report = RunReport::default();
+        let mut report =
+            RunReport { build: Some(crate::build::BuildInfo::current()), ..RunReport::default() };
         let mut lateness = StatAcc::new(LogHistogram::new(1e-6, 60.0, 1.05));
         let mut queue_wait = StatAcc::latency();
         let mut service = StatAcc::latency();

@@ -1,0 +1,286 @@
+//! Acceptance suite for the online-tier benchmark harness (ISSUE 9).
+//!
+//! 1. **Fixed-rate on loopback** — a real `HttpBackend → 127.0.0.1 →
+//!    Gateway(noop)` rung produces a schema-valid `BenchReport` with all
+//!    five stages quantified (p50/p95/p99/p999), environment metadata,
+//!    and a clean outcome partition.
+//! 2. **Saturation on loopback** — the bracket-and-bisect search runs
+//!    end-to-end over TCP and reports a positive sustained rate under
+//!    generous criteria.
+//! 3. **Regression gate** — `diff` fires on an injected p99 regression
+//!    past the threshold and stays silent under it.
+//! 4. **Properties** — `BenchReport` serde round-trips *exactly* (bit
+//!    equality, via proptest), and `diff(A, A)` is all-zero at every
+//!    threshold (symmetric consistency).
+
+use faasrail::gateway::{Gateway, GatewayConfig, HttpBackend, HttpBackendConfig, RetryPolicy};
+use faasrail::loadgen::{ArrivalProcess, NoopBackend};
+use faasrail::prelude::*;
+use faasrail::workloads::WorkloadId;
+use faasrail_bench::harness::{
+    diff_reports, run_fixed_rate, saturation_search, AcceptCriteria, BenchReport, BenchWorkload,
+    FixedRateSpec, LatencyQuantiles, RateRun, SaturationSummary, SearchConfig, StageLatencies,
+    SCHEMA,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn loopback_gateway() -> faasrail::gateway::GatewayHandle {
+    Gateway::bind("127.0.0.1:0", Arc::new(NoopBackend), GatewayConfig::default())
+        .expect("bind loopback")
+        .spawn()
+}
+
+fn connect(addr: &str) -> HttpBackend {
+    let cfg = HttpBackendConfig {
+        request_timeout: Duration::from_secs(2),
+        retry: RetryPolicy { max_attempts: 1, ..RetryPolicy::default() },
+        ..HttpBackendConfig::default()
+    };
+    HttpBackend::connect(addr, cfg).expect("connect")
+}
+
+fn vanilla_pool() -> WorkloadPool {
+    WorkloadPool::vanilla(&CostModel::default_calibration())
+}
+
+fn gateway_workload(duration_s: f64, workers: u64) -> BenchWorkload {
+    BenchWorkload {
+        arrivals: "uniform".to_string(),
+        duration_s,
+        workers,
+        seed: 42,
+        target: "loopback/noop".to_string(),
+    }
+}
+
+#[test]
+fn fixed_rate_bench_produces_schema_valid_report_on_loopback() {
+    let handle = loopback_gateway();
+    let backend = connect(&handle.addr().to_string());
+    let pool = vanilla_pool();
+    let spec = FixedRateSpec {
+        rps: 200.0,
+        duration_s: 1.0,
+        workers: 4,
+        process: ArrivalProcess::Uniform,
+        seed: 42,
+        workload: WorkloadId(7),
+    };
+    let run = run_fixed_rate(&backend, &pool, &spec);
+    handle.stop();
+
+    // Open loop: everything scheduled was offered, and a loopback noop
+    // gateway at 200 rps completes cleanly.
+    assert_eq!(run.offered, 200);
+    assert_eq!(run.completed + run.errors, run.offered);
+    assert_eq!(run.errors, 0, "loopback noop rung must be error-free");
+    assert_eq!(run.error_rate, 0.0);
+    assert!(run.achieved_rps > 100.0, "achieved {}", run.achieved_rps);
+
+    // Every stage is quantified with ordered tails.
+    for (name, q) in [
+        ("lateness", &run.stages.lateness),
+        ("queue_wait", &run.stages.queue_wait),
+        ("service", &run.stages.service),
+        ("overhead", &run.stages.overhead),
+        ("response", &run.stages.response),
+    ] {
+        assert!(q.count > 0, "{name} unmeasured");
+        assert!(
+            q.p50_ms <= q.p95_ms && q.p95_ms <= q.p99_ms && q.p99_ms <= q.p999_ms,
+            "{name} tails out of order: {q:?}"
+        );
+    }
+    assert!(run.stages.response.p50_ms > 0.0, "a TCP round trip takes nonzero time");
+
+    // The report the CLI writes: schema-valid, env-stamped, round-trips.
+    let mut report = BenchReport::new("gateway-loopback", "gateway", gateway_workload(1.0, 4));
+    report.runs.push(run);
+    let json = report.to_json();
+    let back = BenchReport::from_json(&json).expect("schema-valid");
+    assert_eq!(report, back);
+    assert_eq!(back.schema, SCHEMA);
+    assert!(!back.env.build.git_sha.is_empty());
+    assert!(!back.env.build.rustc.is_empty());
+    assert!(back.env.cores > 0);
+    assert!(json.contains("p999_ms"), "documented schema carries p999 per stage");
+}
+
+#[test]
+fn saturation_search_runs_end_to_end_on_loopback() {
+    let handle = loopback_gateway();
+    let backend = connect(&handle.addr().to_string());
+    let pool = vanilla_pool();
+    // Generous criteria: this asserts the plumbing (search over real TCP
+    // rungs), not the machine's absolute capacity.
+    let criteria =
+        AcceptCriteria { p99_ms: 2_000.0, max_error_rate: 0.05, max_lateness_p99_ms: 2_000.0 };
+    let search =
+        SearchConfig { start_rps: 50.0, max_rps: 200.0, resolution_rps: 50.0, max_probes: 6 };
+    let (summary, runs) = saturation_search(
+        |rps| {
+            let spec = FixedRateSpec {
+                rps,
+                duration_s: 0.5,
+                workers: 4,
+                process: ArrivalProcess::Uniform,
+                seed: 7,
+                workload: WorkloadId(7),
+            };
+            run_fixed_rate(&backend, &pool, &spec)
+        },
+        &criteria,
+        &search,
+    );
+    handle.stop();
+
+    assert!(summary.max_sustained_rps >= 50.0, "loopback noop sustains ≥ start: {summary:?}");
+    assert_eq!(summary.probes as usize, runs.len());
+    assert!(!runs.is_empty());
+    assert!(runs.iter().all(|r| r.offered > 0));
+
+    let mut report = BenchReport::new("gateway-saturate", "gateway", gateway_workload(0.5, 4));
+    report.runs = runs;
+    report.saturation = Some(summary);
+    let back = BenchReport::from_json(&report.to_json()).expect("schema-valid");
+    assert_eq!(report, back);
+}
+
+#[test]
+fn diff_gate_fires_on_p99_regression_beyond_threshold_only() {
+    let baseline = synthetic_report(10.0, 4_000.0);
+    // +60% p99 (and well past the absolute noise floor).
+    let regressed = synthetic_report(16.0, 4_000.0);
+
+    let diff = diff_reports(&baseline, &regressed).expect("same tier");
+    let fired = diff.regressions(0.10);
+    assert!(
+        fired.iter().any(|r| r.metric.contains("response.p99_ms")),
+        "p99 regression must fire: {fired:?}"
+    );
+    // The CLI exits nonzero exactly when this list is non-empty.
+    assert!(!fired.is_empty());
+    // Under a tolerant threshold the same delta passes.
+    assert!(diff.regressions(0.80).is_empty());
+    // And the improvement direction never fires.
+    let diff = diff_reports(&regressed, &baseline).expect("same tier");
+    assert!(diff.regressions(0.10).is_empty());
+}
+
+fn synthetic_report(p99_ms: f64, sustained_rps: f64) -> BenchReport {
+    let mut report = BenchReport::new("synthetic", "gateway", gateway_workload(1.0, 4));
+    let quantiles = |scale: f64| LatencyQuantiles {
+        count: 1_000,
+        mean_ms: 0.4 * scale,
+        p50_ms: 0.3 * scale,
+        p95_ms: 0.7 * scale,
+        p99_ms: scale,
+        p999_ms: 1.4 * scale,
+        max_ms: 2.0 * scale,
+    };
+    report.runs.push(RateRun {
+        target_rps: 1_000.0,
+        duration_s: 1.0,
+        offered: 1_000,
+        completed: 1_000,
+        errors: 0,
+        achieved_rps: 1_000.0,
+        error_rate: 0.0,
+        accepted: true,
+        stages: StageLatencies {
+            response: quantiles(p99_ms),
+            queue_wait: quantiles(p99_ms / 10.0),
+            ..Default::default()
+        },
+    });
+    report.saturation = Some(SaturationSummary {
+        max_sustained_rps: sustained_rps,
+        criteria: AcceptCriteria::default(),
+        probes: 5,
+    });
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+fn arb_quantiles() -> impl Strategy<Value = LatencyQuantiles> {
+    ((any::<u32>(), 0.0..1e6f64, 0.0..1e6f64, 0.0..1e6f64), (0.0..1e6f64, 0.0..1e6f64, 0.0..1e6f64))
+        .prop_map(|((count, mean, p50, p95), (p99, p999, max))| LatencyQuantiles {
+            count: count as u64,
+            mean_ms: mean,
+            p50_ms: p50,
+            p95_ms: p95,
+            p99_ms: p99,
+            p999_ms: p999,
+            max_ms: max,
+        })
+}
+
+fn arb_run() -> impl Strategy<Value = RateRun> {
+    (1.0..1e5f64, 0.1..60.0f64, any::<u16>(), any::<u16>(), arb_quantiles(), arb_quantiles())
+        .prop_map(|(rps, duration, completed, errors, response, lateness)| {
+            let completed = completed as u64;
+            let errors = errors as u64;
+            let offered = completed + errors;
+            RateRun {
+                target_rps: rps,
+                duration_s: duration,
+                offered,
+                completed,
+                errors,
+                achieved_rps: completed as f64 / duration,
+                error_rate: if offered > 0 { errors as f64 / offered as f64 } else { 0.0 },
+                accepted: errors == 0,
+                stages: StageLatencies { response, lateness, ..Default::default() },
+            }
+        })
+}
+
+fn arb_report() -> impl Strategy<Value = BenchReport> {
+    let arb_saturation = prop_oneof![
+        Just(None::<SaturationSummary>),
+        (1.0..1e5f64, 1u64..50).prop_map(|(rps, probes)| {
+            Some(SaturationSummary {
+                max_sustained_rps: rps,
+                criteria: AcceptCriteria::default(),
+                probes,
+            })
+        }),
+    ];
+    (prop::collection::vec(arb_run(), 0..5), arb_saturation, any::<u64>()).prop_map(
+        |(runs, saturation, seed)| {
+            let mut report = BenchReport::new("prop", "gateway", gateway_workload(1.0, 4));
+            report.workload.seed = seed;
+            report.runs = runs;
+            report.saturation = saturation;
+            report
+        },
+    )
+}
+
+proptest! {
+    /// The trajectory format must survive write → read with *bit-exact*
+    /// equality — a lossy schema would manufacture phantom perf deltas.
+    #[test]
+    fn bench_report_serde_round_trips_exactly(report in arb_report()) {
+        let back = BenchReport::from_json(&report.to_json()).expect("own output parses");
+        prop_assert_eq!(report, back);
+    }
+
+    /// diff(A, A) is all-zero and can never fire, at any threshold —
+    /// otherwise the CI gate would flag unchanged performance.
+    #[test]
+    fn self_diff_is_zero_and_never_fires(report in arb_report(), threshold in 0.0..10.0f64) {
+        let diff = diff_reports(&report, &report).expect("same tier");
+        for row in &diff.rows {
+            prop_assert_eq!(row.delta(), 0.0);
+            prop_assert_eq!(row.delta_frac(), 0.0);
+        }
+        prop_assert!(diff.unmatched.is_empty());
+        prop_assert!(diff.regressions(threshold).is_empty());
+    }
+}

@@ -357,4 +357,17 @@ fn live_console_serves_state_metrics_healthz_dashboard_and_shows_a_kill() {
     let holder = report.agents.iter().find(|a| a.name == "holder").unwrap();
     assert_eq!(holder.status, "crash");
     assert!(!report.reassignments.is_empty());
+
+    // The console's sampled history survives into the final report (PR 9):
+    // bounded, windowed, monotonically sequenced — the perf-trajectory
+    // record a post-mortem reads instead of re-scraping a dead console.
+    let history = report.console_history.as_ref().expect("console run persists its history");
+    assert!(!history.is_empty(), "at least the terminal sample is recorded");
+    assert!(
+        history.len() <= faasrail::fleet::DEFAULT_HISTORY_CAPACITY,
+        "history stays bounded: {}",
+        history.len()
+    );
+    assert!(history.windows(2).all(|w| w[0].seq < w[1].seq), "samples are ordered");
+    assert!(!report.build.git_sha.is_empty(), "fleet report is build-stamped");
 }
