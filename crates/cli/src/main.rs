@@ -17,7 +17,8 @@
 //! faasrail replay     --requests r.json --pool p.json [--compression X] [--workers N]
 //!                     [--shard I/N]
 //!                     [--target HOST:PORT [--timeout-ms N] [--attempts N]
-//!                      [--breaker-threshold N] [--breaker-open-ms T]]
+//!                      [--breaker-threshold N] [--breaker-open-ms T]
+//!                      [--mux CONNS [--mux-depth N]]]   # multiplexed pipelined client
 //!                     [--live-metrics [--window-s N]] [--events spans.jsonl]
 //!                     [--server-events server.jsonl]
 //!                     [--metrics-out metrics.json] [--prom-out metrics.prom]
@@ -39,8 +40,9 @@
 //! faasrail fleet top  --coordinator ADDR   # the coordinator's --console address
 //!                     [--interval-ms T] [--iterations N]  # N=0: until the run ends
 //! faasrail serve      [--addr 127.0.0.1:7471] [--backend warm-cache|in-process|noop]
+//!                     [--reactor [--shards N]]    # epoll event-loop server
 //!                     [--pool p.json] [--conn-workers N] [--queue-cap N]
-//!                     [--read-timeout-s N] [--trace-out server.jsonl]
+//!                     [--read-timeout-s N] [--head-timeout-s N] [--trace-out server.jsonl]
 //!                     [--drop-frac X] [--error-frac X]
 //!                     [--stall-frac X] [--stall-ms T] [--latency-frac X]
 //!                     [--latency-ms T] [--fault-seed N]
@@ -52,6 +54,8 @@
 //!                     [--bench-out bench.json] [--bench-name NAME]
 //! faasrail bench saturate
 //!                     [--target HOST:PORT]        # default: self-hosted loopback noop gateway
+//!                     [--reactor [--shards N]]    # self-host the epoll server instead
+//!                     [--mux CONNS [--mux-depth N]]   # multiplexed pipelined client
 //!                     [--p99-ms 50] [--max-error-rate 0.001] [--max-lateness-ms 100]
 //!                     [--start-rps 64] [--max-rps 65536] [--resolution-rps 16]
 //!                     [--max-probes 24] [--duration-s 2] [--workers N] [--poisson]
@@ -59,7 +63,9 @@
 //!                     [--name NAME] [--out BENCH_gateway.json]
 //! faasrail bench fixed
 //!                     [--rps R --rps R ...]       # the measurement ladder (default: 200)
-//!                     [--target HOST:PORT] [--duration-s 2] [--workers N] [--poisson]
+//!                     [--target HOST:PORT] [--reactor [--shards N]]
+//!                     [--mux CONNS [--mux-depth N]]
+//!                     [--duration-s 2] [--workers N] [--poisson]
 //!                     [--seed N] [--timeout-ms 1000] [--pool p.json] [--workload-id N]
 //!                     [--name NAME] [--out BENCH_gateway.json]
 //! faasrail bench diff OLD.json NEW.json
@@ -696,11 +702,40 @@ fn cmd_bench_run(args: &Args, saturate: bool) -> Result<(), String> {
         FixedRateSpec, SearchConfig,
     };
     use faasrail_gateway::{
-        BreakerConfig, Gateway, GatewayConfig, HttpBackend, HttpBackendConfig, RetryPolicy,
+        BreakerConfig, Gateway, GatewayConfig, HttpBackend, HttpBackendConfig, MuxConfig,
+        MuxHttpBackend, ReactorGateway, RetryPolicy,
     };
-    use faasrail_loadgen::ArrivalProcess;
+    use faasrail_loadgen::{ArrivalProcess, Backend, InvocationRequest, InvocationResult};
     use faasrail_workloads::WorkloadId;
     use std::sync::Arc;
+
+    // The harness is generic over `Backend`; both transports (per-request
+    // pooled, multiplexed) route through one enum so the closure below has
+    // a single concrete type.
+    enum BenchBackend {
+        Http(HttpBackend),
+        Mux(MuxHttpBackend),
+    }
+    impl Backend for BenchBackend {
+        fn invoke(&self, req: &InvocationRequest) -> InvocationResult {
+            match self {
+                BenchBackend::Http(b) => b.invoke(req),
+                BenchBackend::Mux(b) => b.invoke(req),
+            }
+        }
+    }
+    enum LocalHandle {
+        Threaded(faasrail_gateway::GatewayHandle),
+        Reactor(faasrail_gateway::ReactorHandle),
+    }
+    impl LocalHandle {
+        fn stop(self) {
+            match self {
+                LocalHandle::Threaded(h) => h.stop(),
+                LocalHandle::Reactor(h) => h.stop(),
+            }
+        }
+    }
 
     let duration_s = args.num("duration-s", 2.0f64)?;
     let workers = args.num("workers", 8usize)?;
@@ -719,8 +754,32 @@ fn cmd_bench_run(args: &Args, saturate: bool) -> Result<(), String> {
 
     // Target: an external gateway, or a self-hosted loopback gateway with
     // the noop backend (stopped on exit) so the bench is one command.
+    // `--reactor [--shards N]` self-hosts the epoll server instead of the
+    // thread-per-connection one.
+    let reactor = args.flag("reactor");
+    let shards = args.num("shards", 1usize)?;
     let (target, target_desc, local) = match args.get("target") {
         Some(t) => (t.to_string(), t.to_string(), None),
+        None if reactor => {
+            let handle = ReactorGateway::bind_sharded(
+                "127.0.0.1:0",
+                Arc::new(faasrail_loadgen::NoopBackend),
+                GatewayConfig::default(),
+                shards,
+            )
+            .map_err(|e| format!("binding loopback reactor gateway: {e}"))?
+            .spawn();
+            let addr = handle.addr().to_string();
+            eprintln!(
+                "bench: self-hosted loopback reactor gateway (noop backend, {shards} shard(s)) \
+                 at {addr}"
+            );
+            (
+                addr.clone(),
+                format!("{addr}/noop (self-hosted, reactor x{shards})"),
+                Some(LocalHandle::Reactor(handle)),
+            )
+        }
         None => {
             let handle = Gateway::bind(
                 "127.0.0.1:0",
@@ -731,20 +790,52 @@ fn cmd_bench_run(args: &Args, saturate: bool) -> Result<(), String> {
             .spawn();
             let addr = handle.addr().to_string();
             eprintln!("bench: self-hosted loopback gateway (noop backend) at {addr}");
-            (addr.clone(), format!("{addr}/noop (self-hosted)"), Some(handle))
+            (
+                addr.clone(),
+                format!("{addr}/noop (self-hosted)"),
+                Some(LocalHandle::Threaded(handle)),
+            )
         }
     };
 
-    // One attempt, no breaker: a saturation probe must *see* every
-    // failure, not paper over it with retries or fail fast around it.
-    let http_cfg = HttpBackendConfig {
-        request_timeout: std::time::Duration::from_millis(timeout_ms),
-        retry: RetryPolicy { max_attempts: 1, ..RetryPolicy::default() },
-        breaker: BreakerConfig::tripping(0, std::time::Duration::from_millis(1_000)),
-        ..HttpBackendConfig::default()
+    // Client transport: `--mux N` drives a multiplexed fixed pool of N
+    // pipelined connections from one reactor thread; default is the pooled
+    // one-request-per-connection-at-a-time client. One attempt, no
+    // breaker: a saturation probe must *see* every failure, not paper over
+    // it with retries or fail fast around it (the mux client never
+    // retries by construction).
+    let backend = match args.get("mux") {
+        Some(n) => {
+            let connections: usize =
+                n.parse().map_err(|_| format!("invalid value for --mux: {n}"))?;
+            let mux_cfg = MuxConfig {
+                connections,
+                pipeline_depth: args.num("mux-depth", 32usize)?,
+                request_timeout: std::time::Duration::from_millis(timeout_ms),
+                ..MuxConfig::default()
+            };
+            eprintln!(
+                "bench: multiplexed client ({} connections, pipeline depth {})",
+                mux_cfg.connections, mux_cfg.pipeline_depth
+            );
+            BenchBackend::Mux(
+                MuxHttpBackend::new(&target, mux_cfg)
+                    .map_err(|e| format!("resolving {target}: {e}"))?,
+            )
+        }
+        None => {
+            let http_cfg = HttpBackendConfig {
+                request_timeout: std::time::Duration::from_millis(timeout_ms),
+                retry: RetryPolicy { max_attempts: 1, ..RetryPolicy::default() },
+                breaker: BreakerConfig::tripping(0, std::time::Duration::from_millis(1_000)),
+                ..HttpBackendConfig::default()
+            };
+            BenchBackend::Http(
+                HttpBackend::connect(&target, http_cfg)
+                    .map_err(|e| format!("resolving {target}: {e}"))?,
+            )
+        }
     };
-    let backend =
-        HttpBackend::connect(&target, http_cfg).map_err(|e| format!("resolving {target}: {e}"))?;
 
     let spec = |rps: f64| FixedRateSpec { rps, duration_s, workers, process, seed, workload };
     let arrivals = if args.flag("poisson") { "poisson" } else { "uniform" };
@@ -909,29 +1000,55 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
     );
 
     let m = if let Some(target) = args.get("target") {
-        use faasrail_gateway::{BreakerConfig, HttpBackend, HttpBackendConfig, RetryPolicy};
+        use faasrail_gateway::{
+            BreakerConfig, HttpBackend, HttpBackendConfig, MuxConfig, MuxHttpBackend, RetryPolicy,
+        };
         let timeout_ms = args.num("timeout-ms", 30_000u64)?;
         let attempts = args.num("attempts", 4u32)?;
-        let breaker_threshold = args.num("breaker-threshold", 0u32)?;
-        let breaker_open_ms = args.num("breaker-open-ms", 1_000u64)?;
-        let http_cfg = HttpBackendConfig {
-            request_timeout: std::time::Duration::from_millis(timeout_ms),
-            retry: RetryPolicy { max_attempts: attempts, ..RetryPolicy::default() },
-            breaker: BreakerConfig::tripping(
-                breaker_threshold,
-                std::time::Duration::from_millis(breaker_open_ms),
-            ),
-            ..HttpBackendConfig::default()
-        };
-        let backend = HttpBackend::connect(target, http_cfg)
-            .map_err(|e| format!("resolving {target}: {e}"))?;
-        eprintln!(
-            "replay: target={target} timeout-ms={timeout_ms} attempts={attempts} \
-             breaker-threshold={breaker_threshold} breaker-open-ms={breaker_open_ms}"
-        );
-        let m = replay_observed(&reqs, &pool, &backend, &cfg, &stop, &inst);
-        eprintln!("transport: {}", backend.transport_summary());
-        m
+        if let Some(n) = args.get("mux") {
+            // Multiplexed transport: one reactor thread drives a fixed pool
+            // of pipelined connections; no retries, no breaker (every
+            // failure surfaces in the outcome breakdown).
+            let connections: usize =
+                n.parse().map_err(|_| format!("invalid value for --mux: {n}"))?;
+            let mux_cfg = MuxConfig {
+                connections,
+                pipeline_depth: args.num("mux-depth", 32usize)?,
+                request_timeout: std::time::Duration::from_millis(timeout_ms),
+                ..MuxConfig::default()
+            };
+            let depth = mux_cfg.pipeline_depth;
+            let backend = MuxHttpBackend::new(target, mux_cfg)
+                .map_err(|e| format!("resolving {target}: {e}"))?;
+            eprintln!(
+                "replay: target={target} timeout-ms={timeout_ms} mux={connections} \
+                 mux-depth={depth}"
+            );
+            let m = replay_observed(&reqs, &pool, &backend, &cfg, &stop, &inst);
+            eprintln!("transport: {}", backend.summary());
+            m
+        } else {
+            let breaker_threshold = args.num("breaker-threshold", 0u32)?;
+            let breaker_open_ms = args.num("breaker-open-ms", 1_000u64)?;
+            let http_cfg = HttpBackendConfig {
+                request_timeout: std::time::Duration::from_millis(timeout_ms),
+                retry: RetryPolicy { max_attempts: attempts, ..RetryPolicy::default() },
+                breaker: BreakerConfig::tripping(
+                    breaker_threshold,
+                    std::time::Duration::from_millis(breaker_open_ms),
+                ),
+                ..HttpBackendConfig::default()
+            };
+            let backend = HttpBackend::connect(target, http_cfg)
+                .map_err(|e| format!("resolving {target}: {e}"))?;
+            eprintln!(
+                "replay: target={target} timeout-ms={timeout_ms} attempts={attempts} \
+                 breaker-threshold={breaker_threshold} breaker-open-ms={breaker_open_ms}"
+            );
+            let m = replay_observed(&reqs, &pool, &backend, &cfg, &stop, &inst);
+            eprintln!("transport: {}", backend.transport_summary());
+            m
+        }
     } else {
         let backend = WarmCacheBackend::new(pool.clone(), WarmCacheConfig::default());
         eprintln!("replay: backend=warm-cache (in-process)");
@@ -1072,12 +1189,13 @@ fn cmd_report(args: &Args) -> Result<(), String> {
 /// `faasrail serve` — expose a backend over HTTP for networked replay
 /// (`faasrail replay --target`). Blocks until killed.
 fn cmd_serve(args: &Args) -> Result<(), String> {
-    use faasrail_gateway::{FaultConfig, Gateway, GatewayConfig};
+    use faasrail_gateway::{FaultConfig, Gateway, GatewayConfig, ReactorGateway};
     use std::sync::Arc;
     let cfg = GatewayConfig {
         workers: args.num("conn-workers", 64usize)?,
         queue_capacity: args.num("queue-cap", 64usize)?,
         read_timeout: std::time::Duration::from_secs(args.num("read-timeout-s", 30u64)?),
+        head_read_timeout: std::time::Duration::from_secs(args.num("head-timeout-s", 10u64)?),
         fault: FaultConfig {
             drop_fraction: args.num("drop-frac", 0.0f64)?,
             error_fraction: args.num("error-frac", 0.0f64)?,
@@ -1115,15 +1233,41 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         f.latency_ms,
         f.seed
     );
-    let mut gateway = Gateway::bind(args.get_or("addr", "127.0.0.1:7471"), backend, cfg)
-        .map_err(|e| format!("binding gateway: {e}"))?;
-    if let Some(path) = args.get("trace-out") {
-        // Autoflush so the span log stays parseable even if the server is
-        // killed rather than shut down (the usual way a serve run ends).
-        let sink = faasrail_telemetry::JsonlSink::create_autoflush(path)
-            .map_err(|e| format!("creating {path}: {e}"))?;
-        gateway = gateway.with_trace_sink(Arc::new(sink));
-        eprintln!("serve: tracing server spans to {path}");
+    let addr = args.get_or("addr", "127.0.0.1:7471");
+    let trace_sink: Option<Arc<dyn faasrail_telemetry::EventSink>> = match args.get("trace-out") {
+        Some(path) => {
+            // Autoflush so the span log stays parseable even if the server
+            // is killed rather than shut down (the usual way a serve run
+            // ends).
+            let sink = faasrail_telemetry::JsonlSink::create_autoflush(path)
+                .map_err(|e| format!("creating {path}: {e}"))?;
+            eprintln!("serve: tracing server spans to {path}");
+            Some(Arc::new(sink))
+        }
+        None => None,
+    };
+    if args.flag("reactor") {
+        let shards = args.num("shards", 1usize)?;
+        let mut gateway = ReactorGateway::bind_sharded(addr, backend, cfg, shards)
+            .map_err(|e| format!("binding reactor gateway: {e}"))?;
+        if let Some(sink) = trace_sink {
+            gateway = gateway.with_trace_sink(sink);
+        }
+        eprintln!(
+            "serve: backend={name} at http://{} ({cfg_banner} reactor shards={shards})",
+            gateway.local_addr()
+        );
+        eprintln!("serve: {fault_banner}");
+        eprintln!(
+            "serve: endpoints POST /invoke, GET /healthz, GET /stats, GET /metrics; ctrl-c to stop"
+        );
+        gateway.run();
+        return Ok(());
+    }
+    let mut gateway =
+        Gateway::bind(addr, backend, cfg).map_err(|e| format!("binding gateway: {e}"))?;
+    if let Some(sink) = trace_sink {
+        gateway = gateway.with_trace_sink(sink);
     }
     eprintln!("serve: backend={name} at http://{} ({cfg_banner})", gateway.local_addr());
     eprintln!("serve: {fault_banner}");

@@ -22,7 +22,15 @@
 //! * admission control — the server sheds connections with `429` +
 //!   `Retry-After` when its bounded pending-work queue is full
 //!   ([`GatewayConfig::queue_capacity`]), so overload is an explicit signal
-//!   instead of a stalled OS accept backlog.
+//!   instead of a stalled OS accept backlog;
+//! * [`ReactorGateway`] — the same server contract re-implemented on
+//!   `faasrail-reactor`'s epoll event loop: N readiness-driven shards
+//!   (`SO_REUSEPORT`) plus a bounded handler pool, with per-connection
+//!   idle/slow-loris deadlines on a timer wheel and allocation-free HTTP
+//!   parse/encode on the hot path;
+//! * [`MuxHttpBackend`] — a multiplexed client `Backend`: one reactor
+//!   thread drives a fixed pool of pipelined connections, so thousands of
+//!   in-flight invocations need neither a thread nor a socket each.
 //!
 //! Loopback replay through the pair is distribution-preserving: the
 //! `tests/gateway_loopback.rs` integration test drives a full shrunk spec
@@ -33,10 +41,14 @@ pub mod backoff;
 pub mod breaker;
 pub mod client;
 pub mod http;
+pub mod mux;
+pub mod reactor_server;
 pub mod server;
 
 pub use backoff::{mix_fraction, RetryPolicy, SplitMix64};
 pub use breaker::{BreakerConfig, CircuitBreaker};
 pub use client::{ClientStats, HttpBackend, HttpBackendConfig};
 pub use http::TRACE_HEADER;
+pub use mux::{MuxConfig, MuxHttpBackend};
+pub use reactor_server::{ReactorGateway, ReactorHandle};
 pub use server::{FaultConfig, Gateway, GatewayConfig, GatewayHandle, GatewayStats, StageMetrics};

@@ -89,7 +89,7 @@ impl Default for FaultConfig {
     }
 }
 
-enum Fault {
+pub(crate) enum Fault {
     None,
     Drop,
     Error,
@@ -98,7 +98,7 @@ enum Fault {
 }
 
 impl FaultConfig {
-    fn decide(&self, invocation: u64) -> Fault {
+    pub(crate) fn decide(&self, invocation: u64) -> Fault {
         let total =
             self.drop_fraction + self.error_fraction + self.stall_fraction + self.latency_fraction;
         if total <= 0.0 {
@@ -141,6 +141,12 @@ pub struct GatewayConfig {
     /// Idle keep-alive timeout: a connection with no request for this long
     /// is closed (also bounds how long shutdown waits on idle peers).
     pub read_timeout: Duration,
+    /// Budget for receiving one request *head* once its first byte has
+    /// arrived. A peer dribbling a header byte at a time (slow loris) is
+    /// reaped after this long without stalling other connections. Enforced
+    /// by the reactor server; the threaded server's per-read `read_timeout`
+    /// already bounds each socket read.
+    pub head_read_timeout: Duration,
     /// Fault injection (off by default).
     pub fault: FaultConfig,
 }
@@ -151,6 +157,7 @@ impl Default for GatewayConfig {
             workers: 64,
             queue_capacity: 64,
             read_timeout: Duration::from_secs(30),
+            head_read_timeout: Duration::from_secs(10),
             fault: FaultConfig::default(),
         }
     }
@@ -303,7 +310,7 @@ pub struct StageMetrics {
 }
 
 impl StageMetrics {
-    fn new() -> StageMetrics {
+    pub(crate) fn new() -> StageMetrics {
         StageMetrics {
             queue_wait: Mutex::new(LogHistogram::latency_seconds()),
             service: Mutex::new(LogHistogram::latency_seconds()),
@@ -312,7 +319,7 @@ impl StageMetrics {
         }
     }
 
-    fn record(&self, span: &ServerSpan) {
+    pub(crate) fn record(&self, span: &ServerSpan) {
         self.queue_wait.lock().record(span.queue_wait_s());
         self.service.lock().record(span.handler_s());
         self.flush.lock().record(span.flush_s());
@@ -831,7 +838,7 @@ mod tests {
             workers: 4,
             queue_capacity: 4,
             read_timeout: Duration::from_millis(500),
-            fault: FaultConfig::default(),
+            ..GatewayConfig::default()
         }
     }
 

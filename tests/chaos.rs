@@ -16,8 +16,11 @@
 //! 4. **Stopping is graceful.** Raising the stop flag mid-replay drains the
 //!    in-flight work and flushes partial metrics marked `aborted`.
 
+mod common;
+
+use common::{spawn_server, AnyHandle, ServerMode};
 use faasrail::core::RequestTrace;
-use faasrail::gateway::{FaultConfig, Gateway, GatewayConfig, HttpBackendConfig, RetryPolicy};
+use faasrail::gateway::{FaultConfig, GatewayConfig, HttpBackendConfig, RetryPolicy};
 use faasrail::loadgen::{
     replay, replay_until, Backend, InvocationRequest, InvocationResult, NoopBackend, Pacing,
     ReplayConfig, RunMetrics,
@@ -62,19 +65,18 @@ fn assert_nothing_lost(m: &RunMetrics, n: usize) {
 
 /// A small gateway (4 workers, queue of 2) under a seeded fault cocktail,
 /// hammered by far more replay workers than it has capacity for.
-fn chaos_gateway(fault: FaultConfig) -> faasrail::gateway::GatewayHandle {
-    Gateway::bind(
-        "127.0.0.1:0",
+fn chaos_gateway(mode: ServerMode, fault: FaultConfig) -> AnyHandle {
+    spawn_server(
+        mode,
         Arc::new(NoopBackend),
         GatewayConfig {
             workers: 4,
             queue_capacity: 2,
             read_timeout: Duration::from_secs(1),
             fault,
+            ..GatewayConfig::default()
         },
     )
-    .expect("bind chaos gateway")
-    .spawn()
 }
 
 fn chaos_client(addr: &str) -> faasrail::gateway::HttpBackend {
@@ -97,16 +99,28 @@ fn chaos_client(addr: &str) -> faasrail::gateway::HttpBackend {
 
 #[test]
 fn chaos_replay_accounts_for_every_request() {
+    chaos_replay_accounts_for_every_request_in(ServerMode::Threaded);
+}
+
+#[test]
+fn chaos_replay_accounts_for_every_request_reactor() {
+    chaos_replay_accounts_for_every_request_in(ServerMode::Reactor);
+}
+
+fn chaos_replay_accounts_for_every_request_in(mode: ServerMode) {
     let n = 300;
     let (trace, pool) = dense_trace(n, 0);
-    let handle = chaos_gateway(FaultConfig {
-        drop_fraction: 0.05,
-        error_fraction: 0.10,
-        stall_fraction: 0.05,
-        stall_ms: 400,
-        seed: 17,
-        ..FaultConfig::default()
-    });
+    let handle = chaos_gateway(
+        mode,
+        FaultConfig {
+            drop_fraction: 0.05,
+            error_fraction: 0.10,
+            stall_fraction: 0.05,
+            stall_ms: 400,
+            seed: 17,
+            ..FaultConfig::default()
+        },
+    );
 
     // 24 unpaced workers against 4 server workers + a queue of 2: the first
     // wave alone overflows admission, so shedding must fire.
@@ -164,9 +178,18 @@ fn panicking_kernel_mid_replay_does_not_abort_the_run() {
 
 #[test]
 fn stop_flag_drains_gateway_replay_and_flushes_partial_metrics() {
+    stop_flag_drains_gateway_replay_and_flushes_partial_metrics_in(ServerMode::Threaded);
+}
+
+#[test]
+fn stop_flag_drains_gateway_replay_and_flushes_partial_metrics_reactor() {
+    stop_flag_drains_gateway_replay_and_flushes_partial_metrics_in(ServerMode::Reactor);
+}
+
+fn stop_flag_drains_gateway_replay_and_flushes_partial_metrics_in(mode: ServerMode) {
     let n = 5_000;
     let (trace, pool) = dense_trace(n, 2);
-    let handle = chaos_gateway(FaultConfig::default());
+    let handle = chaos_gateway(mode, FaultConfig::default());
     let client = chaos_client(&handle.addr().to_string());
     let stop = AtomicBool::new(false);
 
@@ -200,17 +223,30 @@ fn stop_flag_drains_gateway_replay_and_flushes_partial_metrics() {
 #[test]
 #[ignore]
 fn chaos_stress_heavy_fault_cocktail() {
+    chaos_stress_heavy_fault_cocktail_in(ServerMode::Threaded);
+}
+
+#[test]
+#[ignore]
+fn chaos_stress_heavy_fault_cocktail_reactor() {
+    chaos_stress_heavy_fault_cocktail_in(ServerMode::Reactor);
+}
+
+fn chaos_stress_heavy_fault_cocktail_in(mode: ServerMode) {
     let n = 2_000;
     let (trace, pool) = dense_trace(n, 0);
-    let handle = chaos_gateway(FaultConfig {
-        drop_fraction: 0.10,
-        error_fraction: 0.15,
-        stall_fraction: 0.08,
-        stall_ms: 300,
-        latency_fraction: 0.10,
-        latency_ms: 50,
-        seed: 23,
-    });
+    let handle = chaos_gateway(
+        mode,
+        FaultConfig {
+            drop_fraction: 0.10,
+            error_fraction: 0.15,
+            stall_fraction: 0.08,
+            stall_ms: 300,
+            latency_fraction: 0.10,
+            latency_ms: 50,
+            seed: 23,
+        },
+    );
 
     let client = chaos_client(&handle.addr().to_string());
     let m = replay(&trace, &pool, &client, &ReplayConfig { pacing: Pacing::Unpaced, workers: 32 });

@@ -4,6 +4,95 @@
 //! so every item is `#[allow(dead_code)]` — not every binary uses every
 //! helper.
 
+use faasrail::gateway::{
+    Gateway, GatewayConfig, GatewayHandle, GatewayStats, ReactorGateway, ReactorHandle,
+};
+use faasrail::loadgen::Backend;
+use faasrail::telemetry::EventSink;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// Which gateway implementation a test spins up: the thread-per-connection
+/// server or the epoll reactor. The external contract (routes, status
+/// codes, shedding, fault injection, span semantics) is identical, so the
+/// e2e suites run against both.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(dead_code)]
+pub enum ServerMode {
+    Threaded,
+    Reactor,
+}
+
+#[allow(dead_code)]
+impl ServerMode {
+    pub const BOTH: [ServerMode; 2] = [ServerMode::Threaded, ServerMode::Reactor];
+}
+
+/// A spawned gateway of either mode, exposing the handle surface the tests
+/// actually use.
+#[allow(dead_code)]
+pub enum AnyHandle {
+    Threaded(GatewayHandle),
+    Reactor(ReactorHandle),
+}
+
+#[allow(dead_code)]
+impl AnyHandle {
+    pub fn addr(&self) -> SocketAddr {
+        match self {
+            AnyHandle::Threaded(h) => h.addr(),
+            AnyHandle::Reactor(h) => h.addr(),
+        }
+    }
+
+    pub fn stats(&self) -> &GatewayStats {
+        match self {
+            AnyHandle::Threaded(h) => h.stats(),
+            AnyHandle::Reactor(h) => h.stats(),
+        }
+    }
+
+    pub fn stop(self) {
+        match self {
+            AnyHandle::Threaded(h) => h.stop(),
+            AnyHandle::Reactor(h) => h.stop(),
+        }
+    }
+}
+
+/// Bind and spawn a loopback gateway in the given mode.
+#[allow(dead_code)]
+pub fn spawn_server(mode: ServerMode, backend: Arc<dyn Backend>, cfg: GatewayConfig) -> AnyHandle {
+    spawn_server_with_sink(mode, backend, cfg, None)
+}
+
+/// Like [`spawn_server`], with an optional server-side trace sink.
+#[allow(dead_code)]
+pub fn spawn_server_with_sink(
+    mode: ServerMode,
+    backend: Arc<dyn Backend>,
+    cfg: GatewayConfig,
+    sink: Option<Arc<dyn EventSink>>,
+) -> AnyHandle {
+    match mode {
+        ServerMode::Threaded => {
+            let mut g = Gateway::bind("127.0.0.1:0", backend, cfg).expect("bind gateway");
+            if let Some(s) = sink {
+                g = g.with_trace_sink(s);
+            }
+            AnyHandle::Threaded(g.spawn())
+        }
+        ServerMode::Reactor => {
+            let mut g =
+                ReactorGateway::bind("127.0.0.1:0", backend, cfg).expect("bind reactor gateway");
+            if let Some(s) = sink {
+                g = g.with_trace_sink(s);
+            }
+            AnyHandle::Reactor(g.spawn())
+        }
+    }
+}
+
 /// A Prometheus metric (or label) name: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
 #[allow(dead_code)]
 pub fn is_metric_name(s: &str) -> bool {

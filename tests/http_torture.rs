@@ -1,0 +1,259 @@
+//! HTTP parser and connection-lifecycle torture tests, run against BOTH
+//! gateway implementations (thread-per-connection and epoll reactor).
+//!
+//! The two servers share one external contract; these tests pin the edges
+//! of it that normal replay traffic never exercises:
+//!
+//! 1. **1-byte reads** — a request head dribbled a byte at a time parses
+//!    exactly once the final byte lands, in either server.
+//! 2. **Pipelining** — several requests written back-to-back on one
+//!    keep-alive connection come back complete and in order.
+//! 3. **Oversized heads** — a header section past `MAX_HEAD_BYTES` is
+//!    rejected with the *same* status (400) by both servers, then the
+//!    connection is closed.
+//! 4. **Malformed request lines** — garbage before the first CRLF is a
+//!    400 in both servers, never a hang or a silent close.
+//! 5. **Slow loris** (reactor) — a peer that starts a head and stalls is
+//!    reaped after `head_read_timeout` without stalling other connections.
+//! 6. **Multiplexed client e2e** — `MuxHttpBackend`'s pipelined pool
+//!    replays cleanly against both servers.
+
+mod common;
+
+use common::{spawn_server, ServerMode};
+use faasrail::gateway::http::{read_response, write_request, MAX_HEAD_BYTES};
+use faasrail::gateway::{GatewayConfig, MuxConfig, MuxHttpBackend};
+use faasrail::loadgen::{replay, NoopBackend, Pacing, ReplayConfig};
+use faasrail::prelude::*;
+use faasrail::workloads::WorkloadId;
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn default_server(mode: ServerMode) -> common::AnyHandle {
+    spawn_server(
+        mode,
+        Arc::new(NoopBackend),
+        GatewayConfig { workers: 4, read_timeout: Duration::from_secs(5), ..Default::default() },
+    )
+}
+
+fn connect(handle: &common::AnyHandle) -> TcpStream {
+    let stream = TcpStream::connect(handle.addr()).expect("connect to gateway");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+}
+
+// 1. A valid request head fed one byte at a time must parse and answer.
+
+#[test]
+fn one_byte_dribble_completes_threaded() {
+    one_byte_dribble_completes(ServerMode::Threaded);
+}
+
+#[test]
+fn one_byte_dribble_completes_reactor() {
+    one_byte_dribble_completes(ServerMode::Reactor);
+}
+
+fn one_byte_dribble_completes(mode: ServerMode) {
+    let handle = default_server(mode);
+    let stream = connect(&handle);
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+
+    let raw = b"GET /healthz HTTP/1.1\r\nHost: torture\r\nConnection: close\r\n\r\n";
+    for chunk in raw.chunks(1) {
+        (&stream).write_all(chunk).expect("write byte");
+        (&stream).flush().expect("flush byte");
+        // A small pause defeats loopback coalescing often enough that the
+        // server really does see partial heads.
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let resp = read_response(&mut reader).expect("read dribbled response");
+    assert_eq!(resp.status, 200, "{mode:?}");
+    assert!(!resp.body.is_empty(), "{mode:?}: healthz body");
+    handle.stop();
+}
+
+// 2. Pipelined keep-alive requests answer completely and in order.
+
+#[test]
+fn pipelined_requests_answer_in_order_threaded() {
+    pipelined_requests_answer_in_order(ServerMode::Threaded);
+}
+
+#[test]
+fn pipelined_requests_answer_in_order_reactor() {
+    pipelined_requests_answer_in_order(ServerMode::Reactor);
+}
+
+fn pipelined_requests_answer_in_order(mode: ServerMode) {
+    let handle = default_server(mode);
+    let stream = connect(&handle);
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = &stream;
+
+    // Distinct content types prove the responses come back in request
+    // order, not just "five responses".
+    let paths = ["/healthz", "/stats", "/metrics", "/healthz", "/stats"];
+    for (i, path) in paths.iter().enumerate() {
+        let keep = i + 1 < paths.len();
+        write_request(&mut writer, "GET", path, "torture", "text/plain", b"", keep)
+            .expect("pipeline request");
+    }
+    for (i, path) in paths.iter().enumerate() {
+        let resp = read_response(&mut reader).expect("pipelined response");
+        assert_eq!(resp.status, 200, "{mode:?}: response {i} to {path}");
+        let want =
+            if *path == "/metrics" { "text/plain; version=0.0.4" } else { "application/json" };
+        assert_eq!(resp.content_type.as_deref(), Some(want), "{mode:?}: response {i} to {path}");
+    }
+    handle.stop();
+}
+
+// 3 + 4. Protocol violations get the same status from both servers.
+
+/// Send raw bytes on a fresh connection, return the response status, and
+/// assert the server closes the connection afterwards.
+fn status_for_raw(handle: &common::AnyHandle, raw: &[u8], what: &str) -> u16 {
+    let stream = connect(handle);
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    (&stream).write_all(raw).expect("write raw request");
+    let resp = read_response(&mut reader).unwrap_or_else(|e| panic!("{what}: no response: {e}"));
+    // The violation must also kill the connection.
+    let mut rest = Vec::new();
+    let closed = reader.read_to_end(&mut rest);
+    assert!(
+        matches!(closed, Ok(0)) || closed.is_err(),
+        "{what}: connection must close after a {} (read {rest:?})",
+        resp.status
+    );
+    resp.status
+}
+
+fn oversized_head() -> Vec<u8> {
+    let mut raw = b"GET /healthz HTTP/1.1\r\nHost: torture\r\nX-Flood: ".to_vec();
+    raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 1024));
+    raw.extend_from_slice(b"\r\n\r\n");
+    raw
+}
+
+#[test]
+fn oversized_header_section_gets_the_same_status_from_both_servers() {
+    let mut statuses = Vec::new();
+    for mode in ServerMode::BOTH {
+        let handle = default_server(mode);
+        statuses.push(status_for_raw(&handle, &oversized_head(), "oversized head"));
+        handle.stop();
+    }
+    assert_eq!(statuses, [400, 400], "threaded vs reactor");
+}
+
+#[test]
+fn malformed_request_line_gets_the_same_status_from_both_servers() {
+    let mut statuses = Vec::new();
+    for mode in ServerMode::BOTH {
+        let handle = default_server(mode);
+        statuses.push(status_for_raw(&handle, b"THIS IS NOT HTTP\r\n\r\n", "malformed line"));
+        handle.stop();
+    }
+    assert_eq!(statuses, [400, 400], "threaded vs reactor");
+}
+
+// 5. Slow loris: a stalled partial head is reaped on `head_read_timeout`
+// without collateral damage to well-behaved connections.
+
+#[test]
+fn slow_loris_is_reaped_without_stalling_other_connections() {
+    let handle = spawn_server(
+        ServerMode::Reactor,
+        Arc::new(NoopBackend),
+        GatewayConfig {
+            workers: 2,
+            read_timeout: Duration::from_secs(30),
+            head_read_timeout: Duration::from_millis(250),
+            ..Default::default()
+        },
+    );
+
+    // The attacker: starts a request head, then goes quiet forever.
+    let loris = connect(&handle);
+    (&loris).write_all(b"GET /healthz HTTP/1.1\r\nHost: lo").expect("partial head");
+
+    // A well-behaved client keeps getting answers while the loris hangs.
+    let polite = connect(&handle);
+    let mut polite_reader = BufReader::new(polite.try_clone().expect("clone stream"));
+    let start = Instant::now();
+    let mut served = 0;
+    while start.elapsed() < Duration::from_millis(400) {
+        write_request(&mut (&polite), "GET", "/healthz", "torture", "text/plain", b"", true)
+            .expect("polite request");
+        let resp = read_response(&mut polite_reader).expect("polite response");
+        assert_eq!(resp.status, 200, "well-behaved client must keep being served");
+        served += 1;
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(served > 5, "the polite client got {served} responses during the attack window");
+
+    // The loris connection must be dead by now: ~400ms elapsed against a
+    // 250ms head deadline. The server sends nothing — just a close.
+    let mut loris_reader = loris.try_clone().expect("clone stream");
+    loris_reader.set_read_timeout(Some(Duration::from_secs(5))).expect("read timeout");
+    let mut buf = [0u8; 64];
+    match loris_reader.read(&mut buf) {
+        Ok(0) => {}                                                     // clean FIN
+        Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => {} // RST also fine
+        other => panic!("loris socket should be closed, got {other:?}"),
+    }
+    handle.stop();
+}
+
+// 6. The multiplexed pipelined client replays cleanly against both servers.
+
+#[test]
+fn mux_client_replays_cleanly_threaded() {
+    mux_client_replays_cleanly(ServerMode::Threaded);
+}
+
+#[test]
+fn mux_client_replays_cleanly_reactor() {
+    mux_client_replays_cleanly(ServerMode::Reactor);
+}
+
+fn mux_client_replays_cleanly(mode: ServerMode) {
+    let n = 400usize;
+    let pool = WorkloadPool::build_modelled(&CostModel::default_calibration());
+    let trace = faasrail::core::RequestTrace {
+        duration_minutes: 1,
+        requests: (0..n as u64)
+            .map(|i| faasrail::core::Request {
+                at_ms: i,
+                workload: WorkloadId(7),
+                function_index: 7,
+            })
+            .collect(),
+    };
+
+    let handle = default_server(mode);
+    let client = MuxHttpBackend::new(
+        handle.addr().to_string(),
+        MuxConfig { connections: 3, pipeline_depth: 16, ..MuxConfig::default() },
+    )
+    .expect("resolve gateway address");
+
+    let m = replay(&trace, &pool, &client, &ReplayConfig { pacing: Pacing::Unpaced, workers: 8 });
+    assert_eq!(m.issued as usize, n, "{mode:?}");
+    assert_eq!(m.completed as usize, n, "{mode:?}: breakdown: {}", m.outcome_breakdown());
+    assert_eq!(m.errors, 0, "{mode:?}: breakdown: {}", m.outcome_breakdown());
+
+    // The whole point of the mux client: few sockets, many requests.
+    let stats = client.stats();
+    let connects = stats.connects.load(std::sync::atomic::Ordering::Relaxed);
+    let reuses = stats.reuses.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(connects <= 3, "{mode:?}: fixed pool must not grow: connects={connects}");
+    assert!(reuses > 0, "{mode:?}: pipelined connections must be reused");
+    drop(client);
+    handle.stop();
+}

@@ -18,7 +18,10 @@
 //!    spans they damaged, and re-joining the same logs under large
 //!    artificial clock offsets never produces a negative stage duration.
 
-use faasrail::gateway::{FaultConfig, Gateway, GatewayConfig, HttpBackend, HttpBackendConfig};
+mod common;
+
+use common::{spawn_server_with_sink, ServerMode};
+use faasrail::gateway::{FaultConfig, GatewayConfig, HttpBackend, HttpBackendConfig};
 use faasrail::loadgen::{
     replay_observed, Backend, InvocationRequest, InvocationResult, Pacing, ReplayConfig,
     ReplayInstruments,
@@ -131,19 +134,26 @@ fn assert_stages_sound(join: &faasrail::telemetry::SpanJoin) {
 
 #[test]
 fn zero_drop_replay_joins_every_client_span_and_stages_telescope() {
+    zero_drop_replay_joins_every_client_span_and_stages_telescope_in(ServerMode::Threaded);
+}
+
+#[test]
+fn zero_drop_replay_joins_every_client_span_and_stages_telescope_reactor() {
+    zero_drop_replay_joins_every_client_span_and_stages_telescope_in(ServerMode::Reactor);
+}
+
+fn zero_drop_replay_joins_every_client_span_and_stages_telescope_in(mode: ServerMode) {
     let (reqs, pool) = generated_requests(41, 300);
 
-    let server_path = temp_path("server");
-    let client_path = temp_path("client");
+    let server_path = temp_path(&format!("server-{mode:?}"));
+    let client_path = temp_path(&format!("client-{mode:?}"));
     let server_sink = Arc::new(JsonlSink::create(&server_path).expect("create server trace log"));
-    let handle = Gateway::bind(
-        "127.0.0.1:0",
+    let handle = spawn_server_with_sink(
+        mode,
         Arc::new(ModelBackend { pool: pool.clone() }),
         GatewayConfig { workers: 4, read_timeout: Duration::from_secs(1), ..Default::default() },
-    )
-    .expect("bind loopback gateway")
-    .with_trace_sink(Arc::clone(&server_sink) as Arc<dyn EventSink>)
-    .spawn();
+        Some(Arc::clone(&server_sink) as Arc<dyn EventSink>),
+    );
 
     let client = HttpBackend::connect(&handle.addr().to_string(), HttpBackendConfig::default())
         .expect("resolve gateway address");
@@ -202,6 +212,15 @@ fn zero_drop_replay_joins_every_client_span_and_stages_telescope() {
 
 #[test]
 fn overload_orphans_are_exactly_the_sheds_and_unreached_transport_errors() {
+    overload_orphans_are_exactly_the_sheds_and_unreached_transport_errors_in(ServerMode::Threaded);
+}
+
+#[test]
+fn overload_orphans_are_exactly_the_sheds_and_unreached_transport_errors_reactor() {
+    overload_orphans_are_exactly_the_sheds_and_unreached_transport_errors_in(ServerMode::Reactor);
+}
+
+fn overload_orphans_are_exactly_the_sheds_and_unreached_transport_errors_in(mode: ServerMode) {
     let (reqs, pool) = generated_requests(42, 80);
 
     // One busy worker, a one-slot admission queue, four eager clients:
@@ -209,8 +228,8 @@ fn overload_orphans_are_exactly_the_sheds_and_unreached_transport_errors() {
     // so they cannot produce a server span — the join must report them as
     // classified orphans, not silently drop them.
     let server_sink = Arc::new(RingSink::with_capacity(4 * reqs.len()));
-    let handle = Gateway::bind(
-        "127.0.0.1:0",
+    let handle = spawn_server_with_sink(
+        mode,
         Arc::new(SlowBackend { ms: 3 }),
         GatewayConfig {
             workers: 1,
@@ -218,10 +237,8 @@ fn overload_orphans_are_exactly_the_sheds_and_unreached_transport_errors() {
             read_timeout: Duration::from_secs(1),
             ..Default::default()
         },
-    )
-    .expect("bind loopback gateway")
-    .with_trace_sink(Arc::clone(&server_sink) as Arc<dyn EventSink>)
-    .spawn();
+        Some(Arc::clone(&server_sink) as Arc<dyn EventSink>),
+    );
 
     let client = HttpBackend::connect(
         &handle.addr().to_string(),
@@ -302,13 +319,22 @@ fn skew_client(events: &[TelemetryEvent], us: u64) -> Vec<TelemetryEvent> {
 
 #[test]
 fn injected_faults_classify_server_spans_and_survive_clock_skew() {
+    injected_faults_classify_server_spans_and_survive_clock_skew_in(ServerMode::Threaded);
+}
+
+#[test]
+fn injected_faults_classify_server_spans_and_survive_clock_skew_reactor() {
+    injected_faults_classify_server_spans_and_survive_clock_skew_in(ServerMode::Reactor);
+}
+
+fn injected_faults_classify_server_spans_and_survive_clock_skew_in(mode: ServerMode) {
     let (reqs, pool) = generated_requests(43, 200);
 
     // Injected 500s and stragglers; retries off so each fault surfaces as
     // exactly one client outcome.
     let server_sink = Arc::new(RingSink::with_capacity(4 * reqs.len()));
-    let handle = Gateway::bind(
-        "127.0.0.1:0",
+    let handle = spawn_server_with_sink(
+        mode,
         Arc::new(ModelBackend { pool: pool.clone() }),
         GatewayConfig {
             workers: 4,
@@ -322,10 +348,8 @@ fn injected_faults_classify_server_spans_and_survive_clock_skew() {
             },
             ..Default::default()
         },
-    )
-    .expect("bind faulty gateway")
-    .with_trace_sink(Arc::clone(&server_sink) as Arc<dyn EventSink>)
-    .spawn();
+        Some(Arc::clone(&server_sink) as Arc<dyn EventSink>),
+    );
 
     let client = HttpBackend::connect(
         &handle.addr().to_string(),
